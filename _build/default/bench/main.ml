@@ -1,0 +1,293 @@
+(* Benchmark harness: one Bechamel test per paper table/figure (plus
+   the ablations), and — before timing — a reduced-scale regeneration
+   of every artifact so that `dune exec bench/main.exe` prints the
+   same rows/series the paper reports.
+
+   Full-scale regeneration (paper-sized parameters) is the CLI's job:
+   `dune exec bin/hydra_experiments.exe -- all --tasksets-per-group 250`.
+
+   Scale knobs (environment variables):
+     BENCH_PER_GROUP   tasksets per utilization group for the printed
+                       sweeps (default 25; the paper uses 250)
+     BENCH_TRIALS      rover trials for the printed Fig. 5 (default 35)
+     BENCH_QUOTA_MS    Bechamel time quota per test (default 500). *)
+
+open Bechamel
+open Toolkit
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let per_group = getenv_int "BENCH_PER_GROUP" 25
+let trials = getenv_int "BENCH_TRIALS" 35
+let quota_ms = getenv_int "BENCH_QUOTA_MS" 500
+
+let std = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: print every table and figure at reduced scale. *)
+
+let print_artifacts () =
+  Format.printf "==================================================@.";
+  Format.printf "Artifact regeneration (reduced scale: %d/group, %d trials)@."
+    per_group trials;
+  Format.printf "==================================================@.";
+  Experiments.Tables.render_all std ();
+  let fig5 = Experiments.Fig5.run ~trials () in
+  Experiments.Fig5.render std fig5;
+  let fig5_adapted =
+    Experiments.Fig5.run ~trials ~deployment:Experiments.Fig5.Adapted ()
+  in
+  Experiments.Fig5.render std fig5_adapted;
+  List.iter
+    (fun n_cores ->
+      let sweep = Experiments.Sweep.run ~n_cores ~per_group ~seed:42 () in
+      Experiments.Fig6.render std (Experiments.Fig6.of_sweep sweep);
+      let fig7 = Experiments.Fig7.of_sweep sweep in
+      Experiments.Fig7.render_a std fig7;
+      Experiments.Fig7.render_b std fig7)
+    [ 2; 4 ];
+  Experiments.Ablation.run_all std ~seed:42
+    ~per_group:(max 1 (per_group / 5))
+    ~cores:[ 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timings — each test regenerates one artifact at a
+   small fixed scale so the numbers compare machine-to-machine. *)
+
+let rover_taskset = Security.Rover.taskset ()
+let rover_assignment = Security.Rover.rt_assignment ()
+
+let rover_system () =
+  Hydra.Analysis.make_system rover_taskset ~assignment:rover_assignment
+
+let test_table1 =
+  Test.make ~name:"table1_catalog"
+    (Staged.stage (fun () ->
+         Format.asprintf "%a" Security.Catalog.pp_table ()))
+
+let test_table2 =
+  Test.make ~name:"table2_platform"
+    (Staged.stage (fun () -> Format.asprintf "%a" Security.Rover.pp_table2 ()))
+
+let test_table3 =
+  Test.make ~name:"table3_taskgen"
+    (Staged.stage (fun () ->
+         let rng = Taskgen.Rng.create 1 in
+         Taskgen.Generator.generate
+           (Taskgen.Generator.default_config ~n_cores:2)
+           rng ~group:4))
+
+let test_fig5a =
+  Test.make ~name:"fig5a_detection"
+    (Staged.stage (fun () ->
+         Experiments.Fig5.run ~seed:1 ~trials:2 ~horizon:30000 ()))
+
+let test_fig5b =
+  (* context-switch accounting alone: one 45 s rover simulation *)
+  Test.make ~name:"fig5b_context_switches"
+    (Staged.stage (fun () ->
+         let bounds = [| 10000; 10000 |] in
+         let built =
+           Sim.Scenario.of_taskset rover_taskset
+             ~rt_assignment:rover_assignment
+             ~policy:Sim.Policy.Semi_partitioned ~sec_periods:bounds ()
+         in
+         Sim.Engine.run ~n_cores:2 ~horizon:45000 built.Sim.Scenario.tasks))
+
+let small_sweep ?policy ?config n_cores =
+  Experiments.Sweep.run ?policy ?config ~n_cores ~per_group:5 ~seed:1 ()
+
+let test_fig6 =
+  Test.make ~name:"fig6_period_distance"
+    (Staged.stage (fun () -> Experiments.Fig6.of_sweep (small_sweep 2)))
+
+let test_fig7a =
+  Test.make ~name:"fig7a_acceptance"
+    (Staged.stage (fun () -> Experiments.Fig7.of_sweep (small_sweep 2)))
+
+let test_fig7b =
+  Test.make ~name:"fig7b_distance"
+    (Staged.stage (fun () ->
+         Experiments.Fig7.render_b Format.str_formatter
+           (Experiments.Fig7.of_sweep (small_sweep 2));
+         Format.flush_str_formatter ()))
+
+let test_ablation_carry_in =
+  Test.make ~name:"ablation_carry_in"
+    (Staged.stage (fun () ->
+         let config =
+           { (Taskgen.Generator.default_config ~n_cores:2) with
+             Taskgen.Generator.sec_count = (2, 4) }
+         in
+         small_sweep ~policy:Hydra.Analysis.Exhaustive ~config 2))
+
+let test_ablation_partition =
+  Test.make ~name:"ablation_partition"
+    (Staged.stage (fun () ->
+         let config =
+           { (Taskgen.Generator.default_config ~n_cores:2) with
+             Taskgen.Generator.partition_heuristic =
+               Rtsched.Partition.Worst_fit }
+         in
+         small_sweep ~config 2))
+
+(* Core micro-benchmarks: the analysis primitives the figures lean on. *)
+
+let test_rta_uniproc =
+  Test.make ~name:"micro_rta_uniproc"
+    (Staged.stage (fun () ->
+         Rtsched.Rta_uniproc.response_time
+           ~hp:
+             [ { Rtsched.Rta_uniproc.hp_wcet = 240; hp_period = 500 };
+               { Rtsched.Rta_uniproc.hp_wcet = 1120; hp_period = 5000 } ]
+           ~wcet:5342 ~limit:10000))
+
+let test_wcrt_semi_partitioned =
+  Test.make ~name:"micro_wcrt_semi_partitioned"
+    (Staged.stage
+       (let sys = rover_system () in
+        fun () ->
+          Hydra.Analysis.response_time sys
+            ~hp:
+              [ { Hydra.Analysis.hp_task = rover_taskset.Rtsched.Task.sec.(0);
+                  hp_period = 7582; hp_resp = 7582 } ]
+            ~wcet:223 ~limit:10000))
+
+let test_period_selection =
+  Test.make ~name:"micro_period_selection_rover"
+    (Staged.stage
+       (let sys = rover_system () in
+        fun () ->
+          Hydra.Period_selection.select sys rover_taskset.Rtsched.Task.sec))
+
+let test_randfixedsum =
+  Test.make ~name:"micro_randfixedsum_20"
+    (Staged.stage
+       (let rng = Taskgen.Rng.create 7 in
+        fun () ->
+          Taskgen.Randfixedsum.sample rng ~n:20 ~total:6.0 ~lo:0.0 ~hi:1.0))
+
+let test_integrity_scan =
+  Test.make ~name:"micro_integrity_full_scan"
+    (Staged.stage
+       (let fs = Security.Rover.image_store () in
+        let checker = Security.Integrity_checker.create fs ~n_regions:64 in
+        fun () -> Security.Integrity_checker.check_all checker))
+
+let test_period_selection_extended =
+  Test.make ~name:"micro_period_selection_extended_rover"
+    (Staged.stage
+       (let ts = Security.Rover.extended_taskset () in
+        let sys =
+          Hydra.Analysis.make_system ts ~assignment:rover_assignment
+        in
+        fun () -> Hydra.Period_selection.select sys ts.Rtsched.Task.sec))
+
+let test_hydra_coordinated =
+  Test.make ~name:"micro_hydra_coordinated_rover"
+    (Staged.stage
+       (let sys = rover_system () in
+        fun () ->
+          Hydra.Baseline_hydra.allocate_coordinated sys
+            rover_taskset.Rtsched.Task.sec))
+
+let test_packet_inspection =
+  Test.make ~name:"micro_packet_full_inspection"
+    (Staged.stage
+       (let cap = Security.Packet_monitor.create_capture ~capacity:256 in
+        let rng = Taskgen.Rng.create 5 in
+        List.iter
+          (Security.Packet_monitor.ingest cap)
+          (Security.Packet_monitor.benign_traffic rng ~now:0 ~count:256);
+        let mon =
+          Security.Packet_monitor.create cap
+            Security.Packet_monitor.default_rules ~n_regions:16
+        in
+        fun () -> Security.Packet_monitor.inspect_all mon))
+
+let test_hpc_check =
+  Test.make ~name:"micro_hpc_full_check"
+    (Staged.stage
+       (let tasks = [ "navigation"; "camera" ] in
+        let stream = Security.Hpc_monitor.create_stream ~tasks in
+        let rng = Taskgen.Rng.create 6 in
+        let mon = Security.Hpc_monitor.calibrate rng ~tasks stream in
+        for _ = 1 to 8 do
+          Security.Hpc_monitor.push stream
+            (Security.Hpc_monitor.clean_sample rng ~task:"navigation");
+          Security.Hpc_monitor.push stream
+            (Security.Hpc_monitor.clean_sample rng ~task:"camera")
+        done;
+        fun () -> Security.Hpc_monitor.check_all mon))
+
+let test_sim_extended_rover =
+  Test.make ~name:"micro_sim_extended_rover_45s"
+    (Staged.stage
+       (let ts = Security.Rover.extended_taskset () in
+        let periods = Array.make (Array.length ts.Rtsched.Task.sec) 0 in
+        Array.iter
+          (fun (s : Rtsched.Task.sec_task) ->
+            periods.(s.Rtsched.Task.sec_id) <- s.Rtsched.Task.sec_period_max)
+          ts.Rtsched.Task.sec;
+        let built =
+          Sim.Scenario.of_taskset ts ~rt_assignment:rover_assignment
+            ~policy:Sim.Policy.Semi_partitioned ~sec_periods:periods ()
+        in
+        fun () ->
+          Sim.Engine.run ~n_cores:2 ~horizon:45000 built.Sim.Scenario.tasks))
+
+let tests =
+  Test.make_grouped ~name:"hydra_c"
+    [ test_table1; test_table2; test_table3; test_fig5a; test_fig5b;
+      test_fig6; test_fig7a; test_fig7b; test_ablation_carry_in;
+      test_ablation_partition; test_rta_uniproc; test_wcrt_semi_partitioned;
+      test_period_selection; test_period_selection_extended;
+      test_hydra_coordinated; test_randfixedsum; test_integrity_scan;
+      test_packet_inspection; test_hpc_check; test_sim_extended_rover ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.millisecond (float_of_int quota_ms))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Format.printf "@.==================================================@.";
+  Format.printf "Bechamel timings (per-run wall clock)@.";
+  Format.printf "==================================================@.";
+  Format.printf "%-42s %14s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "-"
+        else if ns > 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Format.printf "%-42s %14s@." name pretty)
+    rows
+
+let () =
+  print_artifacts ();
+  run_benchmarks ()

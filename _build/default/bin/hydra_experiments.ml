@@ -1,0 +1,280 @@
+(* hydra-experiments: regenerate every table and figure of the paper.
+
+   Subcommands: tables, fig5, fig6, fig7a, fig7b, ablation, all.
+   Each takes --seed and scale parameters so the committed
+   EXPERIMENTS.md numbers are reproducible exactly. *)
+
+open Cmdliner
+
+let std = Format.std_formatter
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"PRNG seed (splitmix64).")
+
+let trials_arg =
+  Arg.(value & opt int 35 & info [ "trials" ] ~docv:"N"
+         ~doc:"Rover trials (the paper uses 35).")
+
+let horizon_arg =
+  Arg.(value & opt int 45000 & info [ "horizon" ] ~docv:"TICKS"
+         ~doc:"Simulation horizon in ms (the paper observes 45 s).")
+
+let per_group_arg =
+  Arg.(value & opt int 250 & info [ "tasksets-per-group" ] ~docv:"N"
+         ~doc:"Synthetic tasksets per utilization group (paper: 250).")
+
+let cores_arg =
+  Arg.(value & opt (list int) [ 2; 4 ] & info [ "cores" ] ~docv:"M,..."
+         ~doc:"Core counts to sweep (paper: 2 and 4).")
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum
+      [ ("top-delta", Hydra.Analysis.Top_delta);
+        ("exhaustive", Hydra.Analysis.Exhaustive) ]
+  in
+  Arg.(value & opt policy_conv Hydra.Analysis.Top_delta
+       & info [ "carry-in" ] ~docv:"POLICY"
+           ~doc:"Carry-in handling: top-delta (polynomial bound) or \
+                 exhaustive (literal Eq. 8).")
+
+let run_tables () = Experiments.Tables.render_all std ()
+
+let deploy_arg =
+  let deploy_conv =
+    Arg.enum
+      [ ("tmax", Experiments.Fig5.Tmax); ("adapted", Experiments.Fig5.Adapted) ]
+  in
+  Arg.(value & opt deploy_conv Experiments.Fig5.Tmax
+       & info [ "deploy" ] ~docv:"MODE"
+           ~doc:"Security periods deployed on the rover: tmax (designer \
+                 bounds, the paper's demo) or adapted (each scheme's \
+                 selected periods).")
+
+let dat_dir_arg =
+  Arg.(value & opt (some string) None & info [ "dat-dir" ] ~docv:"DIR"
+         ~doc:"Also export gnuplot-ready .dat files (and plots.gp) to DIR.")
+
+let export dat_dir f =
+  match dat_dir with
+  | None -> ()
+  | Some dir ->
+      let path = f ~dir in
+      Format.printf "[export] wrote %s@." path
+
+let run_fig5 seed trials horizon deployment dat_dir =
+  let report = Experiments.Fig5.run ~seed ~trials ~horizon ~deployment () in
+  Experiments.Fig5.render std report;
+  export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
+
+let sweeps policy seed per_group cores =
+  List.map
+    (fun m ->
+      Format.printf "[sweep] M=%d: %d tasksets x 10 groups...@." m per_group;
+      Experiments.Sweep.run ~policy ~n_cores:m ~per_group ~seed ())
+    cores
+
+let run_fig6 policy seed per_group cores dat_dir =
+  sweeps policy seed per_group cores
+  |> List.iter (fun sweep ->
+         let fig = Experiments.Fig6.of_sweep sweep in
+         Experiments.Fig6.render std fig;
+         export dat_dir (fun ~dir -> Experiments.Dat_export.fig6 ~dir fig));
+  export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
+
+let run_fig7 which policy seed per_group cores dat_dir =
+  sweeps policy seed per_group cores
+  |> List.iter (fun sweep ->
+         let fig = Experiments.Fig7.of_sweep sweep in
+         (match which with
+         | `A ->
+             Experiments.Fig7.render_a std fig;
+             export dat_dir (fun ~dir -> Experiments.Dat_export.fig7a ~dir fig)
+         | `B ->
+             Experiments.Fig7.render_b std fig;
+             export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig)
+         | `Both ->
+             Experiments.Fig7.render_a std fig;
+             Experiments.Fig7.render_b std fig;
+             export dat_dir (fun ~dir -> Experiments.Dat_export.fig7a ~dir fig);
+             export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig)));
+  export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
+
+let run_ablation seed per_group cores =
+  Experiments.Ablation.run_all std ~seed ~per_group ~cores
+
+let run_analyze policy file =
+  match Rtsched.Taskset_io.load file with
+  | Error msg ->
+      Format.printf "error: %s@." msg;
+      exit 1
+  | Ok ts -> (
+      Format.printf "%a@." Rtsched.Task.pp_taskset ts;
+      match Rtsched.Partition.partition_rt ts with
+      | None ->
+          Format.printf "RT tasks are not partitionable on %d cores@."
+            ts.Rtsched.Task.n_cores;
+          exit 2
+      | Some rt_assignment ->
+          Format.printf "RT partition (best-fit):@.";
+          Array.iteri
+            (fun i t ->
+              Format.printf "  %-16s -> core %d@." t.Rtsched.Task.rt_name
+                rt_assignment.(i))
+            ts.Rtsched.Task.rt;
+          let sys = Hydra.Analysis.make_system ts ~assignment:rt_assignment in
+          (match Hydra.Period_selection.select ~policy sys ts.Rtsched.Task.sec
+           with
+          | Hydra.Period_selection.Schedulable assignments ->
+              Format.printf "@.HYDRA-C periods:@.";
+              List.iter
+                (fun (a : Hydra.Period_selection.assignment) ->
+                  Format.printf "  %-16s T* = %6d (bound %6d, WCRT %6d)@."
+                    a.sec.Rtsched.Task.sec_name a.period
+                    a.sec.Rtsched.Task.sec_period_max a.resp)
+                assignments
+          | Hydra.Period_selection.Unschedulable -> (
+              Format.printf
+                "@.unschedulable within the designer bounds under the given \
+                 priorities.@.";
+              match Hydra.Priority_assignment.first_schedulable ~policy sys
+                      ts.Rtsched.Task.sec
+              with
+              | Some (ordering, assignments) ->
+                  Format.printf
+                    "a schedulable priority order exists: %s@."
+                    (Hydra.Priority_assignment.ordering_name ordering);
+                  List.iter
+                    (fun (a : Hydra.Period_selection.assignment) ->
+                      Format.printf "  %-16s T* = %6d (WCRT %6d)@."
+                        a.sec.Rtsched.Task.sec_name a.period a.resp)
+                    assignments
+              | None ->
+                  Format.printf "no candidate priority order schedules it@."));
+          Format.printf "@.Scheme comparison:@.";
+          List.iter
+            (fun scheme ->
+              let o = Hydra.Scheme.evaluate ~policy scheme ts ~rt_assignment in
+              Format.printf "  %-12s schedulable=%b@."
+                (Hydra.Scheme.name scheme) o.Hydra.Scheme.schedulable)
+            Hydra.Scheme.all;
+          Format.printf "@.%a@." Hydra.Sensitivity.render
+            (Hydra.Sensitivity.analyze ~policy sys ts.Rtsched.Task.sec))
+
+let run_report seed trials per_group cores out =
+  let scale =
+    { Experiments.Report.sc_seed = seed; sc_trials = trials;
+      sc_per_group = per_group; sc_cores = cores;
+      sc_validate_tasksets = 50 }
+  in
+  Experiments.Report.write scale ~path:out;
+  Format.printf "wrote %s@." out
+
+let run_validate policy seed tasksets cores =
+  List.iter
+    (fun n_cores ->
+      Format.printf "[validate] M=%d, %d tasksets...@." n_cores tasksets;
+      let result =
+        Experiments.Validation.run ~policy ~n_cores ~tasksets ~seed ()
+      in
+      Experiments.Validation.render std result)
+    cores
+
+let run_all policy seed trials horizon per_group cores dat_dir =
+  run_tables ();
+  run_fig5 seed trials horizon Experiments.Fig5.Tmax dat_dir;
+  run_fig5 seed trials horizon Experiments.Fig5.Adapted dat_dir;
+  sweeps policy seed per_group cores
+  |> List.iter (fun sweep ->
+         let fig6 = Experiments.Fig6.of_sweep sweep in
+         Experiments.Fig6.render std fig6;
+         export dat_dir (fun ~dir -> Experiments.Dat_export.fig6 ~dir fig6);
+         let fig = Experiments.Fig7.of_sweep sweep in
+         Experiments.Fig7.render_a std fig;
+         Experiments.Fig7.render_b std fig;
+         export dat_dir (fun ~dir -> Experiments.Dat_export.fig7a ~dir fig);
+         export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig));
+  export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores);
+  run_ablation seed (max 1 (per_group / 5)) cores
+
+let cmd_tables =
+  Cmd.v (Cmd.info "tables" ~doc:"Render Tables 1-3.")
+    Term.(const run_tables $ const ())
+
+let cmd_fig5 =
+  Cmd.v (Cmd.info "fig5" ~doc:"Rover detection-latency experiment (Fig. 5).")
+    Term.(const run_fig5 $ seed_arg $ trials_arg $ horizon_arg $ deploy_arg
+          $ dat_dir_arg)
+
+let cmd_fig6 =
+  Cmd.v (Cmd.info "fig6" ~doc:"Period-distance sweep (Fig. 6).")
+    Term.(const run_fig6 $ policy_arg $ seed_arg $ per_group_arg $ cores_arg
+          $ dat_dir_arg)
+
+let cmd_fig7a =
+  Cmd.v (Cmd.info "fig7a" ~doc:"Acceptance-ratio sweep (Fig. 7a).")
+    Term.(const (run_fig7 `A) $ policy_arg $ seed_arg $ per_group_arg
+          $ cores_arg $ dat_dir_arg)
+
+let cmd_fig7b =
+  Cmd.v (Cmd.info "fig7b" ~doc:"Period-difference sweep (Fig. 7b).")
+    Term.(const (run_fig7 `B) $ policy_arg $ seed_arg $ per_group_arg
+          $ cores_arg $ dat_dir_arg)
+
+let tasksets_arg =
+  Arg.(value & opt int 100 & info [ "tasksets" ] ~docv:"N"
+         ~doc:"Tasksets to cross-validate.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FILE" ~doc:"Taskset file (see Rtsched.Taskset_io).")
+
+let cmd_analyze =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a user-provided taskset file: partition, period \
+             selection, scheme comparison, WCET sensitivity.")
+    Term.(const run_analyze $ policy_arg $ file_arg)
+
+let out_arg =
+  Arg.(value & opt string "report.md" & info [ "out" ] ~docv:"PATH"
+         ~doc:"Output path for the Markdown report.")
+
+let cmd_report =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate every artifact and write a Markdown report.")
+    Term.(const run_report $ seed_arg $ trials_arg $ per_group_arg $ cores_arg
+          $ out_arg)
+
+let cmd_validate =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Cross-validate the HYDRA-C analysis against the discrete-event \
+             simulator (soundness + tightness).")
+    Term.(const run_validate $ policy_arg $ seed_arg $ tasksets_arg $ cores_arg)
+
+let cmd_ablation =
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Ablations: carry-in policy, partitioning heuristic, priority \
+             order.")
+    Term.(const run_ablation $ seed_arg $ per_group_arg $ cores_arg)
+
+let cmd_all =
+  Cmd.v (Cmd.info "all" ~doc:"Everything: tables, figures, ablations.")
+    Term.(const run_all $ policy_arg $ seed_arg $ trials_arg $ horizon_arg
+          $ per_group_arg $ cores_arg $ dat_dir_arg)
+
+let () =
+  let info =
+    Cmd.info "hydra-experiments"
+      ~doc:"Reproduce the evaluation of 'Period Adaptation for Continuous \
+            Security Monitoring in Multicore Real-Time Systems' (DATE 2020)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cmd_tables; cmd_fig5; cmd_fig6; cmd_fig7a; cmd_fig7b;
+            cmd_ablation; cmd_validate; cmd_analyze; cmd_report; cmd_all ]))

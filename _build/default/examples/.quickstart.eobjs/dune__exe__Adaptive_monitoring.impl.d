@@ -1,0 +1,1 @@
+examples/adaptive_monitoring.ml: Format Int64 List Security Sim

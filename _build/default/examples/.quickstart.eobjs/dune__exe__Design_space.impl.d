@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Experiments Format Hydra List Sys Taskgen

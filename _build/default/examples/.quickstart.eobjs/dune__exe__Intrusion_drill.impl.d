@@ -1,0 +1,1 @@
+examples/intrusion_drill.ml: Format List Printf Security String

@@ -1,0 +1,1 @@
+examples/network_watch.ml: Array Format Hydra List Rtsched Security Sim Taskgen

@@ -1,0 +1,1 @@
+examples/rover_case_study.ml: Array Experiments Format Hydra List Rtsched Security Sim

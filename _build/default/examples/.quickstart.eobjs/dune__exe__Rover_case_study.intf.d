@@ -1,0 +1,1 @@
+examples/rover_case_study.mli:

@@ -1,0 +1,115 @@
+(* Adaptive (reactive) monitoring — the extension sketched in the
+   paper's Discussion: a cheap passive check escalates to an exhaustive
+   dependent check when it observes an anomaly, and de-escalates after
+   consecutive clean passes.
+
+   Scenario: a single monitoring task watches the kernel-module table.
+   Its passive action only audits module *names* (cheap set
+   comparison); a stealthy attacker patches an existing module in
+   place, which the name audit cannot see — but tripping a decoy first
+   (an inserted module that is quickly hidden again) escalates the
+   monitor, whose exhaustive action fingerprints sizes, addresses and
+   signatures and catches the in-place patch.
+
+   Run with: dune exec examples/adaptive_monitoring.exe *)
+
+module KC = Security.Kmod_checker
+
+let () =
+  Format.printf "=== Adaptive monitoring drill ===@.";
+  let table = Security.Rover.module_table () in
+
+  (* Passive action: names-only profile (region per name bucket). A
+     patched module keeps its name, so this checker misses it. *)
+  let names_baseline =
+    ref (List.map (fun m -> m.KC.m_name) (KC.modules table))
+  in
+  let passive_regions = 4 in
+  let passive_injector = Security.Intrusion.create () in
+  let name_region name =
+    Int64.to_int
+      (Int64.rem
+         (Int64.logand (Security.Hash.fnv1a64 name) Int64.max_int)
+         (Int64.of_int passive_regions))
+  in
+  let passive_target =
+    { Security.Detection.n_regions = passive_regions;
+      check_region =
+        (fun ~region ~started ~finished:_ ->
+          Security.Intrusion.apply_until passive_injector started;
+          let current = List.map (fun m -> m.KC.m_name) (KC.modules table) in
+          let in_region names =
+            List.filter (fun n -> name_region n = region) names
+          in
+          in_region current <> in_region !names_baseline) }
+  in
+
+  (* Exhaustive action: the full fingerprint checker. *)
+  let deep_checker = KC.create table ~n_regions:6 in
+  let deep_injector = Security.Intrusion.create () in
+  let exhaustive_target =
+    Security.Detection.checker_target ~n_regions:6 ~injector:deep_injector
+      ~check:(KC.check_region deep_checker)
+  in
+
+  (* The attack script: a decoy module flashes at t=3000 (visible to
+     the name audit until it hides itself at t=9000), and the real
+     in-place patch lands at t=4000 (invisible to the name audit). *)
+  let schedule injector =
+    Security.Intrusion.schedule injector ~at:3000 ~label:"decoy insert"
+      (fun () ->
+        KC.insert_module table
+          { KC.m_name = "rk_decoy"; m_size = 1; m_addr = 0x1L;
+            m_signature = "unsigned" });
+    Security.Intrusion.schedule injector ~at:4000 ~label:"in-place patch"
+      (fun () -> KC.patch_module table "snd_bcm2835" ~size:31337);
+    Security.Intrusion.schedule injector ~at:9000 ~label:"decoy hides"
+      (fun () -> try KC.hide_module table "rk_decoy" with Not_found -> ())
+  in
+  schedule passive_injector;
+  (* the same wall-clock mutations must be visible to the deep checker *)
+  Security.Intrusion.schedule deep_injector ~at:0 ~label:"sync" (fun () -> ());
+  schedule deep_injector;
+
+  (* One monitoring task (C=400 ms, T=2000 ms) beside a small RT task
+     on a dual-core platform. *)
+  let monitor_task =
+    { Sim.Engine.st_id = 1; st_name = "kmod-monitor"; st_wcet = 400;
+      st_period = 2000; st_deadline = 2000; st_prio = 10; st_core = None;
+      st_offset = 0 }
+  in
+  let rt_task =
+    { Sim.Engine.st_id = 0; st_name = "control"; st_wcet = 300;
+      st_period = 1000; st_deadline = 1000; st_prio = 0; st_core = Some 0;
+      st_offset = 0 }
+  in
+  let reactive =
+    Security.Reactive.create ~sim_id:1 ~wcet:400 ~passive:passive_target
+      ~exhaustive:exhaustive_target ~cooldown_passes:3 ()
+  in
+  let hooks =
+    { Sim.Engine.no_hooks with
+      Sim.Engine.on_execute = Some (Security.Reactive.on_execute reactive) }
+  in
+  let _stats =
+    Sim.Engine.run ~hooks ~n_cores:2 ~horizon:30000 [ rt_task; monitor_task ]
+  in
+
+  Format.printf "mode transitions:@.";
+  List.iter
+    (fun (t, label) -> Format.printf "  t=%6d ms  %s@." t label)
+    (Security.Reactive.escalations reactive);
+  (match Security.Reactive.passive_detection_time reactive with
+  | Some t -> Format.printf "passive anomaly (decoy) noticed at %d ms@." t
+  | None -> Format.printf "passive action never fired (unexpected)@.");
+  (match Security.Reactive.exhaustive_detection_time reactive with
+  | Some t ->
+      Format.printf
+        "in-place patch caught by the escalated check at %d ms@." t
+  | None ->
+      Format.printf
+        "in-place patch NOT caught — it is invisible without escalation@.");
+  Format.printf "final mode: %s@."
+    (match Security.Reactive.mode reactive with
+    | Security.Reactive.Passive -> "passive"
+    | Security.Reactive.Exhaustive -> "exhaustive")

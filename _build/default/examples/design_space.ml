@@ -1,0 +1,45 @@
+(* Design-space exploration in miniature: sweep the Table-3 generator
+   over the utilization groups and print the acceptance ratios and
+   period distances of all four schemes — a fast, reduced-scale
+   version of Figs. 6 and 7 that a user can tweak.
+
+   Run with: dune exec examples/design_space.exe -- [tasksets-per-group]
+*)
+
+let () =
+  let per_group =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 20
+  in
+  let std = Format.std_formatter in
+  List.iter
+    (fun n_cores ->
+      Format.printf "@.### M = %d cores, %d tasksets per group ###@." n_cores
+        per_group;
+      let sweep = Experiments.Sweep.run ~n_cores ~per_group ~seed:42 () in
+      Experiments.Fig6.render std (Experiments.Fig6.of_sweep sweep);
+      let fig7 = Experiments.Fig7.of_sweep sweep in
+      Experiments.Fig7.render_a std fig7;
+      Experiments.Fig7.render_b std fig7)
+    [ 2; 4 ];
+
+  (* A designer's what-if: how does the security utilization share
+     change the picture on a dual-core platform? *)
+  Format.printf "@.### What-if: heavier security workloads (M = 2) ###@.";
+  List.iter
+    (fun (lo, hi) ->
+      let config =
+        { (Taskgen.Generator.default_config ~n_cores:2) with
+          Taskgen.Generator.sec_util_share = (lo, hi) }
+      in
+      let sweep =
+        Experiments.Sweep.run ~config ~n_cores:2 ~per_group ~seed:42 ()
+      in
+      let records = sweep.Experiments.Sweep.records in
+      let mid =
+        List.filter (fun r -> r.Experiments.Sweep.group = 5) records
+      in
+      Format.printf
+        "security share [%.2f, %.2f]: HYDRA-C acceptance at U/M~0.6 = %.2f@."
+        lo hi
+        (Experiments.Sweep.acceptance mid ~scheme:Hydra.Scheme.Hydra_c))
+    [ (0.30, 0.50); (0.40, 0.60); (0.50, 0.70) ]

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Fig5 Format Hydra List Option Printf Rtsched Sim Table_render Taskgen

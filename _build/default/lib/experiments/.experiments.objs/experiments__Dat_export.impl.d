@@ -1,0 +1,1 @@
+lib/experiments/dat_export.ml: Buffer Fig5 Fig6 Fig7 Filename Float Hydra List Out_channel Printf String Sys

@@ -1,0 +1,1 @@
+lib/experiments/dat_export.mli: Fig5 Fig6 Fig7

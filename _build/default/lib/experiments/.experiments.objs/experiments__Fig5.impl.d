@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Format Hydra List Option Printf Rtsched Security Sim String Table_render Taskgen

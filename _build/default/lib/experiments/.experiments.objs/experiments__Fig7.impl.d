@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Hydra List Option Printf Sweep Table_render

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ablation Buffer Fig5 Fig6 Fig7 Format List Out_channel Printf String Sweep Tables Validation

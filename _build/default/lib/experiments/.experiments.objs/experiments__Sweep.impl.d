@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array Hydra List Option Rtsched Taskgen

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Format Printf Rtsched Security Table_render Taskgen

@@ -1,0 +1,1 @@
+lib/experiments/validation.ml: Array Format Hydra List Option Rtsched Sim Taskgen

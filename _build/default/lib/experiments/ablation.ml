@@ -1,0 +1,276 @@
+module Task = Rtsched.Task
+module Generator = Taskgen.Generator
+module Rng = Taskgen.Rng
+module Scheme = Hydra.Scheme
+
+let groups = List.init 10 (fun g -> g)
+
+(* Generate one batch of tasksets per group with a private stream per
+   taskset (same convention as Sweep). *)
+let generate_batch config ~seed ~per_group =
+  let rng = Rng.create seed in
+  List.concat_map
+    (fun group ->
+      List.filter_map
+        (fun _ ->
+          let stream = Rng.split rng in
+          Option.map (fun g -> (group, g)) (Generator.generate config stream ~group))
+        (List.init per_group (fun i -> i)))
+    groups
+
+let hydra_c_outcome ?policy (g : Generator.generated) =
+  Scheme.evaluate ?policy Scheme.Hydra_c g.Generator.taskset
+    ~rt_assignment:g.Generator.rt_assignment
+
+let distance_of (g : Generator.generated) (o : Scheme.outcome) =
+  match o.Scheme.periods with
+  | Some periods when o.Scheme.schedulable ->
+      let ts = g.Generator.taskset in
+      let bounds = Array.make (Array.length ts.Task.sec) 0 in
+      Array.iter
+        (fun s -> bounds.(s.Task.sec_id) <- s.Task.sec_period_max)
+        ts.Task.sec;
+      Some (Hydra.Metrics.normalized_distance_to_bound ~periods ~bounds)
+  | Some _ | None -> None
+
+let run_carry_in ppf ~seed ~per_group ~n_cores =
+  (* Keep hp-sets small so the exhaustive Eq. 8 stays affordable. *)
+  let config =
+    { (Generator.default_config ~n_cores) with
+      Generator.sec_count = (2, 2 * n_cores) }
+  in
+  let batch = generate_batch config ~seed ~per_group in
+  let evaluate policy =
+    List.map (fun (_, g) -> hydra_c_outcome ~policy g) batch
+  in
+  let top = evaluate Hydra.Analysis.Top_delta in
+  let exh = evaluate Hydra.Analysis.Exhaustive in
+  let accepted l =
+    List.length (List.filter (fun o -> o.Scheme.schedulable) l)
+  in
+  let mean_distance outcomes =
+    Hydra.Metrics.mean
+      (List.filter_map
+         (fun ((_, g), o) -> distance_of g o)
+         (List.combine batch outcomes))
+  in
+  let diverging =
+    List.length
+      (List.filter
+         (fun (a, b) -> a.Scheme.schedulable <> b.Scheme.schedulable)
+         (List.combine top exh))
+  in
+  Table_render.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation X1 (M=%d, %d tasksets): carry-in handling in Eq. 8"
+         n_cores (List.length batch))
+    ~header:[ "policy"; "accepted"; "mean distance" ]
+    ~rows:
+      [ [ "top-delta"; string_of_int (accepted top);
+          Table_render.float_cell (mean_distance top) ];
+        [ "exhaustive"; string_of_int (accepted exh);
+          Table_render.float_cell (mean_distance exh) ] ];
+  Format.fprintf ppf
+    "tasksets where the polynomial bound changes the verdict: %d@." diverging
+
+let run_partition ppf ~seed ~per_group ~n_cores =
+  let heuristics =
+    [ Rtsched.Partition.Best_fit; Rtsched.Partition.First_fit;
+      Rtsched.Partition.Worst_fit ]
+  in
+  let rows =
+    List.map
+      (fun h ->
+        let config =
+          { (Generator.default_config ~n_cores) with
+            Generator.partition_heuristic = h }
+        in
+        let batch = generate_batch config ~seed ~per_group in
+        let outcomes = List.map (fun (_, g) -> hydra_c_outcome g) batch in
+        let accepted =
+          List.length (List.filter (fun o -> o.Scheme.schedulable) outcomes)
+        in
+        [ Rtsched.Partition.heuristic_name h;
+          string_of_int (List.length batch); string_of_int accepted;
+          Table_render.float_cell
+            (Hydra.Metrics.acceptance_ratio ~accepted
+               ~total:(List.length batch)) ])
+      heuristics
+  in
+  Table_render.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation X2 (M=%d): RT partitioning heuristic vs HYDRA-C acceptance"
+         n_cores)
+    ~header:[ "heuristic"; "generated"; "accepted"; "ratio" ] ~rows
+
+let run_priority_order ppf ~seed ~per_group ~n_cores =
+  let config = Generator.default_config ~n_cores in
+  let batch = generate_batch config ~seed ~per_group in
+  let rows =
+    List.map
+      (fun ordering ->
+        let outcomes =
+          List.map
+            (fun (_, (g : Generator.generated)) ->
+              let ts = g.Generator.taskset in
+              let sec' = Hydra.Priority_assignment.apply ordering ts.Task.sec in
+              let o =
+                Scheme.evaluate Scheme.Hydra_c
+                  { ts with Task.sec = sec' }
+                  ~rt_assignment:g.Generator.rt_assignment
+              in
+              (g, o))
+            batch
+        in
+        let accepted =
+          List.length
+            (List.filter (fun (_, o) -> o.Scheme.schedulable) outcomes)
+        in
+        let mean_distance =
+          Hydra.Metrics.mean
+            (List.filter_map (fun (g, o) -> distance_of g o) outcomes)
+        in
+        [ Hydra.Priority_assignment.ordering_name ordering;
+          string_of_int accepted; Table_render.float_cell mean_distance ])
+      Hydra.Priority_assignment.all_orderings
+  in
+  Table_render.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation X3 (M=%d, %d tasksets): security priority order under \
+          Algorithm 1"
+         n_cores (List.length batch))
+    ~header:[ "priority order"; "accepted"; "mean distance" ] ~rows
+
+let run_hydra_variants ppf ~seed ~per_group ~n_cores =
+  let config = Generator.default_config ~n_cores in
+  let batch = generate_batch config ~seed ~per_group in
+  let bounds_of (ts : Task.taskset) =
+    let v = Array.make (Array.length ts.Task.sec) 0 in
+    Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.Task.sec;
+    v
+  in
+  (* Evaluate one variant: (accepted, mean distance of the accepted). *)
+  let evaluate label run =
+    let results =
+      List.map
+        (fun (_, (g : Generator.generated)) ->
+          let ts = g.Generator.taskset in
+          let n_sec = Array.length ts.Task.sec in
+          match run g with
+          | None -> None
+          | Some periods ->
+              Some
+                (Hydra.Metrics.normalized_distance_to_bound ~periods:
+                   (Array.init n_sec (fun i -> periods.(i)))
+                   ~bounds:(bounds_of ts)))
+        batch
+    in
+    let accepted = List.filter_map (fun x -> x) results in
+    [ label; string_of_int (List.length accepted);
+      Table_render.float_cell (Hydra.Metrics.mean accepted) ]
+  in
+  let sys_of (g : Generator.generated) =
+    Hydra.Analysis.make_system g.Generator.taskset
+      ~assignment:g.Generator.rt_assignment
+  in
+  let n_sec_of (g : Generator.generated) =
+    Array.length g.Generator.taskset.Task.sec
+  in
+  let hydra_greedy g =
+    match
+      Hydra.Baseline_hydra.allocate ~minimize:true (sys_of g)
+        g.Generator.taskset.Task.sec
+    with
+    | Hydra.Baseline_hydra.Schedulable allocs ->
+        Some (Hydra.Baseline_hydra.period_vector allocs ~n_sec:(n_sec_of g))
+    | Hydra.Baseline_hydra.Unschedulable -> None
+  in
+  let hydra_coordinated g =
+    match
+      Hydra.Baseline_hydra.allocate_coordinated (sys_of g)
+        g.Generator.taskset.Task.sec
+    with
+    | Hydra.Baseline_hydra.Schedulable allocs ->
+        Some (Hydra.Baseline_hydra.period_vector allocs ~n_sec:(n_sec_of g))
+    | Hydra.Baseline_hydra.Unschedulable -> None
+  in
+  let hydra_c g =
+    match
+      Hydra.Period_selection.select (sys_of g) g.Generator.taskset.Task.sec
+    with
+    | Hydra.Period_selection.Schedulable a ->
+        Some (Hydra.Period_selection.period_vector a ~n_sec:(n_sec_of g))
+    | Hydra.Period_selection.Unschedulable -> None
+  in
+  Table_render.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation X5 (M=%d, %d tasksets): HYDRA variants vs HYDRA-C"
+         n_cores (List.length batch))
+    ~header:[ "variant"; "accepted"; "mean distance" ]
+    ~rows:
+      [ evaluate "HYDRA (greedy)" hydra_greedy;
+        evaluate "HYDRA-coordinated" hydra_coordinated;
+        evaluate "HYDRA-C" hydra_c ];
+  (* Paired comparison on the tasksets both HYDRA-C and the
+     coordinated variant schedule (the honest Fig. 7b-style number). *)
+  let paired =
+    List.filter_map
+      (fun (_, (g : Generator.generated)) ->
+        match (hydra_c g, hydra_coordinated g) with
+        | Some ours, Some other ->
+            Some
+              (Hydra.Metrics.mean_normalized_difference ~ours ~other
+                 ~bounds:(bounds_of g.Generator.taskset))
+        | (Some _ | None), _ -> None)
+      batch
+  in
+  Format.fprintf ppf
+    "paired HYDRA-C vs HYDRA-coordinated difference (positive = HYDRA-C \
+     shorter): %s over %d common tasksets@."
+    (Table_render.float_cell (Hydra.Metrics.mean paired))
+    (List.length paired)
+
+let run_overheads ppf ~seed ~trials =
+  let costs = [ (0, 0); (1, 2); (5, 10); (10, 20); (25, 50) ] in
+  let rows =
+    List.map
+      (fun (dispatch_cost, migration_cost) ->
+        let overheads =
+          { Sim.Engine.dispatch_cost; migration_cost }
+        in
+        let r = Fig5.run ~seed ~trials ~overheads () in
+        [ Printf.sprintf "%d/%d" dispatch_cost migration_cost;
+          Table_render.pct r.Fig5.detection_speedup_pct;
+          Printf.sprintf "%.2fx" r.Fig5.context_switch_ratio;
+          string_of_int
+            (r.Fig5.hydra_c.Fig5.rt_deadline_misses
+            + r.Fig5.hydra.Fig5.rt_deadline_misses);
+          string_of_int
+            (r.Fig5.hydra_c.Fig5.sec_deadline_misses
+            + r.Fig5.hydra.Fig5.sec_deadline_misses) ])
+      costs
+  in
+  Table_render.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation X4 (rover, %d trials): dispatch/migration overhead (ms) \
+          vs HYDRA-C advantage"
+         trials)
+    ~header:
+      [ "cost d/m"; "detect speedup"; "cs ratio"; "rt misses"; "sec misses" ]
+    ~rows
+
+let run_all ppf ~seed ~per_group ~cores =
+  List.iter
+    (fun n_cores ->
+      run_carry_in ppf ~seed ~per_group ~n_cores;
+      run_partition ppf ~seed ~per_group ~n_cores;
+      run_priority_order ppf ~seed ~per_group ~n_cores;
+      run_hydra_variants ppf ~seed ~per_group ~n_cores)
+    cores;
+  (* 35 trials as in Fig. 5 — fewer makes the paired speedup noisy. *)
+  run_overheads ppf ~seed ~trials:35

@@ -1,0 +1,44 @@
+(** Ablations over the design choices DESIGN.md calls out:
+
+    - {b X1 carry-in policy}: literal Eq. 8 (exhaustive subset
+      maximum) vs the polynomial Guan-style top-(M-1)-delta bound.
+      Run on tasksets with few security tasks so Eq. 8 is affordable;
+      reports acceptance and mean period distance for both, and how
+      often the cheap bound loses a taskset.
+    - {b X2 RT partitioning heuristic}: best-fit (the paper's choice)
+      vs first-fit and worst-fit, measured by HYDRA-C acceptance.
+    - {b X3 security priority order}: the paper takes designer-given
+      priorities; this ablation compares the generated order against
+      WCET-ascending, WCET-descending and T^max-ascending
+      (rate-monotonic-like) orders under Algorithm 1. *)
+
+val run_carry_in :
+  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+
+val run_partition :
+  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+
+val run_priority_order :
+  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+
+val run_hydra_variants :
+  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+(** {b X5 HYDRA charitable reading}: the paper describes HYDRA
+    (DATE'18) as greedy per-task period minimization, which starves
+    low-priority tasks. This ablation adds HYDRA-coordinated
+    (allocation at the bounds, then per-core Algorithm-1 minimization)
+    and compares acceptance and mean period distance of HYDRA,
+    HYDRA-coordinated and HYDRA-C — quantifying how much of HYDRA-C's
+    Fig. 7a advantage comes from migration vs from the smarter
+    minimization discipline. *)
+
+val run_overheads : Format.formatter -> seed:int -> trials:int -> unit
+(** {b X4 overhead sensitivity}: the paper assumes context-switch and
+    migration overheads are negligible (Sec. 3). This ablation re-runs
+    the rover detection experiment charging increasing per-dispatch and
+    per-migration costs, showing when HYDRA-C's migration-based
+    advantage erodes and whether RT tasks stay safe (they do — security
+    overheads burn slack only). *)
+
+val run_all :
+  Format.formatter -> seed:int -> per_group:int -> cores:int list -> unit

@@ -1,0 +1,123 @@
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Dat_export: %s is not a directory" dir)
+
+let write dir name lines =
+  ensure_dir dir;
+  let path = Filename.concat dir name in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun line ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+        lines);
+  path
+
+let num v = if Float.is_nan v then "nan" else Printf.sprintf "%.6f" v
+
+let fig5 ~dir (r : Fig5.report) =
+  let deployment =
+    match r.Fig5.deployment with Fig5.Tmax -> "tmax" | Fig5.Adapted -> "adapted"
+  in
+  let row (s : Fig5.scheme_report) =
+    Printf.sprintf "%-8s %s %s %s %s" s.Fig5.label
+      (num s.Fig5.mean_detect_tripwire)
+      (num s.Fig5.mean_detect_kmod)
+      (num s.Fig5.mean_context_switches)
+      (num s.Fig5.mean_migrations)
+  in
+  write dir
+    (Printf.sprintf "fig5_%s.dat" deployment)
+    ([ "# scheme detect_tripwire_ms detect_kmod_ms context_switches \
+        migrations" ]
+    @ [ row r.Fig5.hydra_c; row r.Fig5.hydra ])
+
+let fig6 ~dir (f : Fig6.t) =
+  let rows =
+    List.map
+      (fun (p : Fig6.point) ->
+        Printf.sprintf "%s %s %d" (num p.Fig6.norm_util) (num p.Fig6.distance)
+          p.Fig6.schedulable)
+      f.Fig6.points
+  in
+  write dir
+    (Printf.sprintf "fig6_m%d.dat" f.Fig6.n_cores)
+    ("# norm_util distance n_schedulable" :: rows)
+
+let fig7a ~dir (f : Fig7.t) =
+  let header =
+    "# norm_util "
+    ^ String.concat " "
+        (List.map
+           (fun s ->
+             String.map
+               (function ' ' -> '_' | c -> c)
+               (Hydra.Scheme.name s))
+           f.Fig7.schemes)
+  in
+  let rows =
+    List.map
+      (fun (p : Fig7.point_a) ->
+        String.concat " "
+          (num p.Fig7.a_norm_util
+          :: List.map (fun (_, v) -> num v) p.Fig7.a_ratios))
+      f.Fig7.points_a
+  in
+  write dir (Printf.sprintf "fig7a_m%d.dat" f.Fig7.n_cores) (header :: rows)
+
+let fig7b ~dir (f : Fig7.t) =
+  let rows =
+    List.map
+      (fun (p : Fig7.point_b) ->
+        Printf.sprintf "%s %s %d %s %d" (num p.Fig7.b_norm_util)
+          (num p.Fig7.b_vs_hydra) p.Fig7.b_vs_hydra_n (num p.Fig7.b_vs_tmax)
+          p.Fig7.b_vs_tmax_n)
+      f.Fig7.points_b
+  in
+  write dir
+    (Printf.sprintf "fig7b_m%d.dat" f.Fig7.n_cores)
+    ("# norm_util vs_hydra n vs_tmax n" :: rows)
+
+let gnuplot_script ~dir ~cores =
+  let buf = Buffer.create 1024 in
+  let add line = Buffer.add_string buf line; Buffer.add_char buf '\n' in
+  add "# gnuplot script regenerating the paper's figures from the .dat";
+  add "# files exported by `hydra-experiments ... --dat-dir`.";
+  add "set terminal pngcairo size 900,600";
+  add "set key top right";
+  add "";
+  add "set output 'fig6.png'";
+  add "set xlabel 'U/M'";
+  add "set ylabel 'normalized period distance to T_max'";
+  add
+    ("plot "
+    ^ String.concat ", "
+        (List.map
+           (fun m ->
+             Printf.sprintf
+               "'fig6_m%d.dat' using 1:2 with linespoints title 'M=%d'" m m)
+           cores));
+  add "";
+  List.iter
+    (fun m ->
+      add (Printf.sprintf "set output 'fig7a_m%d.png'" m);
+      add "set ylabel 'acceptance ratio'";
+      add
+        (Printf.sprintf
+           "plot 'fig7a_m%d.dat' using 1:2 with linespoints title 'HYDRA-C', \
+            '' using 1:3 with linespoints title 'HYDRA', '' using 1:4 with \
+            linespoints title 'HYDRA-TMax', '' using 1:5 with linespoints \
+            title 'GLOBAL-TMax'"
+           m);
+      add "";
+      add (Printf.sprintf "set output 'fig7b_m%d.png'" m);
+      add "set ylabel 'mean period difference'";
+      add
+        (Printf.sprintf
+           "plot 'fig7b_m%d.dat' using 1:2 with linespoints title 'vs \
+            HYDRA', '' using 1:4 with linespoints title 'vs TMax'"
+           m);
+      add "")
+    cores;
+  write dir "plots.gp" (String.split_on_char '\n' (Buffer.contents buf))

@@ -1,0 +1,24 @@
+(** Gnuplot-friendly data export: every figure harness can dump its
+    series as whitespace-separated `.dat` files plus a ready-to-run
+    `plots.gp` script, so the paper's figures can be re-plotted from a
+    full-scale run ([hydra-experiments ... --dat-dir DIR]). *)
+
+val fig5 : dir:string -> Fig5.report -> string
+(** Writes [fig5_<deployment>.dat] (one row per scheme: label, mean
+    detection latencies, context switches, migrations) and returns the
+    path. *)
+
+val fig6 : dir:string -> Fig6.t -> string
+(** Writes [fig6_m<cores>.dat]: U/M, distance, n. *)
+
+val fig7a : dir:string -> Fig7.t -> string
+(** Writes [fig7a_m<cores>.dat]: U/M plus one acceptance column per
+    scheme (column order = header comment). *)
+
+val fig7b : dir:string -> Fig7.t -> string
+(** Writes [fig7b_m<cores>.dat]: U/M, vs-HYDRA diff, n, vs-TMax diff,
+    n (missing points as "nan"). *)
+
+val gnuplot_script : dir:string -> cores:int list -> string
+(** Writes [plots.gp] rendering Figs. 5-7 from the exported files to
+    PNG, and returns its path. *)

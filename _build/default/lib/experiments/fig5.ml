@@ -1,0 +1,248 @@
+module Task = Rtsched.Task
+module Rng = Taskgen.Rng
+
+type scheme_report = {
+  label : string;
+  periods : int array;
+  mean_detect_tripwire : float;
+  mean_detect_kmod : float;
+  undetected : int;
+  mean_context_switches : float;
+  mean_migrations : float;
+  rt_deadline_misses : int;
+  sec_deadline_misses : int;
+}
+
+type deployment = Tmax | Adapted
+
+type report = {
+  trials : int;
+  horizon : int;
+  deployment : deployment;
+  hydra_c : scheme_report;
+  hydra : scheme_report;
+  detection_speedup_pct : float;
+  context_switch_ratio : float;
+}
+
+(* One simulated run of the rover under one scheme, with both attacks
+   injected; returns (tripwire latency, kmod latency, engine stats). *)
+type trial_outcome = {
+  lat_tripwire : int option;
+  lat_kmod : int option;
+  stats : Sim.Engine.stats;
+}
+
+let run_one ?overheads ~ts ~rt_assignment ~policy ~periods ~sec_cores ~horizon
+    ~attack_tripwire ~attack_kmod ~target_image ~rogue_name () =
+  let built =
+    Sim.Scenario.of_taskset ts ~rt_assignment ~policy ~sec_periods:periods
+      ?sec_cores ()
+  in
+  (* Fresh stores per run: mutations must not leak across schemes. *)
+  let fs = Security.Rover.image_store () in
+  let table = Security.Rover.module_table () in
+  let fs_checker =
+    Security.Integrity_checker.create fs ~n_regions:Security.Rover.image_regions
+  in
+  let km_checker =
+    Security.Kmod_checker.create table ~n_regions:Security.Rover.kmod_regions
+  in
+  let fs_injector = Security.Intrusion.create () in
+  Security.Intrusion.schedule fs_injector ~at:attack_tripwire
+    ~label:"shellcode-tamper" (fun () ->
+      Security.Integrity_checker.tamper_file fs target_image);
+  let km_injector = Security.Intrusion.create () in
+  Security.Intrusion.schedule km_injector ~at:attack_kmod
+    ~label:"rootkit-insert" (fun () ->
+      Security.Kmod_checker.insert_module table
+        { Security.Kmod_checker.m_name = rogue_name; m_size = 13337;
+          m_addr = 0x7fdead00L; m_signature = "unsigned" });
+  let tw_monitor =
+    Security.Detection.create
+      ~sim_id:built.Sim.Scenario.sec_sim_ids.(Security.Rover.tripwire_sec_id)
+      ~wcet:5342
+      ~target:
+        (Security.Detection.checker_target
+           ~n_regions:Security.Rover.image_regions ~injector:fs_injector
+           ~check:(Security.Integrity_checker.check_region fs_checker))
+  in
+  let km_monitor =
+    Security.Detection.create
+      ~sim_id:built.Sim.Scenario.sec_sim_ids.(Security.Rover.kmod_sec_id)
+      ~wcet:223
+      ~target:
+        (Security.Detection.checker_target
+           ~n_regions:Security.Rover.kmod_regions ~injector:km_injector
+           ~check:(Security.Kmod_checker.check_region km_checker))
+  in
+  let on_execute =
+    Security.Detection.combine_hooks
+      [ Security.Detection.on_execute tw_monitor;
+        Security.Detection.on_execute km_monitor ]
+  in
+  let hooks =
+    { Sim.Engine.no_hooks with Sim.Engine.on_execute = Some on_execute }
+  in
+  let stats =
+    Sim.Engine.run ~hooks ?overheads ~n_cores:ts.Task.n_cores ~horizon
+      built.Sim.Scenario.tasks
+  in
+  let latency monitor attack =
+    match Security.Detection.detection_time monitor with
+    | Some t -> Some (t - attack)
+    | None -> None
+  in
+  { lat_tripwire = latency tw_monitor attack_tripwire;
+    lat_kmod = latency km_monitor attack_kmod;
+    stats }
+
+let summarize ~label ~periods ~horizon:_ outcomes ~rt_ids ~sec_ids =
+  let latencies f =
+    List.filter_map (fun o -> Option.map float_of_int (f o)) outcomes
+  in
+  let tw = latencies (fun o -> o.lat_tripwire) in
+  let km = latencies (fun o -> o.lat_kmod) in
+  let undetected =
+    List.length
+      (List.filter
+         (fun o -> o.lat_tripwire = None || o.lat_kmod = None)
+         outcomes)
+  in
+  let mean_of f =
+    Hydra.Metrics.mean (List.map (fun o -> float_of_int (f o.stats)) outcomes)
+  in
+  let misses ids =
+    List.fold_left
+      (fun acc o -> acc + Sim.Metrics.deadline_misses o.stats ~sim_ids:ids)
+      0 outcomes
+  in
+  { label; periods;
+    mean_detect_tripwire = Hydra.Metrics.mean tw;
+    mean_detect_kmod = Hydra.Metrics.mean km;
+    undetected;
+    mean_context_switches =
+      mean_of (fun s -> s.Sim.Engine.context_switches);
+    mean_migrations = mean_of (fun s -> s.Sim.Engine.migrations);
+    rt_deadline_misses = misses rt_ids;
+    sec_deadline_misses = misses sec_ids }
+
+let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
+    ?overheads () =
+  let ts = Security.Rover.taskset () in
+  let rt_assignment = Security.Rover.rt_assignment () in
+  let n_sec = Array.length ts.Task.sec in
+  let sys = Hydra.Analysis.make_system ts ~assignment:rt_assignment in
+  let bounds =
+    let v = Array.make n_sec 0 in
+    Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.Task.sec;
+    v
+  in
+  (* HYDRA-C deployment: selected periods (Algorithm 1) or the bounds. *)
+  let hc_periods =
+    match deployment with
+    | Tmax -> bounds
+    | Adapted -> (
+        match Hydra.Period_selection.select sys ts.Task.sec with
+        | Hydra.Period_selection.Schedulable a ->
+            Hydra.Period_selection.period_vector a ~n_sec
+        | Hydra.Period_selection.Unschedulable ->
+            failwith "Fig5.run: rover taskset unschedulable under HYDRA-C")
+  in
+  (* HYDRA deployment: greedy per-core allocation, minimizing or not. *)
+  let hy_periods, hy_cores =
+    let minimize = deployment = Adapted in
+    match Hydra.Baseline_hydra.allocate ~minimize sys ts.Task.sec with
+    | Hydra.Baseline_hydra.Schedulable allocs ->
+        ( Hydra.Baseline_hydra.period_vector allocs ~n_sec,
+          Hydra.Baseline_hydra.core_vector allocs ~n_sec )
+    | Hydra.Baseline_hydra.Unschedulable ->
+        failwith "Fig5.run: rover taskset unschedulable under HYDRA"
+  in
+  let rng = Rng.create seed in
+  let outcomes_c = ref [] and outcomes_h = ref [] in
+  for _ = 1 to trials do
+    let stream = Rng.split rng in
+    let attack_tripwire = Rng.int_in stream 1000 15000 in
+    let attack_kmod = Rng.int_in stream 1000 15000 in
+    let target_image =
+      Printf.sprintf "img_%04d.raw"
+        (Rng.int stream Security.Rover.image_regions)
+    in
+    let rogue_name =
+      Printf.sprintf "rk_hook_%04x" (Rng.int stream 0xFFFF)
+    in
+    let common ~policy ~periods ~sec_cores =
+      run_one ?overheads ~ts ~rt_assignment ~policy ~periods ~sec_cores
+        ~horizon ~attack_tripwire ~attack_kmod ~target_image ~rogue_name ()
+    in
+    outcomes_c :=
+      common ~policy:Sim.Policy.Semi_partitioned ~periods:hc_periods
+        ~sec_cores:None
+      :: !outcomes_c;
+    outcomes_h :=
+      common ~policy:Sim.Policy.Fully_partitioned ~periods:hy_periods
+        ~sec_cores:(Some hy_cores)
+      :: !outcomes_h
+  done;
+  let n_rt = Array.length ts.Task.rt in
+  let rt_ids = Array.init n_rt (fun i -> i) in
+  let sec_ids = Array.init n_sec (fun j -> n_rt + j) in
+  let hydra_c =
+    summarize ~label:"HYDRA-C" ~periods:hc_periods ~horizon !outcomes_c
+      ~rt_ids ~sec_ids
+  in
+  let hydra =
+    summarize ~label:"HYDRA" ~periods:hy_periods ~horizon !outcomes_h
+      ~rt_ids ~sec_ids
+  in
+  (* Speedup of the mean latency, averaged over the two attack kinds
+     (ratio of means — a per-trial ratio average is unstable when a
+     HYDRA latency happens to be tiny). *)
+  let speedup mean_c mean_h =
+    if mean_h > 0.0 then Some ((mean_h -. mean_c) /. mean_h *. 100.0)
+    else None
+  in
+  let speedups =
+    List.filter_map
+      (fun f -> f ())
+      [ (fun () ->
+          speedup hydra_c.mean_detect_tripwire hydra.mean_detect_tripwire);
+        (fun () -> speedup hydra_c.mean_detect_kmod hydra.mean_detect_kmod) ]
+  in
+  { trials; horizon; deployment; hydra_c; hydra;
+    detection_speedup_pct = Hydra.Metrics.mean speedups;
+    context_switch_ratio =
+      hydra_c.mean_context_switches /. hydra.mean_context_switches }
+
+let render ppf r =
+  let row (s : scheme_report) =
+    [ s.label;
+      String.concat "/" (Array.to_list (Array.map string_of_int s.periods));
+      Table_render.float_cell s.mean_detect_tripwire;
+      Table_render.float_cell s.mean_detect_kmod;
+      string_of_int s.undetected;
+      Table_render.float_cell s.mean_context_switches;
+      Table_render.float_cell s.mean_migrations;
+      string_of_int s.rt_deadline_misses;
+      string_of_int s.sec_deadline_misses ]
+  in
+  let deployment_name =
+    match r.deployment with Tmax -> "T_max" | Adapted -> "adapted"
+  in
+  Table_render.table ppf
+    ~title:
+      (Printf.sprintf
+         "Fig. 5 (rover, %d trials, %d ms horizon, %s periods): detection \
+          latency and context switches"
+         r.trials r.horizon deployment_name)
+    ~header:
+      [ "scheme"; "periods(tw/km)"; "detect-tw(ms)"; "detect-km(ms)";
+        "undet"; "ctx-switch"; "migrations"; "rt-miss"; "sec-miss" ]
+    ~rows:[ row r.hydra_c; row r.hydra ];
+  Format.fprintf ppf
+    "detection speedup (HYDRA-C over HYDRA): %s   (paper: 19.05%%)@."
+    (Table_render.pct r.detection_speedup_pct);
+  Format.fprintf ppf
+    "context-switch ratio (HYDRA-C / HYDRA): %.2fx (paper: 1.75x)@."
+    r.context_switch_ratio

@@ -1,0 +1,51 @@
+type point = {
+  norm_util : float;
+  distance : float;
+  schedulable : int;
+}
+
+type t = { n_cores : int; points : point list }
+
+let point_of_group records =
+  let distances =
+    List.filter_map
+      (fun r ->
+        match Sweep.schedulable_periods r ~scheme:Hydra.Scheme.Hydra_c with
+        | None -> None
+        | Some periods ->
+            Some
+              (Hydra.Metrics.normalized_distance_to_bound ~periods
+                 ~bounds:r.Sweep.bounds))
+      records
+  in
+  { norm_util = Sweep.mean_norm_util records;
+    distance = Hydra.Metrics.mean distances;
+    schedulable = List.length distances }
+
+let of_sweep (sweep : Sweep.t) =
+  let groups =
+    List.sort_uniq compare (List.map (fun r -> r.Sweep.group) sweep.records)
+  in
+  let points =
+    List.filter_map
+      (fun group ->
+        match Sweep.group_records sweep ~group with
+        | [] -> None
+        | records -> Some (point_of_group records))
+      groups
+  in
+  { n_cores = sweep.n_cores; points }
+
+let render ppf t =
+  let rows =
+    List.map
+      (fun p ->
+        (p.norm_util, [ Some p.distance; Some (float_of_int p.schedulable) ]))
+      t.points
+  in
+  Table_render.series ppf
+    ~title:
+      (Printf.sprintf
+         "Fig. 6 (M=%d): period distance to bound vs normalized utilization"
+         t.n_cores)
+    ~x_label:"U/M" ~columns:[ "distance"; "n_sched" ] ~rows

@@ -1,0 +1,18 @@
+(** Fig. 6: how much faster than the designer bound can security tasks
+    run? For each base-utilization group, the mean normalized
+    Euclidean distance between HYDRA-C's selected period vector and
+    the bound vector, over the tasksets HYDRA-C schedules. Larger is
+    better (more frequent monitoring); the curve falls as U/M grows. *)
+
+type point = {
+  norm_util : float;  (** mean U/M of the group's tasksets *)
+  distance : float;  (** mean Fig. 6 metric; [nan] if nothing schedulable *)
+  schedulable : int;  (** tasksets contributing to the mean *)
+}
+
+type t = { n_cores : int; points : point list }
+
+val of_sweep : Sweep.t -> t
+(** Aggregates a sweep (group order preserved). *)
+
+val render : Format.formatter -> t -> unit

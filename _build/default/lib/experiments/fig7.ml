@@ -1,0 +1,117 @@
+module Scheme = Hydra.Scheme
+
+type point_a = {
+  a_norm_util : float;
+  a_ratios : (Scheme.t * float) list;
+  a_total : int;
+}
+
+type point_b = {
+  b_norm_util : float;
+  b_vs_hydra : float;
+  b_vs_hydra_n : int;
+  b_vs_tmax : float;
+  b_vs_tmax_n : int;
+}
+
+type t = {
+  n_cores : int;
+  schemes : Scheme.t list;
+  points_a : point_a list;
+  points_b : point_b list;
+}
+
+let schemes_of_sweep (sweep : Sweep.t) =
+  match sweep.records with
+  | [] -> Scheme.all
+  | r :: _ -> List.map fst r.Sweep.outcomes
+
+let point_a_of_group schemes records =
+  { a_norm_util = Sweep.mean_norm_util records;
+    a_ratios =
+      List.map (fun s -> (s, Sweep.acceptance records ~scheme:s)) schemes;
+    a_total = List.length records }
+
+(* Signed mean normalized period difference of HYDRA-C vs a reference
+   vector, collected over the records where [reference] yields one. *)
+let differences records reference =
+  List.filter_map
+    (fun r ->
+      match Sweep.schedulable_periods r ~scheme:Scheme.Hydra_c with
+      | None -> None
+      | Some ours -> (
+          match reference r with
+          | None -> None
+          | Some other ->
+              Some
+                (Hydra.Metrics.mean_normalized_difference ~ours ~other
+                   ~bounds:r.Sweep.bounds)))
+    records
+
+let point_b_of_group records =
+  let vs_hydra =
+    differences records (fun r ->
+        Sweep.schedulable_periods r ~scheme:Scheme.Hydra)
+  in
+  let tmax_reference r =
+    let ok scheme =
+      Option.is_some (Sweep.schedulable_periods r ~scheme)
+    in
+    if ok Scheme.Hydra_tmax || ok Scheme.Global_tmax then
+      Some r.Sweep.bounds
+    else None
+  in
+  let vs_tmax = differences records tmax_reference in
+  { b_norm_util = Sweep.mean_norm_util records;
+    b_vs_hydra = Hydra.Metrics.mean vs_hydra;
+    b_vs_hydra_n = List.length vs_hydra;
+    b_vs_tmax = Hydra.Metrics.mean vs_tmax;
+    b_vs_tmax_n = List.length vs_tmax }
+
+let of_sweep (sweep : Sweep.t) =
+  let schemes = schemes_of_sweep sweep in
+  let groups =
+    List.sort_uniq compare (List.map (fun r -> r.Sweep.group) sweep.records)
+  in
+  let per_group f =
+    List.filter_map
+      (fun group ->
+        match Sweep.group_records sweep ~group with
+        | [] -> None
+        | records -> Some (f records))
+      groups
+  in
+  { n_cores = sweep.n_cores; schemes;
+    points_a = per_group (point_a_of_group schemes);
+    points_b = per_group point_b_of_group }
+
+let render_a ppf t =
+  let columns = List.map Scheme.name t.schemes in
+  let rows =
+    List.map
+      (fun p ->
+        (p.a_norm_util, List.map (fun (_, v) -> Some v) p.a_ratios))
+      t.points_a
+  in
+  Table_render.series ppf
+    ~title:
+      (Printf.sprintf "Fig. 7a (M=%d): acceptance ratio vs normalized \
+                       utilization" t.n_cores)
+    ~x_label:"U/M" ~columns ~rows
+
+let render_b ppf t =
+  let rows =
+    List.map
+      (fun p ->
+        ( p.b_norm_util,
+          [ Some p.b_vs_hydra; Some (float_of_int p.b_vs_hydra_n);
+            Some p.b_vs_tmax; Some (float_of_int p.b_vs_tmax_n) ] ))
+      t.points_b
+  in
+  Table_render.series ppf
+    ~title:
+      (Printf.sprintf "Fig. 7b (M=%d): mean period difference (HYDRA-C \
+                       shorter when positive)" t.n_cores)
+    ~x_label:"U/M"
+    ~columns:[ "vs HYDRA"; "n"; "vs TMax"; "n" ]
+    ~rows

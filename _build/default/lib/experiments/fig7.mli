@@ -1,0 +1,36 @@
+(** Fig. 7a (acceptance ratio per scheme vs U/M) and Fig. 7b (mean
+    signed normalized period difference between HYDRA-C and the other
+    schemes vs U/M). Both derive from one {!Sweep.t}.
+
+    Fig. 7b conventions: for "HYDRA-C vs HYDRA" the mean is over
+    tasksets both schemes schedule; for "HYDRA-C vs TMax" (the paper
+    groups GLOBAL-TMax and HYDRA-TMax into one curve since both pin
+    periods at the bounds) the comparison vector is the bound vector
+    itself, over tasksets where HYDRA-C and at least one TMax scheme
+    are schedulable. Positive values mean HYDRA-C's periods are
+    shorter. *)
+
+type point_a = {
+  a_norm_util : float;
+  a_ratios : (Hydra.Scheme.t * float) list;  (** acceptance per scheme *)
+  a_total : int;  (** tasksets in the group *)
+}
+
+type point_b = {
+  b_norm_util : float;
+  b_vs_hydra : float;  (** [nan] when no taskset qualifies *)
+  b_vs_hydra_n : int;
+  b_vs_tmax : float;
+  b_vs_tmax_n : int;
+}
+
+type t = {
+  n_cores : int;
+  schemes : Hydra.Scheme.t list;
+  points_a : point_a list;
+  points_b : point_b list;
+}
+
+val of_sweep : Sweep.t -> t
+val render_a : Format.formatter -> t -> unit
+val render_b : Format.formatter -> t -> unit

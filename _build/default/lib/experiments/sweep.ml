@@ -1,0 +1,71 @@
+module Task = Rtsched.Task
+module Generator = Taskgen.Generator
+module Scheme = Hydra.Scheme
+
+type record = {
+  group : int;
+  norm_util : float;
+  bounds : int array;
+  outcomes : (Scheme.t * Scheme.outcome) list;
+}
+
+type t = {
+  n_cores : int;
+  per_group : int;
+  records : record list;
+}
+
+let bounds_of (ts : Task.taskset) =
+  let v = Array.make (Array.length ts.sec) 0 in
+  Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.sec;
+  v
+
+let evaluate_one ?policy schemes (g : Generator.generated) ~group =
+  let ts = g.Generator.taskset in
+  let outcomes =
+    List.map
+      (fun scheme ->
+        ( scheme,
+          Scheme.evaluate ?policy scheme ts
+            ~rt_assignment:g.Generator.rt_assignment ))
+      schemes
+  in
+  { group; norm_util = Task.normalized_utilization ts;
+    bounds = bounds_of ts; outcomes }
+
+let run ?policy ?config ?(schemes = Scheme.all) ~n_cores ~per_group ~seed () =
+  let config =
+    Option.value config ~default:(Generator.default_config ~n_cores)
+  in
+  let rng = Taskgen.Rng.create seed in
+  let records = ref [] in
+  for group = 0 to config.Generator.util_groups - 1 do
+    for _ = 1 to per_group do
+      let stream = Taskgen.Rng.split rng in
+      match Generator.generate config stream ~group with
+      | None -> ()
+      | Some g ->
+          records := evaluate_one ?policy schemes g ~group :: !records
+    done
+  done;
+  { n_cores; per_group; records = List.rev !records }
+
+let group_records t ~group = List.filter (fun r -> r.group = group) t.records
+
+let mean_norm_util records =
+  Hydra.Metrics.mean (List.map (fun r -> r.norm_util) records)
+
+let outcome_of record ~scheme = List.assoc scheme record.outcomes
+
+let acceptance records ~scheme =
+  let accepted =
+    List.length
+      (List.filter
+         (fun r -> (outcome_of r ~scheme).Scheme.schedulable)
+         records)
+  in
+  Hydra.Metrics.acceptance_ratio ~accepted ~total:(List.length records)
+
+let schedulable_periods record ~scheme =
+  let o = outcome_of record ~scheme in
+  if o.Scheme.schedulable then o.Scheme.periods else None

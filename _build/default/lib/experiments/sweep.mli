@@ -1,0 +1,40 @@
+(** The shared design-space sweep behind Figs. 6, 7a and 7b: generate
+    Table-3 tasksets per base-utilization group and evaluate all four
+    schemes on each. Figures are pure aggregations of the resulting
+    records, so one sweep regenerates all three. *)
+
+type record = {
+  group : int;  (** base-utilization group, 0..groups-1 *)
+  norm_util : float;  (** U / M of the generated taskset *)
+  bounds : int array;  (** T_s^max per security task, indexed by sec_id *)
+  outcomes : (Hydra.Scheme.t * Hydra.Scheme.outcome) list;
+      (** evaluation of each scheme on this taskset *)
+}
+
+type t = {
+  n_cores : int;
+  per_group : int;  (** tasksets attempted per group *)
+  records : record list;
+}
+
+val run :
+  ?policy:Hydra.Analysis.carry_in_policy ->
+  ?config:Taskgen.Generator.config -> ?schemes:Hydra.Scheme.t list ->
+  n_cores:int -> per_group:int -> seed:int -> unit -> t
+(** Runs the sweep. [config] defaults to
+    [Taskgen.Generator.default_config ~n_cores]; [schemes] defaults to
+    all four. Each taskset gets its own split-off RNG stream, so
+    results are independent of evaluation order. Groups where the
+    generator exhausts its attempts contribute fewer records. *)
+
+val group_records : t -> group:int -> record list
+
+val mean_norm_util : record list -> float
+(** Mean x-coordinate of a group's records. *)
+
+val acceptance : record list -> scheme:Hydra.Scheme.t -> float
+(** Fraction of records the scheme found schedulable. *)
+
+val schedulable_periods :
+  record -> scheme:Hydra.Scheme.t -> int array option
+(** The scheme's period vector on this record, when schedulable. *)

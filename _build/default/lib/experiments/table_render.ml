@@ -1,0 +1,42 @@
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+  String.sub s 0 !n
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let table ppf ~title ~header ~rows =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let render_row row =
+    row
+    |> List.mapi (fun i cell -> pad widths.(i) cell)
+    |> String.concat "  " |> rtrim
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Format.fprintf ppf "@.%s@.%s@.%s@." title (render_row header) rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@." (render_row row)) rows
+
+let float_cell v = if Float.is_nan v then "-" else Printf.sprintf "%.4f" v
+
+let pct v = Printf.sprintf "%.2f%%" v
+
+let series ppf ~title ~x_label ~columns ~rows =
+  let header = x_label :: columns in
+  let render (x, ys) =
+    float_cell x
+    :: List.map (function Some y -> float_cell y | None -> "-") ys
+  in
+  table ppf ~title ~header ~rows:(List.map render rows)

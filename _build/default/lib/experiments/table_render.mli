@@ -1,0 +1,20 @@
+(** Plain-text rendering of experiment results: fixed-width tables and
+    (x, y) series in the gnuplot-friendly "x y1 y2 ..." form used by
+    EXPERIMENTS.md. *)
+
+val table :
+  Format.formatter -> title:string -> header:string list ->
+  rows:string list list -> unit
+(** Renders a column-aligned table with a title and a rule. *)
+
+val series :
+  Format.formatter -> title:string -> x_label:string ->
+  columns:string list -> rows:(float * float option list) list -> unit
+(** Renders one x column plus one column per series; missing points
+    print as "-". Floats use 4 decimals. *)
+
+val float_cell : float -> string
+(** 4-decimal rendering with NaN as "-". *)
+
+val pct : float -> string
+(** Percentage with 2 decimals, e.g. [19.05%]. *)

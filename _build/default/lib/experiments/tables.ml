@@ -1,0 +1,32 @@
+module Generator = Taskgen.Generator
+
+let render_table1 ppf () = Security.Catalog.pp_table ppf ()
+let render_table2 ppf () = Security.Rover.pp_table2 ppf ()
+
+let range (lo, hi) = Printf.sprintf "[%d, %d]" lo hi
+
+let render_table3 ppf (cfg : Generator.config) =
+  let frac_lo, frac_hi = cfg.sec_util_share in
+  Table_render.table ppf
+    ~title:(Printf.sprintf "Table 3: Simulation Parameters (M=%d)" cfg.n_cores)
+    ~header:[ "Parameter"; "Values" ]
+    ~rows:
+      [ [ "Processor cores, M"; string_of_int cfg.n_cores ];
+        [ "Number of real-time tasks, N_R"; range cfg.rt_count ];
+        [ "Number of security tasks, N_S"; range cfg.sec_count ];
+        [ "Period distribution (RT and security)"; "Log-uniform" ];
+        [ "RT task allocation";
+          Rtsched.Partition.heuristic_name cfg.partition_heuristic ];
+        [ "RT task period, T_r (ms)"; range cfg.rt_period ];
+        [ "Max period for security tasks, T_s^max (ms)";
+          range cfg.sec_period_max ];
+        [ "Utilization share of security tasks";
+          Printf.sprintf "[%.2f, %.2f] of system U" frac_lo frac_hi ];
+        [ "Base utilization groups"; string_of_int cfg.util_groups ] ]
+
+let render_all ppf () =
+  render_table1 ppf ();
+  render_table2 ppf ();
+  Format.pp_print_newline ppf ();
+  render_table3 ppf (Generator.default_config ~n_cores:2);
+  render_table3 ppf (Generator.default_config ~n_cores:4)

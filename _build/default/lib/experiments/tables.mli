@@ -1,0 +1,12 @@
+(** Renders the paper's three tables: Table 1 (security task catalog),
+    Table 2 (evaluation platform) and Table 3 (simulation
+    parameters). *)
+
+val render_table1 : Format.formatter -> unit -> unit
+val render_table2 : Format.formatter -> unit -> unit
+
+val render_table3 : Format.formatter -> Taskgen.Generator.config -> unit
+(** Renders the generator configuration in Table 3's layout. *)
+
+val render_all : Format.formatter -> unit -> unit
+(** All three, with Table 3 at its defaults for M = 2 and 4. *)

@@ -1,0 +1,107 @@
+module Task = Rtsched.Task
+module Generator = Taskgen.Generator
+
+type task_check = {
+  tc_name : string;
+  tc_bound : int;
+  tc_observed : int;
+}
+
+type result = {
+  tasksets_checked : int;
+  violations : task_check list;
+  rt_misses : int;
+  mean_tightness : float;
+  min_tightness : float;
+  checks : int;
+}
+
+let validate_one ?policy ~horizon (g : Generator.generated) =
+  let ts = g.Generator.taskset in
+  let sys =
+    Hydra.Analysis.make_system ts ~assignment:g.Generator.rt_assignment
+  in
+  match Hydra.Period_selection.select ?policy sys ts.Task.sec with
+  | Hydra.Period_selection.Unschedulable -> None
+  | Hydra.Period_selection.Schedulable assignments ->
+      let n_sec = Array.length ts.Task.sec in
+      let periods = Hydra.Period_selection.period_vector assignments ~n_sec in
+      let resps = Hydra.Period_selection.resp_vector assignments ~n_sec in
+      let built =
+        Sim.Scenario.of_taskset ts ~rt_assignment:g.Generator.rt_assignment
+          ~policy:Sim.Policy.Semi_partitioned ~sec_periods:periods ()
+      in
+      let stats =
+        Sim.Engine.run ~n_cores:ts.Task.n_cores ~horizon
+          built.Sim.Scenario.tasks
+      in
+      let checks =
+        Array.to_list ts.Task.sec
+        |> List.map (fun (s : Task.sec_task) ->
+               { tc_name = s.Task.sec_name;
+                 tc_bound = resps.(s.Task.sec_id);
+                 tc_observed =
+                   Sim.Metrics.max_response stats
+                     ~sim_id:built.Sim.Scenario.sec_sim_ids.(s.Task.sec_id) })
+      in
+      let rt_misses =
+        Sim.Metrics.deadline_misses stats
+          ~sim_ids:built.Sim.Scenario.rt_sim_ids
+      in
+      Some (checks, rt_misses)
+
+let run ?policy ?config ?(horizon = 100_000) ~n_cores ~tasksets ~seed () =
+  let config =
+    Option.value config ~default:(Generator.default_config ~n_cores)
+  in
+  let rng = Taskgen.Rng.create seed in
+  let all_checks = ref [] in
+  let rt_misses = ref 0 in
+  let checked = ref 0 in
+  for i = 0 to tasksets - 1 do
+    let group = i mod config.Generator.util_groups in
+    let stream = Taskgen.Rng.split rng in
+    match Generator.generate config stream ~group with
+    | None -> ()
+    | Some g -> (
+        match validate_one ?policy ~horizon g with
+        | None -> ()
+        | Some (checks, misses) ->
+            incr checked;
+            rt_misses := !rt_misses + misses;
+            all_checks := checks @ !all_checks)
+  done;
+  let checks = !all_checks in
+  let tightness =
+    List.filter_map
+      (fun c ->
+        (* jobs that never completed within the horizon contribute no
+           tightness sample; bound 0 cannot happen (WCRT >= wcet >= 1) *)
+        if c.tc_observed = 0 then None
+        else Some (float_of_int c.tc_observed /. float_of_int c.tc_bound))
+      checks
+  in
+  { tasksets_checked = !checked;
+    violations = List.filter (fun c -> c.tc_observed > c.tc_bound) checks;
+    rt_misses = !rt_misses;
+    mean_tightness = Hydra.Metrics.mean tightness;
+    min_tightness = List.fold_left min infinity tightness;
+    checks = List.length checks }
+
+let render ppf r =
+  Format.fprintf ppf
+    "@[<v>Analysis-vs-simulation validation:@ \
+     tasksets simulated: %d (security task checks: %d)@ \
+     bound violations: %d%s@ \
+     RT deadline misses: %d@ \
+     tightness observed/bound: mean %.3f, min %.3f@ @]"
+    r.tasksets_checked r.checks
+    (List.length r.violations)
+    (if r.violations = [] then " (analysis is sound on this sample)"
+     else " (BUG: unsound analysis!)")
+    r.rt_misses r.mean_tightness r.min_tightness;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "VIOLATION %s: observed %d > bound %d@." c.tc_name
+        c.tc_observed c.tc_bound)
+    r.violations

@@ -1,0 +1,1 @@
+lib/hydra/analysis.ml: Array List Rtsched

@@ -1,0 +1,1 @@
+lib/hydra/baseline_hydra.ml: Analysis Array List Option Rtsched

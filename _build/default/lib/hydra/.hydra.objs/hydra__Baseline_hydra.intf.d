@@ -1,0 +1,1 @@
+lib/hydra/baseline_hydra.mli: Analysis Rtsched

@@ -1,0 +1,1 @@
+lib/hydra/baseline_tmax.ml: List Rtsched

@@ -1,0 +1,1 @@
+lib/hydra/baseline_tmax.mli: Rtsched

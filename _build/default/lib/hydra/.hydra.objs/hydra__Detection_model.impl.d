@@ -1,0 +1,1 @@
+lib/hydra/detection_model.ml:

@@ -1,0 +1,1 @@
+lib/hydra/metrics.ml: Array Float List

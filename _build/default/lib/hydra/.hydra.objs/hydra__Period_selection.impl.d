@@ -1,0 +1,1 @@
+lib/hydra/period_selection.ml: Analysis Array List Option Rtsched

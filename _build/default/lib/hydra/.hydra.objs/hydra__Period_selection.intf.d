@@ -1,0 +1,1 @@
+lib/hydra/period_selection.mli: Analysis Rtsched

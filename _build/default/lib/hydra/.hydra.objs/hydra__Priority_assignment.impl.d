@@ -1,0 +1,1 @@
+lib/hydra/priority_assignment.ml: Array List Metrics Period_selection Rtsched

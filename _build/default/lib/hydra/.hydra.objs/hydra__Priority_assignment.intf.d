@@ -1,0 +1,1 @@
+lib/hydra/priority_assignment.mli: Analysis Period_selection Rtsched

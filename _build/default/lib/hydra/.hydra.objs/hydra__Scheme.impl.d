@@ -1,0 +1,1 @@
+lib/hydra/scheme.ml: Analysis Array Baseline_hydra Baseline_tmax Period_selection Rtsched

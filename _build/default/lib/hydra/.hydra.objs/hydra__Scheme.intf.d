@@ -1,0 +1,1 @@
+lib/hydra/scheme.mli: Analysis Rtsched

@@ -1,0 +1,1 @@
+lib/hydra/sensitivity.ml: Array Format List Period_selection Rtsched

@@ -1,0 +1,1 @@
+lib/hydra/sensitivity.mli: Analysis Format Rtsched

@@ -1,0 +1,127 @@
+module Task = Rtsched.Task
+module Workload = Rtsched.Workload
+
+type time = Task.time
+
+type system = {
+  n_cores : int;
+  rt_cores : Task.rt_task list array;
+}
+
+type hp_sec = {
+  hp_task : Task.sec_task;
+  hp_period : time;
+  hp_resp : time;
+}
+
+type carry_in_policy = Top_delta | Exhaustive
+
+let make_system (ts : Task.taskset) ~assignment =
+  { n_cores = ts.n_cores;
+    rt_cores = Rtsched.Partition.cores_of_assignment ts assignment }
+
+let rt_interference sys ~job_wcet x =
+  Array.fold_left
+    (fun acc core -> acc + Workload.rt_core_interference ~job_wcet core x)
+    0 sys.rt_cores
+
+(* Non-carry-in and carry-in interference of one higher-priority
+   security task on a window of length [x]. *)
+let sec_interference_nc ~job_wcet h x =
+  Workload.interference ~job_wcet ~window:x
+    (Workload.non_carry_in ~wcet:h.hp_task.Task.sec_wcet ~period:h.hp_period x)
+
+let sec_interference_ci ~job_wcet h x =
+  Workload.interference ~job_wcet ~window:x
+    (Workload.carry_in ~wcet:h.hp_task.Task.sec_wcet ~period:h.hp_period
+       ~resp:h.hp_resp x)
+
+let top_k_sum k l =
+  let sorted = List.sort (fun a b -> compare b a) l in
+  let rec take n acc = function
+    | [] -> acc
+    | _ when n <= 0 -> acc
+    | v :: rest -> take (n - 1) (acc + v) rest
+  in
+  take k 0 sorted
+
+(* Eq. 6 with the Guan-style carry-in bound: every hp security task
+   contributes its non-carry-in interference, and the M-1 largest
+   carry-in increments are added on top. *)
+let omega_top_delta sys ~hp ~job_wcet x =
+  let rt = rt_interference sys ~job_wcet x in
+  let nc_total, deltas =
+    List.fold_left
+      (fun (nc_acc, deltas) h ->
+        let nc = sec_interference_nc ~job_wcet h x in
+        let ci = sec_interference_ci ~job_wcet h x in
+        (nc_acc + nc, max 0 (ci - nc) :: deltas))
+      (0, []) hp
+  in
+  rt + nc_total + top_k_sum (sys.n_cores - 1) deltas
+
+(* Eq. 6 for one fixed carry-in set (tasks are compared by id). *)
+let omega_fixed_sets sys ~hp ~carry_in_ids ~job_wcet x =
+  let rt = rt_interference sys ~job_wcet x in
+  List.fold_left
+    (fun acc h ->
+      let i =
+        if List.mem h.hp_task.Task.sec_id carry_in_ids then
+          sec_interference_ci ~job_wcet h x
+        else sec_interference_nc ~job_wcet h x
+      in
+      acc + i)
+    rt hp
+
+(* Eq. 7 fixed-point iteration from x = C_s for a monotone Omega. *)
+let fixpoint ~n_cores ~wcet ~limit omega =
+  let rec iter x =
+    if x > limit then None
+    else
+      let x' = (omega x / n_cores) + wcet in
+      if x' = x then Some x else iter x'
+  in
+  if wcet > limit then None else iter wcet
+
+let carry_in_subsets items ~max_size =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let without = go rest in
+        let with_x =
+          List.filter_map
+            (fun s -> if List.length s < max_size then Some (x :: s) else None)
+            without
+        in
+        without @ with_x
+  in
+  if max_size <= 0 then [ [] ] else go items
+
+let response_time_top_delta sys ~hp ~wcet ~limit =
+  fixpoint ~n_cores:sys.n_cores ~wcet ~limit
+    (omega_top_delta sys ~hp ~job_wcet:wcet)
+
+(* Literal Eq. 8: the WCRT is the maximum over carry-in subsets of the
+   per-subset fixed points; the task is unschedulable as soon as one
+   subset's iteration exceeds the limit. *)
+let response_time_exhaustive sys ~hp ~wcet ~limit =
+  let subsets =
+    carry_in_subsets
+      (List.map (fun h -> h.hp_task.Task.sec_id) hp)
+      ~max_size:(sys.n_cores - 1)
+  in
+  let step acc carry_in_ids =
+    match acc with
+    | None -> None
+    | Some best -> (
+        let omega = omega_fixed_sets sys ~hp ~carry_in_ids ~job_wcet:wcet in
+        match fixpoint ~n_cores:sys.n_cores ~wcet ~limit omega with
+        | None -> None
+        | Some r -> Some (max best r))
+  in
+  List.fold_left step (Some wcet) subsets
+
+let response_time ?(policy = Top_delta) sys ~hp ~wcet ~limit =
+  match policy with
+  | Top_delta -> response_time_top_delta sys ~hp ~wcet ~limit
+  | Exhaustive -> response_time_exhaustive sys ~hp ~wcet ~limit

@@ -1,0 +1,66 @@
+(** HYDRA-C worst-case response-time analysis for semi-partitioned
+    security tasks (paper Sec. 4.1-4.4).
+
+    The job under analysis belongs to a security task that may run on
+    any core but only below every RT task and below the
+    higher-priority security tasks. Its response time is the least
+    fixed point of Eq. 7,
+    [x = floor(Omega(x) / M) + C_s], where [Omega] (Eq. 6) adds
+    {ul
+    {- per-core RT interference via the synchronous-release workload
+       bound (Lemma 1, Eqs. 2-3) — RT tasks are pinned, so every core
+       contributes independently;}
+    {- non-carry-in interference of every higher-priority security
+       task (Eq. 2, 5);}
+    {- carry-in increments (Eq. 4) for at most [M - 1] of them
+       (Lemma 2).}}
+
+    Which tasks carry in is unknown, so Eq. 8 maximizes over all
+    admissible carry-in sets. {!Exhaustive} implements Eq. 8 literally
+    (exponential in [min (M-1, |hp|)]); {!Top_delta} is the standard
+    Guan-style polynomial upper bound that, at every fixed-point
+    iterate, grants carry-in to the [M - 1] tasks with the largest
+    interference increment. [Top_delta] dominates every individual
+    carry-in choice, hence is a safe upper bound on the Eq. 8 value
+    (property-tested in [test/test_analysis.ml]). *)
+
+type time = Rtsched.Task.time
+
+type system = {
+  n_cores : int;
+  rt_cores : Rtsched.Task.rt_task list array;
+      (** RT tasks pinned to each core, index = core *)
+}
+(** The fixed, partitioned RT side of the platform. *)
+
+type hp_sec = {
+  hp_task : Rtsched.Task.sec_task;
+  hp_period : time;  (** period already chosen for this task *)
+  hp_resp : time;  (** its WCRT under that period *)
+}
+(** A higher-priority security task whose period and response time are
+    already known (Algorithm 1 processes priorities top-down, so this
+    is always available). *)
+
+type carry_in_policy =
+  | Top_delta  (** polynomial Guan-style bound — the default *)
+  | Exhaustive  (** literal Eq. 8 maximum over carry-in subsets *)
+
+val make_system :
+  Rtsched.Task.taskset -> assignment:int array -> system
+(** Builds the per-core RT view from a partitioning assignment. *)
+
+val rt_interference : system -> job_wcet:time -> time -> time
+(** Total RT interference term of Eq. 6 for a window of length [x]. *)
+
+val response_time :
+  ?policy:carry_in_policy -> system -> hp:hp_sec list -> wcet:time ->
+  limit:time -> time option
+(** [response_time sys ~hp ~wcet ~limit] is the WCRT of a security job
+    of WCET [wcet] below the given higher-priority security tasks, or
+    [None] if the fixed point exceeds [limit] (Sec. 4.4 stops at
+    [T_s^max] since the task is then trivially unschedulable). *)
+
+val carry_in_subsets : 'a list -> max_size:int -> 'a list list
+(** All sublists of size [<= max_size] (order-preserving); exposed for
+    the Eq. 8 tests and the X1 ablation. *)

@@ -1,0 +1,181 @@
+module Task = Rtsched.Task
+module Rta = Rtsched.Rta_uniproc
+
+type time = Task.time
+
+type alloc = {
+  sec : Task.sec_task;
+  core : int;
+  period : time;
+  resp : time;
+}
+
+type result =
+  | Schedulable of alloc list
+  | Unschedulable
+
+let core_response_time (sys : Analysis.system) ~core ~placed s =
+  let rt_hp =
+    List.map
+      (fun (t : Task.rt_task) ->
+        { Rta.hp_wcet = t.rt_wcet; hp_period = t.rt_period })
+      sys.rt_cores.(core)
+  in
+  let sec_hp =
+    List.filter_map
+      (fun a ->
+        if a.core = core && a.sec.Task.sec_prio < s.Task.sec_prio then
+          Some { Rta.hp_wcet = a.sec.Task.sec_wcet; hp_period = a.period }
+        else None)
+      placed
+  in
+  Rta.response_time ~hp:(rt_hp @ sec_hp) ~wcet:s.Task.sec_wcet
+    ~limit:s.Task.sec_period_max
+
+type criterion = Min_response | Max_utilization
+
+(* Security-task utilization already committed to a core. *)
+let core_sec_utilization placed core =
+  List.fold_left
+    (fun acc a ->
+      if a.core = core then
+        acc +. (float_of_int a.sec.Task.sec_wcet /. float_of_int a.period)
+      else acc)
+    0.0 placed
+
+(* Pick a feasible core: the one minimizing the response time (HYDRA's
+   "maximum monitoring frequency") or classic best-fit by committed
+   utilization; ties broken by lowest core index. *)
+let best_core criterion sys ~placed s =
+  let better (m, r) (m', r') =
+    match criterion with
+    | Min_response -> if r' < r then (m', r') else (m, r)
+    | Max_utilization ->
+        let u = core_sec_utilization placed m
+        and u' = core_sec_utilization placed m' in
+        if u' > u then (m', r') else (m, r)
+  in
+  let rec go m best =
+    if m >= sys.Analysis.n_cores then best
+    else
+      let best =
+        match core_response_time sys ~core:m ~placed s with
+        | None -> best
+        | Some r -> (
+            match best with
+            | Some b -> Some (better b (m, r))
+            | None -> Some (m, r))
+      in
+      go (m + 1) best
+  in
+  go 0 None
+
+let allocate ?criterion ~minimize sys secs =
+  let criterion =
+    Option.value criterion
+      ~default:(if minimize then Min_response else Max_utilization)
+  in
+  let sorted = Task.sort_sec_by_priority secs in
+  let rec place placed = function
+    | [] -> Schedulable (List.rev placed)
+    | s :: rest -> (
+        match best_core criterion sys ~placed s with
+        | None -> Unschedulable
+        | Some (core, resp) ->
+            let period = if minimize then resp else s.Task.sec_period_max in
+            place ({ sec = s; core; period; resp } :: placed) rest)
+  in
+  place [] (Array.to_list sorted)
+
+(* --- HYDRA-coordinated: per-core Algorithm 1 ---------------------- *)
+
+(* Response time of alloc [a] given the current periods of the other
+   allocations on its core (encoded in [placed]). *)
+let realloc_resp sys placed (a : alloc) =
+  core_response_time sys ~core:a.core ~placed a.sec
+
+(* Recompute responses of [allocs] (priority order) against each
+   other's current periods; [None] if someone misses its bound. *)
+let recompute_core sys allocs =
+  let rec go done_ = function
+    | [] -> Some (List.rev done_)
+    | a :: rest -> (
+        match realloc_resp sys done_ a with
+        | None -> None
+        | Some resp -> go ({ a with resp } :: done_) rest)
+  in
+  go [] allocs
+
+(* Minimum feasible period for position [idx] of a core's allocation
+   list (priority order): binary search in [resp, bound], feasible when
+   every lower-priority core-mate still meets its bound. *)
+let min_core_period sys allocs idx =
+  let a = List.nth allocs idx in
+  let feasible candidate =
+    let probed =
+      List.mapi
+        (fun i x -> if i = idx then { x with period = candidate } else x)
+        allocs
+    in
+    Option.is_some (recompute_core sys probed)
+  in
+  let rec search lo hi best =
+    if lo > hi then best
+    else
+      let c = (lo + hi) / 2 in
+      if feasible c then search lo (c - 1) (min best c)
+      else search (c + 1) hi best
+  in
+  search a.resp a.sec.Task.sec_period_max a.sec.Task.sec_period_max
+
+let minimize_core sys allocs =
+  let n = List.length allocs in
+  let rec loop allocs idx =
+    if idx >= n then
+      (* final response refresh so callers see consistent WCRTs *)
+      match recompute_core sys allocs with
+      | Some refreshed -> refreshed
+      | None -> assert false
+    else
+      (* refresh responses first: minimizing higher-priority periods
+         grows the lower-priority responses, and the search's lower
+         bound must be the task's *current* WCRT *)
+      match recompute_core sys allocs with
+      | None -> assert false (* invariant: the previous step was feasible *)
+      | Some refreshed ->
+          let t_star = min_core_period sys refreshed idx in
+          let updated =
+            List.mapi
+              (fun i x -> if i = idx then { x with period = t_star } else x)
+              refreshed
+          in
+          loop updated (idx + 1)
+  in
+  loop allocs 0
+
+let allocate_coordinated ?(criterion = Max_utilization) sys secs =
+  match allocate ~criterion ~minimize:false sys secs with
+  | Unschedulable -> Unschedulable
+  | Schedulable allocs ->
+      let per_core core =
+        List.filter (fun a -> a.core = core) allocs
+      in
+      let minimized =
+        List.init sys.Analysis.n_cores per_core
+        |> List.concat_map (minimize_core sys)
+      in
+      (* restore global priority order *)
+      let ordered =
+        List.sort
+          (fun a b -> compare a.sec.Task.sec_prio b.sec.Task.sec_prio)
+          minimized
+      in
+      Schedulable ordered
+
+let vector_of field default allocs ~n_sec =
+  let v = Array.make n_sec default in
+  List.iter (fun a -> v.(a.sec.Task.sec_id) <- field a) allocs;
+  v
+
+let period_vector allocs ~n_sec = vector_of (fun a -> a.period) 0 allocs ~n_sec
+let core_vector allocs ~n_sec = vector_of (fun a -> a.core) (-1) allocs ~n_sec

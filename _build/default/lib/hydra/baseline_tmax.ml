@@ -1,0 +1,13 @@
+module Rta_global = Rtsched.Rta_global
+module Task = Rtsched.Task
+
+let flatten ts =
+  Rta_global.of_taskset ts ~sec_period:(fun s -> s.Task.sec_period_max)
+
+let global_tmax_schedulable ts =
+  Rta_global.all_schedulable ~n_cores:ts.Task.n_cores (flatten ts)
+
+let global_response_times ts =
+  let gtasks = flatten ts in
+  let resps = Rta_global.response_times ~n_cores:ts.Task.n_cores gtasks in
+  List.map2 (fun (g : Rta_global.gtask) r -> (g.g_name, r)) gtasks resps

@@ -1,0 +1,39 @@
+(* Conventions mirror Security.Detection: region k of a pass occupies
+   the progress window [k*pass/n, (k+1)*pass/n) (integer division,
+   last region pinned to the full pass); an inspection observes every
+   mutation up to its start instant and reports at its end instant. *)
+
+let check_args ~period ~pass ~n_regions =
+  if n_regions < 1 then invalid_arg "Detection_model: n_regions < 1";
+  if pass < 1 then invalid_arg "Detection_model: pass < 1";
+  if period < pass then
+    invalid_arg "Detection_model: period < pass (unschedulable regime)"
+
+let latency_at ~period ~pass ~n_regions ~phase ~region =
+  check_args ~period ~pass ~n_regions;
+  if phase < 0 || phase >= period then
+    invalid_arg "Detection_model.latency_at: phase out of [0, period)";
+  if region < 0 || region >= n_regions then
+    invalid_arg "Detection_model.latency_at: region out of range";
+  let start0 = region * pass / n_regions in
+  let finish = (region + 1) * pass / n_regions in
+  let jobs_to_wait =
+    if phase <= start0 then 0
+    else (phase - start0 + period - 1) / period
+  in
+  (jobs_to_wait * period) + finish - phase
+
+let expected_latency ~period ~pass ~n_regions =
+  check_args ~period ~pass ~n_regions;
+  let total = ref 0 in
+  for region = 0 to n_regions - 1 do
+    for phase = 0 to period - 1 do
+      total := !total + latency_at ~period ~pass ~n_regions ~phase ~region
+    done
+  done;
+  float_of_int !total /. float_of_int (period * n_regions)
+
+let speedup_pct ~period_a ~pass_a ~period_b ~pass_b ~n_regions =
+  let ea = expected_latency ~period:period_a ~pass:pass_a ~n_regions in
+  let eb = expected_latency ~period:period_b ~pass:pass_b ~n_regions in
+  (eb -. ea) /. eb *. 100.0

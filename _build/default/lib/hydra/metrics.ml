@@ -1,0 +1,45 @@
+let check_dims a b name =
+  if Array.length a <> Array.length b || Array.length a = 0 then
+    invalid_arg (name ^ ": vectors must have equal non-zero length")
+
+let normalized_distance_to_bound ~periods ~bounds =
+  check_dims periods bounds "Metrics.normalized_distance_to_bound";
+  let n = Array.length periods in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d =
+      float_of_int (bounds.(i) - periods.(i)) /. float_of_int bounds.(i)
+    in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let mean_normalized_difference ~ours ~other ~bounds =
+  check_dims ours other "Metrics.mean_normalized_difference";
+  check_dims ours bounds "Metrics.mean_normalized_difference";
+  let n = Array.length ours in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc :=
+      !acc
+      +. (float_of_int (other.(i) - ours.(i)) /. float_of_int bounds.(i))
+  done;
+  !acc /. float_of_int n
+
+let acceptance_ratio ~accepted ~total =
+  if total = 0 then 0.0 else float_of_int accepted /. float_of_int total
+
+let mean = function
+  | [] -> Float.nan
+  | xs ->
+      List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> Float.nan
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. float_of_int (List.length xs)
+      in
+      sqrt var

@@ -1,0 +1,33 @@
+(** Evaluation metrics over period vectors (Sec. 5.2.2-5.2.3).
+
+    The paper plots (Fig. 6) the "Euclidean distance between the
+    calculated period vector T* and maximum period vector Tmax
+    (normalized to 1)". We normalize each component by its bound and
+    the whole vector by its dimension, so the distance lies in
+    [\[0, 1)] regardless of the number of security tasks:
+    [d(T, Tmax) = sqrt( (1/N) * sum_i ((Tmax_i - T_i) / Tmax_i)^2 )].
+
+    For Fig. 7b ("average difference between the period vectors" of
+    two schemes) we use the signed mean normalized difference
+    [(1/N) * sum_i (T_other_i - T_ours_i) / Tmax_i]: non-negative
+    exactly when "HYDRA-C finds shorter periods than other schemes",
+    matching the figure's reading. *)
+
+val normalized_distance_to_bound :
+  periods:int array -> bounds:int array -> float
+(** Fig. 6 metric; arrays must have equal non-zero length. Larger
+    means the security tasks run more frequently relative to their
+    designer bounds. *)
+
+val mean_normalized_difference :
+  ours:int array -> other:int array -> bounds:int array -> float
+(** Fig. 7b metric; positive when [ours] has the shorter periods. *)
+
+val acceptance_ratio : accepted:int -> total:int -> float
+(** [accepted / total]; [0.0] when [total = 0]. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; [nan] on the empty list. *)

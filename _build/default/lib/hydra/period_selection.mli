@@ -1,0 +1,51 @@
+(** Period selection for security tasks — paper Algorithms 1 and 2.
+
+    Algorithm 1: start with every security period at its bound
+    [T_s^max] and compute WCRTs top-down; if some task already misses
+    [T_s^max] the set is unschedulable. Otherwise walk the security
+    tasks from highest to lowest priority and, for each, find the
+    minimum period in [\[R_s, T_s^max\]] (Algorithm 2: binary search
+    collecting feasible candidates) that keeps every lower-priority
+    security task schedulable ([R_j <= T_j^max]); then refresh the
+    lower-priority response times and continue.
+
+    Invariant (why Algorithm 2 may seed its feasible set with
+    [T_s^max]): when task [s] is processed, the previous search
+    guaranteed all of [lp(s)] schedulable with the now-fixed
+    higher-priority periods and everything else at its bound, so the
+    candidate [T_s = T_s^max] is always feasible. *)
+
+type time = Rtsched.Task.time
+
+type assignment = {
+  sec : Rtsched.Task.sec_task;
+  period : time;  (** the selected period [T_s^*] *)
+  resp : time;  (** WCRT under the final period vector, [<= period] *)
+}
+
+type result =
+  | Schedulable of assignment list  (** in priority order, highest first *)
+  | Unschedulable
+      (** some security task misses [T_s^max] even with every period
+          at its bound (Algorithm 1, line 2) *)
+
+val select :
+  ?policy:Analysis.carry_in_policy -> Analysis.system ->
+  Rtsched.Task.sec_task array -> result
+(** Runs Algorithm 1 on the security tasks (any order; they are sorted
+    by priority internally). *)
+
+val min_feasible_period :
+  ?policy:Analysis.carry_in_policy -> Analysis.system ->
+  sorted:Rtsched.Task.sec_task array -> periods:time array ->
+  resps:time array -> index:int -> time
+(** Algorithm 2 for the task at [index] of the priority-sorted array,
+    given the current period and response-time vectors (positions
+    [< index] fixed, positions [>= index] at their bounds). Exposed for
+    unit tests. *)
+
+val period_vector : assignment list -> n_sec:int -> time array
+(** Periods re-indexed by [sec_id] (length [n_sec]). *)
+
+val resp_vector : assignment list -> n_sec:int -> time array
+(** Response times re-indexed by [sec_id]. *)

@@ -1,0 +1,31 @@
+(** Unified front-end over the four compared schemes (Sec. 5.2.3):
+    HYDRA-C (this paper), HYDRA (DATE'18 greedy best-fit + period
+    minimization), HYDRA-TMax (best-fit, periods at bounds) and
+    GLOBAL-TMax (everything global, periods at bounds). *)
+
+type t =
+  | Hydra_c
+  | Hydra
+  | Hydra_tmax
+  | Global_tmax
+
+val all : t list
+(** The four schemes, HYDRA-C first. *)
+
+val name : t -> string
+(** Display name matching the paper ("HYDRA-C", "HYDRA", ...). *)
+
+type outcome = {
+  schedulable : bool;
+  periods : int array option;
+      (** selected periods indexed by [sec_id]; [None] if
+          unschedulable *)
+  sec_cores : int array option;
+      (** pinned core per security task (partitioned schemes only) *)
+}
+
+val evaluate :
+  ?policy:Analysis.carry_in_policy -> t -> Rtsched.Task.taskset ->
+  rt_assignment:int array -> outcome
+(** Evaluates a scheme on a taskset whose RT part is already
+    partitioned ([rt_assignment] is ignored by [Global_tmax]). *)

@@ -1,0 +1,1 @@
+lib/rtsched/exact.ml: Array List Task

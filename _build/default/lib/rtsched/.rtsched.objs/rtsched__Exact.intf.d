@@ -1,0 +1,1 @@
+lib/rtsched/exact.mli: Task

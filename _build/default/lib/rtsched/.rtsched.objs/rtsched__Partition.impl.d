@@ -1,0 +1,1 @@
+lib/rtsched/partition.ml: Array Format List Rta_uniproc Task

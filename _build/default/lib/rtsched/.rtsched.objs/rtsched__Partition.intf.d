@@ -1,0 +1,1 @@
+lib/rtsched/partition.mli: Format Task

@@ -1,0 +1,1 @@
+lib/rtsched/rta_global.ml: Array List Option Task Workload

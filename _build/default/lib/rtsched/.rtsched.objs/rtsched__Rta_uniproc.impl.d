@@ -1,0 +1,1 @@
+lib/rtsched/rta_uniproc.ml: Array List Option Task Workload

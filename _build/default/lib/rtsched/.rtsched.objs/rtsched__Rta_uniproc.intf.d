@@ -1,0 +1,1 @@
+lib/rtsched/rta_uniproc.mli: Task

@@ -1,0 +1,1 @@
+lib/rtsched/task.ml: Array Format Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/rtsched/task.mli: Format

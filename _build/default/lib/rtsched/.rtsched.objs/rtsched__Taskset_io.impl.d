@@ -1,0 +1,1 @@
+lib/rtsched/taskset_io.ml: Array Buffer In_channel List Out_channel Printf Result String Task

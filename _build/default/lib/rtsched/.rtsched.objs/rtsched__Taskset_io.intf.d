@@ -1,0 +1,1 @@
+lib/rtsched/taskset_io.mli: Task

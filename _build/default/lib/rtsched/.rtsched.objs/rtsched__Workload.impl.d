@@ -1,0 +1,1 @@
+lib/rtsched/workload.ml: List Task

@@ -1,0 +1,1 @@
+lib/rtsched/workload.mli: Task

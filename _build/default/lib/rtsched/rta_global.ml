@@ -1,0 +1,82 @@
+type time = Task.time
+
+type gtask = {
+  g_name : string;
+  g_wcet : time;
+  g_period : time;
+  g_deadline : time;
+}
+
+(* Interference of one higher-priority task [t] (with known response
+   time [resp]) on a window of length [x] for a job of WCET [job_wcet]:
+   non-carry-in bound and the increment gained if [t] carries in. *)
+let nc_and_delta ~job_wcet ~window (t, resp) =
+  let nc =
+    Workload.interference ~job_wcet ~window
+      (Workload.non_carry_in ~wcet:t.g_wcet ~period:t.g_period window)
+  in
+  let ci =
+    Workload.interference ~job_wcet ~window
+      (Workload.carry_in ~wcet:t.g_wcet ~period:t.g_period ~resp window)
+  in
+  (nc, max 0 (ci - nc))
+
+(* Sum of the [k] largest elements of [l]. *)
+let top_k_sum k l =
+  let sorted = List.sort (fun a b -> compare b a) l in
+  let rec take n acc = function
+    | [] -> acc
+    | _ when n = 0 -> acc
+    | x :: rest -> take (n - 1) (acc + x) rest
+  in
+  take k 0 sorted
+
+let omega ~n_cores ~job_wcet ~window hp =
+  let pairs = List.map (nc_and_delta ~job_wcet ~window) hp in
+  let nc_total = List.fold_left (fun acc (nc, _) -> acc + nc) 0 pairs in
+  let deltas = List.map snd pairs in
+  nc_total + top_k_sum (n_cores - 1) deltas
+
+let response_time_of_lowest ~n_cores ~hp ~wcet ~limit =
+  let rec iter x =
+    if x > limit then None
+    else
+      let om = omega ~n_cores ~job_wcet:wcet ~window:x hp in
+      let x' = (om / n_cores) + wcet in
+      if x' = x then Some x else iter (max x' (x + 1))
+  in
+  if wcet > limit then None else iter wcet
+
+let response_times ~n_cores tasks =
+  (* Analyze in priority order, threading the (task, response) pairs of
+     already-analyzed higher-priority tasks. *)
+  let rec go hp_acc = function
+    | [] -> []
+    | t :: rest -> (
+        match
+          response_time_of_lowest ~n_cores ~hp:(List.rev hp_acc)
+            ~wcet:t.g_wcet ~limit:t.g_deadline
+        with
+        | Some r -> Some r :: go ((t, r) :: hp_acc) rest
+        | None -> None :: List.map (fun _ -> None) rest)
+  in
+  go [] tasks
+
+let all_schedulable ~n_cores tasks =
+  List.for_all Option.is_some (response_times ~n_cores tasks)
+
+let of_taskset (ts : Task.taskset) ~sec_period =
+  let rt =
+    Task.sort_rt_by_priority ts.rt |> Array.to_list
+    |> List.map (fun (t : Task.rt_task) ->
+           { g_name = t.rt_name; g_wcet = t.rt_wcet; g_period = t.rt_period;
+             g_deadline = t.rt_deadline })
+  in
+  let sec =
+    Task.sort_sec_by_priority ts.sec |> Array.to_list
+    |> List.map (fun (s : Task.sec_task) ->
+           let p = sec_period s in
+           { g_name = s.sec_name; g_wcet = s.sec_wcet; g_period = p;
+             g_deadline = p })
+  in
+  rt @ sec

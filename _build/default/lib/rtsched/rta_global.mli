@@ -1,0 +1,48 @@
+(** Global fixed-priority multicore response-time analysis
+    (Guan et al., RTSS'09 — references 37-39 of the paper).
+
+    Used for the GLOBAL-TMax baseline of Sec. 5.2.3, where {e all}
+    tasks (RT and security) migrate freely. The busy period of a job
+    can only extend while all [M] cores run higher-priority work, so at
+    most [M-1] higher-priority tasks carry in (Lemma 2); the response
+    time is the least fixed point of
+    [x = floor(Omega(x)/M) + C] where [Omega] sums the non-carry-in
+    interference of every higher-priority task plus the [M-1] largest
+    carry-in increments. *)
+
+type time = Task.time
+
+type gtask = {
+  g_name : string;
+  g_wcet : time;
+  g_period : time;
+  g_deadline : time;  (** [<= period] *)
+}
+(** A task in the global system; the list position defines priority
+    (head = highest). *)
+
+val response_times : n_cores:int -> gtask list -> time option list
+(** Response time of each task in the priority-ordered list (highest
+    first), bounded by its deadline. A task whose fixed point exceeds
+    its deadline gets [None]; tasks below an unschedulable task also
+    get [None] because their carry-in bound needs every
+    higher-priority response time. *)
+
+val response_time_of_lowest :
+  n_cores:int -> hp:(gtask * time) list -> wcet:time -> limit:time ->
+  time option
+(** [response_time_of_lowest ~n_cores ~hp ~wcet ~limit] analyzes one
+    extra lowest-priority task of WCET [wcet] against higher-priority
+    tasks with {e known} response times [(task, resp)], without
+    re-analyzing them. Exposed for tests and cross-checks. *)
+
+val all_schedulable : n_cores:int -> gtask list -> bool
+(** Whether every task of the priority-ordered list meets its
+    deadline under global scheduling. *)
+
+val of_taskset :
+  Task.taskset -> sec_period:(Task.sec_task -> time) -> gtask list
+(** Flattens a taskset into the priority-ordered global task list: RT
+    tasks (by priority) above security tasks (by priority); each
+    security task gets the period [sec_period s] and an implicit
+    deadline equal to that period. *)

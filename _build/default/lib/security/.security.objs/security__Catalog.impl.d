@@ -1,0 +1,1 @@
+lib/security/catalog.ml: Format List Option String

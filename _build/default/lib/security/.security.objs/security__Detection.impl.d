@@ -1,0 +1,1 @@
+lib/security/detection.ml: Intrusion List Sim

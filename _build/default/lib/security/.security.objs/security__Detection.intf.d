@@ -1,0 +1,1 @@
+lib/security/detection.mli: Intrusion Profile_checker Sim

@@ -1,0 +1,1 @@
+lib/security/filesystem.ml: Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/security/hash.ml: Char Int64 List String

@@ -1,0 +1,1 @@
+lib/security/hpc_monitor.ml: Array Detection Format Hash Hashtbl Int64 Intrusion List Option Printf Taskgen

@@ -1,0 +1,1 @@
+lib/security/hpc_monitor.mli: Detection Format Intrusion Taskgen

@@ -1,0 +1,1 @@
+lib/security/integrity_checker.ml: Filesystem Hash Profile_checker

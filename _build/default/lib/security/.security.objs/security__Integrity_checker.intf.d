@@ -1,0 +1,1 @@
+lib/security/integrity_checker.mli: Filesystem Profile_checker

@@ -1,0 +1,1 @@
+lib/security/intrusion.ml: List

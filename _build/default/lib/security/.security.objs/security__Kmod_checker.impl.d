@@ -1,0 +1,1 @@
+lib/security/kmod_checker.ml: Hash Int64 List Profile_checker

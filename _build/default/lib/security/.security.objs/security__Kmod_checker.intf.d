@@ -1,0 +1,1 @@
+lib/security/kmod_checker.mli: Profile_checker

@@ -1,0 +1,1 @@
+lib/security/packet_monitor.ml: Array Detection Format Hashtbl Intrusion List Option Printf String Taskgen

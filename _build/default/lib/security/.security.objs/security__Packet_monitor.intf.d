@@ -1,0 +1,1 @@
+lib/security/packet_monitor.mli: Detection Format Intrusion Taskgen

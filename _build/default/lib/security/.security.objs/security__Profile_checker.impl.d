@@ -1,0 +1,1 @@
+lib/security/profile_checker.ml: Format Hash Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/security/profile_checker.mli: Format

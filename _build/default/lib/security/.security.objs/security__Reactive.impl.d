@@ -1,0 +1,1 @@
+lib/security/reactive.ml: Detection List Sim

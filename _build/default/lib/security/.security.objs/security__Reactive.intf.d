@@ -1,0 +1,1 @@
+lib/security/reactive.mli: Detection Sim

@@ -1,0 +1,1 @@
+lib/security/rover.ml: Array Filesystem Format Kmod_checker List Rtsched

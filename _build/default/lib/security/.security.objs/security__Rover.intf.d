@@ -1,0 +1,1 @@
+lib/security/rover.mli: Filesystem Format Kmod_checker Rtsched

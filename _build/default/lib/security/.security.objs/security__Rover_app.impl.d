@@ -1,0 +1,1 @@
+lib/security/rover_app.ml: Char Filesystem Hash Hashtbl Integrity_checker List Printf Profile_checker Sim String Taskgen

@@ -1,0 +1,1 @@
+lib/security/rover_app.mli: Filesystem Integrity_checker Profile_checker Sim

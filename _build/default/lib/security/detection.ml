@@ -1,0 +1,74 @@
+type time = int
+
+type target = {
+  n_regions : int;
+  check_region : region:int -> started:time -> finished:time -> bool;
+}
+
+type t = {
+  sim_id : int;
+  wcet : time;
+  target : target;
+  mutable cur_seq : int;  (* job being tracked; -1 before the first *)
+  mutable progress : time;  (* executed ticks of the current job *)
+  mutable region : int;  (* next region to complete *)
+  mutable region_started : time;  (* wall time its inspection began *)
+  mutable detected : time option;
+  mutable regions_checked : int;
+  mutable full_passes : int;
+}
+
+let create ~sim_id ~wcet ~target =
+  if target.n_regions < 1 then
+    invalid_arg "Detection.create: n_regions < 1";
+  if wcet < 1 then invalid_arg "Detection.create: wcet < 1";
+  { sim_id; wcet; target; cur_seq = -1; progress = 0; region = 0;
+    region_started = 0; detected = None; regions_checked = 0; full_passes = 0 }
+
+(* Executed-progress boundary at which region [k]'s inspection
+   completes: ceil-free proportional split with the last region pinned
+   to the full WCET. *)
+let boundary t k = (k + 1) * t.wcet / t.target.n_regions
+
+let on_execute t (job : Sim.Engine.job) ~core:_ ~start ~stop =
+  if job.Sim.Engine.j_task.Sim.Engine.st_id = t.sim_id then begin
+    if job.Sim.Engine.j_seq <> t.cur_seq then begin
+      (* A new job begins a fresh pass (an aborted predecessor simply
+         leaves its pass incomplete). *)
+      t.cur_seq <- job.Sim.Engine.j_seq;
+      t.progress <- 0;
+      t.region <- 0;
+      t.region_started <- start
+    end;
+    let p0 = t.progress in
+    let p1 = p0 + (stop - start) in
+    let wall_of p = start + (p - p0) in
+    while t.region < t.target.n_regions && boundary t t.region <= p1 do
+      let finished = wall_of (boundary t t.region) in
+      let hit =
+        t.target.check_region ~region:t.region ~started:t.region_started
+          ~finished
+      in
+      t.regions_checked <- t.regions_checked + 1;
+      if hit && t.detected = None then t.detected <- Some finished;
+      t.region <- t.region + 1;
+      t.region_started <- finished;
+      if t.region = t.target.n_regions then
+        t.full_passes <- t.full_passes + 1
+    done;
+    t.progress <- p1
+  end
+
+let detection_time t = t.detected
+let regions_checked t = t.regions_checked
+let full_passes t = t.full_passes
+
+let checker_target ~n_regions ~injector ~check =
+  let check_region ~region ~started ~finished:_ =
+    Intrusion.apply_until injector started;
+    check region <> []
+  in
+  { n_regions; check_region }
+
+let combine_hooks hooks job ~core ~start ~stop =
+  List.iter (fun h -> h job ~core ~start ~stop) hooks

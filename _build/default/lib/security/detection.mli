@@ -1,0 +1,55 @@
+(** Scan-progress tracking and detection-latency measurement.
+
+    A security job of WCET [C] scans [n_regions] regions sequentially:
+    region [k]'s inspection occupies the job's executed-tick window
+    [\[k*C/n, (k+1)*C/n)]. Driven by the simulator's [on_execute]
+    hook, the monitor maps every execution segment of the watched task
+    onto region-inspection completions at exact wall-clock instants
+    and invokes the checker for each completed region. This is how the
+    paper's narrative — "if the IDS is interrupted, an adversary can
+    hide in the already-checked part" — becomes measurable: a mutation
+    that lands after its region was inspected in the current pass is
+    only caught one full period later, so schemes that let the scanner
+    run with fewer interruptions and shorter periods detect faster. *)
+
+type time = int
+
+type target = {
+  n_regions : int;
+  check_region : region:int -> started:time -> finished:time -> bool;
+      (** invoked when the scanner finishes [region]'s slice; [started]
+          / [finished] are the wall-clock bounds of the inspection;
+          returns [true] when a violation is found *)
+}
+
+type t
+
+val create : sim_id:int -> wcet:time -> target:target -> t
+(** Monitor for the simulated task [sim_id] whose jobs have the given
+    WCET. *)
+
+val on_execute :
+  t -> Sim.Engine.job -> core:int -> start:time -> stop:time -> unit
+(** Feed this as (part of) the engine's [on_execute] hook. *)
+
+val detection_time : t -> time option
+(** Wall-clock instant of the first reported violation, if any. *)
+
+val regions_checked : t -> int
+(** Total region inspections completed so far (across passes). *)
+
+val full_passes : t -> int
+(** Completed full scans. *)
+
+val checker_target :
+  n_regions:int -> injector:Intrusion.t ->
+  check:(int -> Profile_checker.violation list) -> target
+(** Standard wiring: before inspecting a region, apply every intrusion
+    scheduled at or before the inspection's {e start} (mutations
+    landing mid-inspection are missed until the next pass), then run
+    the real checker on that region. *)
+
+val combine_hooks :
+  (Sim.Engine.job -> core:int -> start:time -> stop:time -> unit) list ->
+  Sim.Engine.job -> core:int -> start:time -> stop:time -> unit
+(** Fan a single engine hook out to several monitors. *)

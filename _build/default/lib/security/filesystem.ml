@@ -1,0 +1,46 @@
+type path = string
+type t = { files : (path, string) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 64 }
+
+let add_file t path content = Hashtbl.replace t.files path content
+
+let require t path =
+  if not (Hashtbl.mem t.files path) then raise Not_found
+
+let write t path content =
+  require t path;
+  Hashtbl.replace t.files path content
+
+let append t path content =
+  require t path;
+  let old = Hashtbl.find t.files path in
+  Hashtbl.replace t.files path (old ^ content)
+
+let read t path = Hashtbl.find t.files path
+
+let remove t path =
+  require t path;
+  Hashtbl.remove t.files path
+
+let mem t path = Hashtbl.mem t.files path
+let file_count t = Hashtbl.length t.files
+
+let list_paths t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.files []
+  |> List.sort compare
+
+let total_bytes t =
+  Hashtbl.fold (fun _ c acc -> acc + String.length c) t.files 0
+
+(* Deterministic filler bytes so experiments are reproducible without
+   threading an RNG through the filesystem. *)
+let synth_content ~seed ~len =
+  String.init len (fun i -> Char.chr ((seed * 131 + i * 7919) mod 256))
+
+let populate_images t ~count ~bytes_per_file =
+  for i = 0 to count - 1 do
+    add_file t
+      (Printf.sprintf "img_%04d.raw" i)
+      (synth_content ~seed:i ~len:bytes_per_file)
+  done

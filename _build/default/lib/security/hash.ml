@@ -1,0 +1,18 @@
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let fnv1a64 s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let combine a b =
+  let h = Int64.logxor a (Int64.mul b 0x9E3779B97F4A7C15L) in
+  Int64.mul h prime
+
+let fnv1a64_list l =
+  List.fold_left (fun acc s -> combine acc (fnv1a64 s)) offset_basis l

@@ -1,0 +1,14 @@
+(** FNV-1a 64-bit hashing — the fingerprint primitive of the
+    integrity checkers. Not cryptographic; the experiments only need a
+    deterministic content fingerprint whose value changes when the
+    content changes (the paper's Tripwire uses real digests, but the
+    detection-latency claim is independent of the digest function). *)
+
+val fnv1a64 : string -> int64
+(** Hash of a byte string. *)
+
+val combine : int64 -> int64 -> int64
+(** Order-dependent combination of two hashes. *)
+
+val fnv1a64_list : string list -> int64
+(** Hash of a list of strings, sensitive to both content and order. *)

@@ -1,0 +1,172 @@
+type counter = Instructions | Cache_misses | Branch_misses
+
+let all_counters = [ Instructions; Cache_misses; Branch_misses ]
+
+let counter_name = function
+  | Instructions -> "instructions"
+  | Cache_misses -> "cache-misses"
+  | Branch_misses -> "branch-misses"
+
+type sample = {
+  s_task : string;
+  s_counts : (counter * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sample stream *)
+
+type stream = {
+  history : (string, sample list) Hashtbl.t;  (* newest first *)
+}
+
+let create_stream ~tasks =
+  let history = Hashtbl.create 8 in
+  List.iter (fun t -> Hashtbl.replace history t []) tasks;
+  { history }
+
+let push stream sample =
+  match Hashtbl.find_opt stream.history sample.s_task with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Hpc_monitor.push: unknown task %s" sample.s_task)
+  | Some old -> Hashtbl.replace stream.history sample.s_task (sample :: old)
+
+let latest stream ~task ?(n = 8) () =
+  let all =
+    Option.value (Hashtbl.find_opt stream.history task) ~default:[]
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take n all
+
+(* Per-task nominal counter profile: a deterministic function of the
+   task name so different tasks have distinct baselines. *)
+let nominal task counter =
+  let h =
+    Int64.to_int (Int64.logand (Hash.fnv1a64 task) 0xFFFFL) |> float_of_int
+  in
+  match counter with
+  | Instructions -> 1.0e6 +. (h *. 50.0)
+  | Cache_misses -> 2.0e3 +. h
+  | Branch_misses -> 1.0e3 +. (h /. 2.0)
+
+(* Gaussian-ish noise from the deterministic RNG (sum of uniforms). *)
+let noise rng ~sigma =
+  let u () = Taskgen.Rng.float rng 1.0 -. 0.5 in
+  (u () +. u () +. u () +. u ()) *. sigma
+
+let relative_sigma = 0.02
+
+let clean_sample rng ~task =
+  { s_task = task;
+    s_counts =
+      List.map
+        (fun c ->
+          let base = nominal task c in
+          (c, base +. noise rng ~sigma:(relative_sigma *. base)))
+        all_counters }
+
+(* A hooked code path executes extra instructions and thrashes caches
+   and branch predictors: inflate misses strongly, instructions
+   mildly. *)
+let compromised_sample rng ~task =
+  let clean = clean_sample rng ~task in
+  { clean with
+    s_counts =
+      List.map
+        (fun (c, v) ->
+          let factor =
+            match c with
+            | Instructions -> 1.08
+            | Cache_misses -> 1.6
+            | Branch_misses -> 1.4
+          in
+          (c, v *. factor))
+        clean.s_counts }
+
+(* ------------------------------------------------------------------ *)
+(* Detector *)
+
+type baseline = { mean : float; sigma : float }
+
+type anomaly = {
+  a_task : string;
+  a_counter : counter;
+  a_zscore : float;
+}
+
+let pp_anomaly ppf a =
+  Format.fprintf ppf "%s/%s z=%.1f" a.a_task (counter_name a.a_counter)
+    a.a_zscore
+
+type t = {
+  stream : stream;
+  tasks : string array;
+  baselines : (string * counter, baseline) Hashtbl.t;
+  z_threshold : float;
+}
+
+let calibrate rng ~tasks ?(training_samples = 64) ?(z_threshold = 4.0) stream =
+  if tasks = [] then invalid_arg "Hpc_monitor.calibrate: no tasks";
+  if training_samples < 2 then
+    invalid_arg "Hpc_monitor.calibrate: need at least 2 training samples";
+  let baselines = Hashtbl.create 16 in
+  List.iter
+    (fun task ->
+      let samples =
+        List.init training_samples (fun _ -> clean_sample rng ~task)
+      in
+      List.iter
+        (fun counter ->
+          let values =
+            List.map (fun s -> List.assoc counter s.s_counts) samples
+          in
+          let n = float_of_int (List.length values) in
+          let mean = List.fold_left ( +. ) 0.0 values /. n in
+          let var =
+            List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0
+              values
+            /. n
+          in
+          (* floor sigma so a freak zero-variance calibration cannot
+             divide by zero *)
+          let sigma = max (sqrt var) (1e-6 *. abs_float mean +. 1e-9) in
+          Hashtbl.replace baselines (task, counter) { mean; sigma })
+        all_counters)
+    tasks;
+  { stream; tasks = Array.of_list tasks; baselines; z_threshold }
+
+let n_regions t = Array.length t.tasks
+
+let task_of_region t region =
+  if region < 0 || region >= Array.length t.tasks then
+    invalid_arg "Hpc_monitor.task_of_region";
+  t.tasks.(region)
+
+let check_region t region =
+  let task = task_of_region t region in
+  let samples = latest t.stream ~task () in
+  List.concat_map
+    (fun sample ->
+      List.filter_map
+        (fun (counter, v) ->
+          let b = Hashtbl.find t.baselines (task, counter) in
+          let z = (v -. b.mean) /. b.sigma in
+          if abs_float z > t.z_threshold then
+            Some { a_task = task; a_counter = counter; a_zscore = z }
+          else None)
+        sample.s_counts)
+    samples
+
+let check_all t =
+  List.concat_map (check_region t) (List.init (n_regions t) (fun r -> r))
+
+let detection_target t ~injector =
+  { Detection.n_regions = n_regions t;
+    check_region =
+      (fun ~region ~started ~finished:_ ->
+        Intrusion.apply_until injector started;
+        check_region t region <> []) }

@@ -1,0 +1,80 @@
+(** Hardware-event monitoring — Table 1's "statistical checks over
+    performance-monitor counters" class (perf / OProfile, after Woo et
+    al., DATE 2018).
+
+    A synthetic hardware-performance-counter substrate: every monitored
+    task exposes per-job counter samples (instructions, cache misses,
+    branch misses). The monitor first {e calibrates} a per-task,
+    per-counter baseline (mean and standard deviation over clean
+    training samples), then flags samples whose z-score exceeds a
+    threshold — the statistical anomaly check of the paper's reference
+    [21]. Compromised code (e.g. a hooked syscall path) shows up as a
+    counter shift without any filesystem or module-table artifact, so
+    this monitor covers attacks the other two cannot see.
+
+    Regions map to monitored task slots: inspecting region [k]
+    re-checks the [k]-th monitored task's latest samples, so the
+    {!Detection} machinery applies unchanged. *)
+
+type counter =
+  | Instructions
+  | Cache_misses
+  | Branch_misses
+
+val all_counters : counter list
+val counter_name : counter -> string
+
+type sample = {
+  s_task : string;  (** monitored task name *)
+  s_counts : (counter * float) list;  (** one value per counter *)
+}
+
+(** {1 Sample stream} *)
+
+type stream
+(** Mutable per-task sample history. *)
+
+val create_stream : tasks:string list -> stream
+val push : stream -> sample -> unit
+(** @raise Invalid_argument for an unknown task. *)
+
+val latest : stream -> task:string -> ?n:int -> unit -> sample list
+(** Most recent [n] samples (default 8), newest first. *)
+
+val clean_sample : Taskgen.Rng.t -> task:string -> sample
+(** Draws a plausible in-profile sample (used for calibration and for
+    benign load). *)
+
+val compromised_sample : Taskgen.Rng.t -> task:string -> sample
+(** A sample with the cache/branch-miss inflation typical of hooked
+    code paths. *)
+
+(** {1 Detector} *)
+
+type anomaly = {
+  a_task : string;
+  a_counter : counter;
+  a_zscore : float;
+}
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+type t
+
+val calibrate :
+  Taskgen.Rng.t -> tasks:string list -> ?training_samples:int ->
+  ?z_threshold:float -> stream -> t
+(** Learns per-task baselines from freshly drawn clean samples
+    (defaults: 64 training samples, threshold 4.0 sigma). *)
+
+val n_regions : t -> int
+(** One region per monitored task. *)
+
+val task_of_region : t -> int -> string
+
+val check_region : t -> int -> anomaly list
+(** Z-score check of the region's task over its latest samples. *)
+
+val check_all : t -> anomaly list
+
+val detection_target : t -> injector:Intrusion.t -> Detection.target

@@ -1,0 +1,20 @@
+module Checker = Profile_checker.Make (struct
+  type store = Filesystem.t
+
+  let keys = Filesystem.list_paths
+  let fingerprint store key = Hash.fnv1a64 (Filesystem.read store key)
+end)
+
+type t = Checker.t
+
+let create = Checker.create
+let n_regions = Checker.n_regions
+let region_of_key = Checker.region_of_key
+let check_region = Checker.check_region
+let check_all = Checker.check_all
+let rebaseline = Checker.rebaseline
+let accept = Checker.accept
+
+let tamper_file fs path =
+  let content = Filesystem.read fs path in
+  Filesystem.write fs path (content ^ "<shellcode-payload>")

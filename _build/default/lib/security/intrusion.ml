@@ -1,0 +1,31 @@
+type time = int
+
+type event = { at : time; label : string; action : unit -> unit }
+
+type t = {
+  mutable queue : event list;  (* sorted by [at], soonest first *)
+  mutable done_ : (time * string) list;  (* reverse application order *)
+}
+
+let create () = { queue = []; done_ = [] }
+
+let schedule t ~at ~label action =
+  let ev = { at; label; action } in
+  let rec insert = function
+    | [] -> [ ev ]
+    | e :: rest as l -> if e.at <= at then e :: insert rest else ev :: l
+  in
+  t.queue <- insert t.queue
+
+let apply_until t now =
+  let rec go = function
+    | e :: rest when e.at <= now ->
+        e.action ();
+        t.done_ <- (e.at, e.label) :: t.done_;
+        go rest
+    | rest -> t.queue <- rest
+  in
+  go t.queue
+
+let pending t = List.map (fun e -> (e.at, e.label)) t.queue
+let applied t = List.rev t.done_

@@ -1,0 +1,31 @@
+(** Intrusion injection with lazy, time-ordered application.
+
+    The paper launches attacks "at random points during program
+    execution" and measures time-to-detection. In the simulation only
+    the security scanners observe the monitored stores, so a mutation
+    scheduled for instant [t_a] may be applied lazily — it just has to
+    be in effect before any scanner observation at wall time
+    [>= t_a]. {!apply_until} is called by the detection monitor with
+    the start time of each region inspection, which realizes exactly
+    that semantics (a mutation landing {e during} an inspection window
+    is observed only on the next pass — the conservative reading of a
+    mid-scan race). *)
+
+type time = int
+
+type t
+
+val create : unit -> t
+
+val schedule : t -> at:time -> label:string -> (unit -> unit) -> unit
+(** Registers a mutation thunk to take effect at instant [at]. *)
+
+val apply_until : t -> time -> unit
+(** Applies (in time order) every scheduled mutation with
+    [at <= time]. Idempotent per mutation. *)
+
+val pending : t -> (time * string) list
+(** Not-yet-applied mutations, soonest first. *)
+
+val applied : t -> (time * string) list
+(** Already-applied mutations, in application order. *)

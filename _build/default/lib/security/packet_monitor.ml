@@ -1,0 +1,173 @@
+type time = int
+
+type protocol = Tcp | Udp | Icmp
+
+type packet = {
+  p_time : time;
+  p_src : string;
+  p_dst : string;
+  p_sport : int;
+  p_dport : int;
+  p_proto : protocol;
+  p_payload : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Capture ring *)
+
+type capture = {
+  capacity : int;
+  mutable ring : packet list;  (* newest first, length <= capacity *)
+  mutable ingested : int;
+}
+
+let create_capture ~capacity =
+  if capacity < 1 then invalid_arg "Packet_monitor.create_capture";
+  { capacity; ring = []; ingested = 0 }
+
+let ingest c p =
+  c.ingested <- c.ingested + 1;
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  c.ring <- take c.capacity (p :: c.ring)
+
+let captured c = List.rev c.ring
+let capture_count c = List.length c.ring
+let total_ingested c = c.ingested
+
+(* ------------------------------------------------------------------ *)
+(* Traffic synthesis *)
+
+let benign_hosts = [| "10.0.0.2"; "10.0.0.3"; "10.0.0.7"; "10.0.0.9" |]
+let benign_services = [| (80, Tcp); (443, Tcp); (1883, Tcp); (123, Udp) |]
+
+let benign_traffic rng ~now ~count =
+  List.init count (fun i ->
+      let src = benign_hosts.(Taskgen.Rng.int rng (Array.length benign_hosts)) in
+      let dport, proto =
+        benign_services.(Taskgen.Rng.int rng (Array.length benign_services))
+      in
+      { p_time = now + i; p_src = src; p_dst = "10.0.0.1";
+        p_sport = 20000 + Taskgen.Rng.int rng 20000; p_dport = dport; p_proto = proto;
+        p_payload = Printf.sprintf "telemetry seq=%d" i })
+
+let port_scan ~src ~now ~ports =
+  List.mapi
+    (fun i dport ->
+      { p_time = now + i; p_src = src; p_dst = "10.0.0.1"; p_sport = 54321;
+        p_dport = dport; p_proto = Tcp; p_payload = "" })
+    ports
+
+let c2_beacon ~src ~now =
+  { p_time = now; p_src = src; p_dst = "203.0.113.66"; p_sport = 44444;
+    p_dport = 4444; p_proto = Tcp; p_payload = "BEACON|id=rover|cmd?" }
+
+(* ------------------------------------------------------------------ *)
+(* Inspection *)
+
+type alert =
+  | Blacklisted_port of packet
+  | Signature_match of packet * string
+  | Port_scan of string * int
+
+let pp_alert ppf = function
+  | Blacklisted_port p ->
+      Format.fprintf ppf "blacklisted-port:%d from %s" p.p_dport p.p_src
+  | Signature_match (p, s) ->
+      Format.fprintf ppf "signature:%S from %s" s p.p_src
+  | Port_scan (src, n) ->
+      Format.fprintf ppf "port-scan: %s touched %d ports" src n
+
+type rules = {
+  blacklisted_ports : int list;
+  signatures : string list;
+  scan_threshold : int;
+}
+
+let default_rules =
+  { blacklisted_ports = [ 4444; 6667; 31337 ];
+    signatures = [ "BEACON|"; "<shellcode-payload>" ];
+    scan_threshold = 8 }
+
+type t = {
+  cap : capture;
+  rules : rules;
+  n_regions : int;
+}
+
+let create cap rules ~n_regions =
+  if n_regions < 1 then invalid_arg "Packet_monitor.create: n_regions < 1";
+  if rules.scan_threshold < 2 then
+    invalid_arg "Packet_monitor.create: scan_threshold < 2";
+  { cap; rules; n_regions }
+
+let n_regions t = t.n_regions
+
+(* Slice [k] covers ring positions [k*cap/n, (k+1)*cap/n) of the
+   oldest-first capture view — positions, not packet identity, so a
+   slice's contents advance as traffic flows, like a real ring-buffer
+   sniffer re-reading its window. *)
+let region_packets t region =
+  let lo = region * t.cap.capacity / t.n_regions in
+  let hi = (region + 1) * t.cap.capacity / t.n_regions in
+  List.filteri (fun i _ -> i >= lo && i < hi) (captured t.cap)
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
+let packet_alerts rules p =
+  let blacklist =
+    if List.mem p.p_dport rules.blacklisted_ports then
+      [ Blacklisted_port p ]
+    else []
+  in
+  let signatures =
+    List.filter_map
+      (fun s ->
+        if contains ~needle:s p.p_payload then Some (Signature_match (p, s))
+        else None)
+      rules.signatures
+  in
+  blacklist @ signatures
+
+let scan_alerts rules packets =
+  let by_src = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let ports =
+        Option.value (Hashtbl.find_opt by_src p.p_src) ~default:[]
+      in
+      if not (List.mem p.p_dport ports) then
+        Hashtbl.replace by_src p.p_src (p.p_dport :: ports))
+    packets;
+  Hashtbl.fold
+    (fun src ports acc ->
+      let n = List.length ports in
+      if n >= rules.scan_threshold then Port_scan (src, n) :: acc else acc)
+    by_src []
+
+let inspect_region t region =
+  let packets = region_packets t region in
+  List.concat_map (packet_alerts t.rules) packets @ scan_alerts t.rules packets
+
+let inspect_all t =
+  List.concat_map (inspect_region t) (List.init t.n_regions (fun r -> r))
+
+let detection_target t ~injector =
+  { Detection.n_regions = t.n_regions;
+    check_region =
+      (fun ~region ~started ~finished:_ ->
+        Intrusion.apply_until injector started;
+        inspect_region t region <> []) }

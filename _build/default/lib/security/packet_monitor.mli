@@ -1,0 +1,90 @@
+(** Network packet monitoring — Table 1's "Bro / Snort" class.
+
+    A synthetic traffic substrate plus a rule-based inspector. Captured
+    packets accumulate in a bounded ring; the monitoring task inspects
+    the capture incrementally, region by region (a region is a slice of
+    the ring), so the scheduler-driven {!Detection} machinery measures
+    when each slice is (re)inspected exactly as for the file-system
+    checker. Three detection rules are implemented:
+
+    - {e blacklisted destination ports} (e.g. known C2 ports),
+    - {e payload signatures} (byte-pattern match),
+    - {e port scans}: one source touching at least [scan_threshold]
+      distinct destination ports within the inspected slice. *)
+
+type time = int
+
+type protocol = Tcp | Udp | Icmp
+
+type packet = {
+  p_time : time;  (** capture timestamp *)
+  p_src : string;  (** source address *)
+  p_dst : string;  (** destination address *)
+  p_sport : int;
+  p_dport : int;
+  p_proto : protocol;
+  p_payload : string;
+}
+
+(** {1 Capture ring} *)
+
+type capture
+(** Bounded ring of recent packets (oldest evicted first). *)
+
+val create_capture : capacity:int -> capture
+val ingest : capture -> packet -> unit
+val captured : capture -> packet list
+(** Oldest first; at most [capacity] packets. *)
+
+val capture_count : capture -> int
+(** Packets currently held. *)
+
+val total_ingested : capture -> int
+(** Packets ever ingested (including evicted ones). *)
+
+(** {1 Traffic synthesis} *)
+
+val benign_traffic :
+  Taskgen.Rng.t -> now:time -> count:int -> packet list
+(** Deterministic plausible telemetry/control traffic. *)
+
+val port_scan : src:string -> now:time -> ports:int list -> packet list
+(** The attack traffic of a scanning host. *)
+
+val c2_beacon : src:string -> now:time -> packet
+(** A beacon to a blacklisted port with a marker payload. *)
+
+(** {1 Inspection} *)
+
+type alert =
+  | Blacklisted_port of packet
+  | Signature_match of packet * string  (** matched signature *)
+  | Port_scan of string * int  (** source, distinct ports seen *)
+
+val pp_alert : Format.formatter -> alert -> unit
+
+type rules = {
+  blacklisted_ports : int list;
+  signatures : string list;
+  scan_threshold : int;  (** distinct dports per source within a slice *)
+}
+
+val default_rules : rules
+
+type t
+(** The inspector: rules plus a region split of the capture ring. *)
+
+val create : capture -> rules -> n_regions:int -> t
+val n_regions : t -> int
+
+val inspect_region : t -> int -> alert list
+(** Inspects one slice of the current capture (slice [k] holds the
+    packets whose ring position falls in the [k]-th span). *)
+
+val inspect_all : t -> alert list
+
+val detection_target :
+  t -> injector:Intrusion.t -> Detection.target
+(** Standard wiring for the scan-progress monitor: apply pending
+    intrusions up to each inspection's start, then inspect the
+    region. *)

@@ -1,0 +1,124 @@
+type time = int
+
+type mode = Passive | Exhaustive
+
+(* Outcome of one region inspection in the combined scan. *)
+type hit = Clean | Passive_hit | Exhaustive_hit
+
+type t = {
+  sim_id : int;
+  wcet : time;
+  passive : Detection.target;
+  exhaustive : Detection.target;
+  cooldown_passes : int;
+  mutable mode : mode;
+  mutable clean_streak : int;
+  mutable transitions : (time * string) list;  (* newest first *)
+  mutable passive_detected : time option;
+  mutable exhaustive_detected : time option;
+  (* per-job walker state *)
+  mutable cur_seq : int;
+  mutable job_mode : mode;  (* mode the current job started in *)
+  mutable progress : time;
+  mutable region : int;
+  mutable region_started : time;
+  mutable job_dirty : bool;  (* any hit during the current job *)
+}
+
+let create ~sim_id ~wcet ~passive ~exhaustive ?(cooldown_passes = 2) () =
+  if wcet < 1 then invalid_arg "Reactive.create: wcet < 1";
+  if cooldown_passes < 1 then invalid_arg "Reactive.create: cooldown < 1";
+  { sim_id; wcet; passive; exhaustive; cooldown_passes; mode = Passive;
+    clean_streak = 0; transitions = []; passive_detected = None;
+    exhaustive_detected = None; cur_seq = -1; job_mode = Passive;
+    progress = 0; region = 0; region_started = 0; job_dirty = false }
+
+let mode t = t.mode
+let escalations t = List.rev t.transitions
+let passive_detection_time t = t.passive_detected
+let exhaustive_detection_time t = t.exhaustive_detected
+
+(* Regions of the current job: passive-only, or passive followed by
+   exhaustive within the same budget. *)
+let job_regions t =
+  match t.job_mode with
+  | Passive -> t.passive.Detection.n_regions
+  | Exhaustive ->
+      t.passive.Detection.n_regions + t.exhaustive.Detection.n_regions
+
+let boundary t k = (k + 1) * t.wcet / job_regions t
+
+(* Dispatch one region inspection to the right underlying target. *)
+let inspect t ~region ~started ~finished =
+  let n_passive = t.passive.Detection.n_regions in
+  match t.job_mode with
+  | Passive ->
+      if t.passive.Detection.check_region ~region ~started ~finished then
+        Passive_hit
+      else Clean
+  | Exhaustive ->
+      if region < n_passive then
+        if t.passive.Detection.check_region ~region ~started ~finished then
+          Passive_hit
+        else Clean
+      else if
+        t.exhaustive.Detection.check_region ~region:(region - n_passive)
+          ~started ~finished
+      then Exhaustive_hit
+      else Clean
+
+let transition t now label next_mode =
+  t.mode <- next_mode;
+  t.clean_streak <- 0;
+  t.transitions <- (now, label) :: t.transitions
+
+let record_hit t hit now =
+  match hit with
+  | Clean -> ()
+  | Passive_hit ->
+      t.job_dirty <- true;
+      if t.passive_detected = None then t.passive_detected <- Some now;
+      if t.mode = Passive then transition t now "escalate" Exhaustive
+  | Exhaustive_hit ->
+      t.job_dirty <- true;
+      if t.exhaustive_detected = None then t.exhaustive_detected <- Some now
+
+(* A completed full pass in exhaustive mode that saw no anomaly counts
+   toward de-escalation. *)
+let pass_completed t now =
+  match t.job_mode with
+  | Passive -> ()
+  | Exhaustive ->
+      if t.job_dirty then t.clean_streak <- 0
+      else begin
+        t.clean_streak <- t.clean_streak + 1;
+        if t.clean_streak >= t.cooldown_passes && t.mode = Exhaustive then
+          transition t now "de-escalate" Passive
+      end
+
+let on_execute t (job : Sim.Engine.job) ~core:_ ~start ~stop =
+  if job.Sim.Engine.j_task.Sim.Engine.st_id = t.sim_id then begin
+    if job.Sim.Engine.j_seq <> t.cur_seq then begin
+      t.cur_seq <- job.Sim.Engine.j_seq;
+      t.job_mode <- t.mode;
+      t.progress <- 0;
+      t.region <- 0;
+      t.region_started <- start;
+      t.job_dirty <- false
+    end;
+    let p0 = t.progress in
+    let p1 = p0 + (stop - start) in
+    let wall_of p = start + (p - p0) in
+    let n = job_regions t in
+    while t.region < n && boundary t t.region <= p1 do
+      let finished = wall_of (boundary t t.region) in
+      let hit =
+        inspect t ~region:t.region ~started:t.region_started ~finished
+      in
+      record_hit t hit finished;
+      t.region <- t.region + 1;
+      t.region_started <- finished;
+      if t.region = n then pass_completed t finished
+    done;
+    t.progress <- p1
+  end

@@ -1,0 +1,52 @@
+(** Reactive, dependency-aware security checking — the extension the
+    paper sketches in its Discussion (Sec. 6): a job performs action
+    [a0] (a cheap passive check); if [a0] observes an anomaly, the
+    following jobs also perform the dependent action [a1] (an
+    exhaustive check), and de-escalate after a configurable number of
+    consecutive clean exhaustive passes.
+
+    The monitor has two modes realized over the {e same} job budget
+    (the task's WCET is fixed by the schedulability analysis, so
+    escalation trades scan resolution, not execution time):
+
+    - {b Passive}: the whole job scans the passive target's regions.
+    - {b Exhaustive}: the job's budget is split — the first part
+      re-runs the passive check, the rest runs the exhaustive target.
+
+    Mode transitions take effect at job boundaries (a job started in
+    one mode finishes in it), matching the paper's [tau_s^j] /
+    [tau_s^(j+1)] narrative. *)
+
+type time = int
+
+type mode =
+  | Passive
+  | Exhaustive
+
+type t
+
+val create :
+  sim_id:int -> wcet:time -> passive:Detection.target ->
+  exhaustive:Detection.target -> ?cooldown_passes:int -> unit -> t
+(** [create ~sim_id ~wcet ~passive ~exhaustive ()] builds the reactive
+    monitor for simulated task [sim_id]. [cooldown_passes] (default 2)
+    is the number of consecutive clean exhaustive passes before
+    de-escalating back to passive mode. *)
+
+val on_execute :
+  t -> Sim.Engine.job -> core:int -> start:time -> stop:time -> unit
+(** Feed as (part of) the engine's [on_execute] hook. *)
+
+val mode : t -> mode
+(** Mode the {e next} job will start in. *)
+
+val escalations : t -> (time * string) list
+(** Mode transitions so far, newest last: [(wall_time, "escalate" |
+    "de-escalate")]. *)
+
+val passive_detection_time : t -> time option
+(** First wall-clock instant the passive action flagged an anomaly. *)
+
+val exhaustive_detection_time : t -> time option
+(** First instant the exhaustive action found a violation (the deep
+    detection the escalation exists for). *)

@@ -1,0 +1,124 @@
+type time = int
+
+type pose = { x : int; y : int; heading : int }
+
+type world = {
+  size : int;
+  obstacles : (int * int, unit) Hashtbl.t;
+  mutable w_pose : pose;
+  mutable steps : int;
+  mutable encounters : int;
+}
+
+(* Deterministic obstacle field: ~12% of cells, from a splitmix64
+   stream so worlds are reproducible. *)
+let create_world ?(size = 16) ~seed () =
+  if size < 4 then invalid_arg "Rover_app.create_world: size < 4";
+  let rng = Taskgen.Rng.create seed in
+  let obstacles = Hashtbl.create 32 in
+  for x = 0 to size - 1 do
+    for y = 0 to size - 1 do
+      if (x, y) <> (0, 0) && Taskgen.Rng.int rng 8 = 0 then
+        Hashtbl.replace obstacles (x, y) ()
+    done
+  done;
+  { size; obstacles; w_pose = { x = 0; y = 0; heading = 0 }; steps = 0;
+    encounters = 0 }
+
+let pose w = w.w_pose
+let steps_taken w = w.steps
+let obstacle_encounters w = w.encounters
+
+let ahead w =
+  let { x; y; heading } = w.w_pose in
+  let wrap v = ((v mod w.size) + w.size) mod w.size in
+  match heading with
+  | 0 -> (wrap (x + 1), y)
+  | 90 -> (x, wrap (y + 1))
+  | 180 -> (wrap (x - 1), y)
+  | 270 -> (x, wrap (y - 1))
+  | _ -> invalid_arg "Rover_app: heading not axis-aligned"
+
+(* One job of the navigation task: the infrared sensor reads the cell
+   ahead; on an obstacle the rover turns right (the vendor controller's
+   simple avoidance), otherwise it advances. *)
+let navigate_step w =
+  w.steps <- w.steps + 1;
+  let target = ahead w in
+  if Hashtbl.mem w.obstacles target then begin
+    w.encounters <- w.encounters + 1;
+    w.w_pose <- { w.w_pose with heading = (w.w_pose.heading + 90) mod 360 }
+  end
+  else
+    let x, y = target in
+    w.w_pose <- { w.w_pose with x; y }
+
+(* ------------------------------------------------------------------ *)
+(* Camera *)
+
+type camera = {
+  fs : Filesystem.t;
+  bytes_per_image : int;
+  journal : (Filesystem.path, int64) Hashtbl.t;
+      (* declared content fingerprints of authorized writes *)
+  mutable seq : int;
+}
+
+let create_camera fs ?(bytes_per_image = 2048) () =
+  { fs; bytes_per_image; journal = Hashtbl.create 32; seq = 0 }
+
+(* A deterministic "frame": pose and timestamp baked into the pixels. *)
+let render ~pose:{ x; y; heading } ~at ~len =
+  let header = Printf.sprintf "FRAME x=%d y=%d h=%d t=%d|" x y heading at in
+  let filler =
+    String.init (max 0 (len - String.length header)) (fun i ->
+        Char.chr ((x * 31 + y * 17 + heading + at + i) mod 256))
+  in
+  header ^ filler
+
+let capture cam world at =
+  let path = Printf.sprintf "live_%05d.raw" cam.seq in
+  cam.seq <- cam.seq + 1;
+  let frame = render ~pose:world.w_pose ~at ~len:cam.bytes_per_image in
+  Filesystem.add_file cam.fs path frame;
+  Hashtbl.replace cam.journal path (Hash.fnv1a64 frame);
+  path
+
+let captures cam = cam.seq
+
+(* An authorized write matches its journaled fingerprint; absorb it
+   into the baseline instead of reporting. A tampered file hashes
+   differently from the journal entry and stays reported. *)
+let authorized cam key =
+  match Hashtbl.find_opt cam.journal key with
+  | None -> false
+  | Some declared ->
+      (match Filesystem.read cam.fs key with
+      | content -> Hash.fnv1a64 content = declared
+      | exception Not_found -> false)
+
+let guarded_check_region cam checker region =
+  let raw = Integrity_checker.check_region checker region in
+  List.filter
+    (fun violation ->
+      let key = Profile_checker.violation_key violation in
+      if authorized cam key then begin
+        Integrity_checker.accept checker ~key;
+        false
+      end
+      else true)
+    raw
+
+(* ------------------------------------------------------------------ *)
+(* Simulation wiring *)
+
+let hooks world cam ~nav_sim_id ~cam_sim_id (base : Sim.Engine.hooks) =
+  let on_finish (job : Sim.Engine.job) ~finish =
+    let id = job.Sim.Engine.j_task.Sim.Engine.st_id in
+    if id = nav_sim_id then navigate_step world
+    else if id = cam_sim_id then ignore (capture cam world finish);
+    match base.Sim.Engine.on_finish with
+    | Some f -> f job ~finish
+    | None -> ()
+  in
+  { base with Sim.Engine.on_finish = Some on_finish }

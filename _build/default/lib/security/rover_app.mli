@@ -1,0 +1,64 @@
+(** The rover's application behaviour — what the RT tasks actually do
+    (paper Sec. 5.1.2): "the rover moved around autonomously and
+    periodically captured images (and stored them in the internal
+    storage)". The navigation task steps an obstacle-avoiding
+    grid-world controller; the camera task captures a deterministic
+    synthetic frame into the {!Filesystem} image store that Tripwire
+    monitors.
+
+    Because the camera legitimately {e grows} the monitored store, raw
+    integrity checking would flood with false "Added" findings. The
+    application therefore declares every capture through an
+    {!authorized} journal; {!guarded_check_region} consults it —
+    matching entries are absorbed into the checker baseline (the real
+    Tripwire policy-update workflow), everything else is reported. A
+    tampered file never matches its journal fingerprint, so attack
+    detection is unaffected (property-tested). *)
+
+type time = int
+
+(** {1 Navigation} *)
+
+type pose = { x : int; y : int; heading : int  (** degrees, 0/90/180/270 *) }
+
+type world
+(** Grid world with obstacles. *)
+
+val create_world : ?size:int -> seed:int -> unit -> world
+val pose : world -> pose
+val steps_taken : world -> int
+val obstacle_encounters : world -> int
+
+val navigate_step : world -> unit
+(** One navigation-job body: read the (synthetic) infrared sensor,
+    turn if an obstacle is ahead, advance one cell (wrapping at the
+    world edge). Deterministic for a given seed. *)
+
+(** {1 Camera + authorized writes} *)
+
+type camera
+
+val create_camera : Filesystem.t -> ?bytes_per_image:int -> unit -> camera
+
+val capture : camera -> world -> time -> Filesystem.path
+(** One camera-job body: renders a frame of the current world pose,
+    stores it as [live_NNNNN.raw], journals the write as authorized,
+    and returns the path. *)
+
+val captures : camera -> int
+
+val guarded_check_region :
+  camera -> Integrity_checker.t -> int -> Profile_checker.violation list
+(** Region check that first absorbs journaled (authorized) writes into
+    the baseline, then reports the remaining violations — the scan
+    body the Tripwire task should run when the store has a legitimate
+    producer. *)
+
+(** {1 Simulation wiring} *)
+
+val hooks :
+  world -> camera -> nav_sim_id:int -> cam_sim_id:int ->
+  Sim.Engine.hooks -> Sim.Engine.hooks
+(** Extends [hooks] so every completed navigation job steps the world
+    and every completed camera job captures a frame (at its finish
+    instant), composing with any hooks already present. *)

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Bytes Format Hashtbl List Option Out_channel Printf String

@@ -1,0 +1,309 @@
+type time = int
+
+type sim_task = {
+  st_id : int;
+  st_name : string;
+  st_wcet : time;
+  st_period : time;
+  st_deadline : time;
+  st_prio : int;
+  st_core : int option;
+  st_offset : time;
+}
+
+type job = {
+  j_task : sim_task;
+  j_seq : int;
+  j_release : time;
+  j_abs_deadline : time;
+  mutable j_remaining : time;
+  mutable j_last_core : int;
+  mutable j_started_at : time;
+}
+
+type hooks = {
+  on_release : (job -> unit) option;
+  on_execute : (job -> core:int -> start:time -> stop:time -> unit) option;
+  on_finish : (job -> finish:time -> unit) option;
+}
+
+let no_hooks = { on_release = None; on_execute = None; on_finish = None }
+
+type overheads = {
+  dispatch_cost : time;
+  migration_cost : time;
+}
+
+let no_overheads = { dispatch_cost = 0; migration_cost = 0 }
+
+type task_stats = {
+  ts_task : sim_task;
+  ts_released : int;
+  ts_finished : int;
+  ts_deadline_misses : int;
+  ts_aborted : int;
+  ts_max_response : time;
+  ts_total_response : time;
+}
+
+type stats = {
+  horizon : time;
+  per_task : task_stats array;
+  context_switches : int;
+  preemptions : int;
+  migrations : int;
+  busy_ticks : int;
+  idle_ticks : int;
+  trace : Trace.t option;
+}
+
+(* Mutable per-task accumulator mirrored into [task_stats] at the end. *)
+type acc = {
+  mutable released : int;
+  mutable finished : int;
+  mutable misses : int;
+  mutable aborted : int;
+  mutable max_resp : time;
+  mutable total_resp : time;
+  mutable next_release : time;
+  mutable seq : int;
+  mutable active : job option;  (** the single in-flight job, if any *)
+}
+
+let validate ~n_cores tasks =
+  if tasks = [] then invalid_arg "Engine.run: empty task list";
+  if n_cores < 1 then invalid_arg "Engine.run: n_cores < 1";
+  let prios = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if t.st_wcet < 1 then
+        invalid_arg (Printf.sprintf "Engine.run: %s has wcet < 1" t.st_name);
+      if t.st_period < t.st_wcet then
+        invalid_arg (Printf.sprintf "Engine.run: %s has period < wcet" t.st_name);
+      if t.st_offset < 0 then
+        invalid_arg (Printf.sprintf "Engine.run: %s has negative offset" t.st_name);
+      (match t.st_core with
+      | Some m when m < 0 || m >= n_cores ->
+          invalid_arg (Printf.sprintf "Engine.run: %s pinned out of range" t.st_name)
+      | Some _ | None -> ());
+      if Hashtbl.mem prios t.st_prio then
+        invalid_arg
+          (Printf.sprintf "Engine.run: duplicate priority %d (%s)" t.st_prio
+             t.st_name);
+      Hashtbl.add prios t.st_prio ())
+    tasks
+
+let run ?(hooks = no_hooks) ?(collect_trace = false)
+    ?(overheads = no_overheads) ~n_cores ~horizon tasks =
+  if horizon < 1 then invalid_arg "Engine.run: horizon < 1";
+  if overheads.dispatch_cost < 0 || overheads.migration_cost < 0 then
+    invalid_arg "Engine.run: negative overheads";
+  validate ~n_cores tasks;
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let index_of_id = Hashtbl.create n in
+  Array.iteri
+    (fun i t ->
+      if Hashtbl.mem index_of_id t.st_id then
+        invalid_arg
+          (Printf.sprintf "Engine.run: duplicate task id %d (%s)" t.st_id
+             t.st_name);
+      Hashtbl.add index_of_id t.st_id i)
+    tasks;
+  let accs =
+    Array.map
+      (fun t ->
+        { released = 0; finished = 0; misses = 0; aborted = 0; max_resp = 0;
+          total_resp = 0; next_release = t.st_offset; seq = 0; active = None })
+      tasks
+  in
+  let trace = if collect_trace then Some (Trace.create ()) else None in
+  let ready = ref [] in
+  let running : job option array = Array.make n_cores None in
+  let seg_start = Array.make n_cores 0 in
+  let context_switches = ref 0 in
+  let preemptions = ref 0 in
+  let migrations = ref 0 in
+  let busy_ticks = ref 0 in
+  let idle_ticks = ref 0 in
+
+  let emit_segment core job start stop =
+    if stop > start then begin
+      (match trace with
+      | Some tr ->
+          Trace.add tr
+            { Trace.seg_core = core; seg_task_id = job.j_task.st_id;
+              seg_task_name = job.j_task.st_name; seg_job_seq = job.j_seq;
+              seg_start = start; seg_stop = stop }
+      | None -> ());
+      match hooks.on_execute with
+      | Some f -> f job ~core ~start ~stop
+      | None -> ()
+    end
+  in
+
+  let release_jobs t =
+    Array.iteri
+      (fun i task ->
+        let a = accs.(i) in
+        while a.next_release <= t do
+          (* Abort a still-unfinished previous job: the security-task
+             model requires completion before the next invocation, so
+             an overrun is a deadline miss and the stale job is
+             dropped to avoid unbounded backlog. *)
+          (match a.active with
+          | Some old when old.j_remaining > 0 ->
+              a.misses <- a.misses + 1;
+              a.aborted <- a.aborted + 1;
+              ready := List.filter (fun j -> j != old) !ready
+          | Some _ | None -> ());
+          let job =
+            { j_task = task; j_seq = a.seq; j_release = a.next_release;
+              j_abs_deadline = a.next_release + task.st_deadline;
+              j_remaining = task.st_wcet; j_last_core = -1; j_started_at = -1 }
+          in
+          a.seq <- a.seq + 1;
+          a.released <- a.released + 1;
+          a.active <- Some job;
+          ready := job :: !ready;
+          a.next_release <- a.next_release + task.st_period;
+          match hooks.on_release with Some f -> f job | None -> ()
+        done)
+      tasks
+  in
+
+  (* Priority-order greedy claim: pinned jobs claim their own core,
+     migrating jobs any unclaimed core (preferring where they last
+     ran). With unique priorities this realizes partitioned, semi-
+     partitioned and global FP depending on the pinning pattern. *)
+  let assign () =
+    let sorted =
+      List.sort (fun a b -> compare a.j_task.st_prio b.j_task.st_prio) !ready
+    in
+    let claimed = Array.make n_cores None in
+    let try_claim m job = if claimed.(m) = None then (claimed.(m) <- Some job; true) else false in
+    let place job =
+      match job.j_task.st_core with
+      | Some m -> ignore (try_claim m job)
+      | None ->
+          let preferred = job.j_last_core in
+          let taken =
+            preferred >= 0 && preferred < n_cores && try_claim preferred job
+          in
+          if not taken then begin
+            let rec scan m =
+              if m < n_cores then if try_claim m job then () else scan (m + 1)
+            in
+            scan 0
+          end
+    in
+    List.iter place sorted;
+    claimed
+  in
+
+  let switch_to t newrun =
+    for m = 0 to n_cores - 1 do
+      let old = running.(m) and next = newrun.(m) in
+      let same =
+        match (old, next) with
+        | None, None -> true
+        | Some a, Some b -> a == b
+        | None, Some _ | Some _, None -> false
+      in
+      if not same then begin
+        incr context_switches;
+        (match old with
+        | Some job ->
+            emit_segment m job seg_start.(m) t;
+            if job.j_remaining > 0 && List.memq job !ready then
+              incr preemptions
+        | None -> ());
+        (match next with
+        | Some job ->
+            (* Dispatch overheads inflate the incoming job's remaining
+               execution — the cost is paid inside its own budget. *)
+            job.j_remaining <- job.j_remaining + overheads.dispatch_cost;
+            if job.j_last_core >= 0 && job.j_last_core <> m then begin
+              incr migrations;
+              job.j_remaining <- job.j_remaining + overheads.migration_cost
+            end;
+            job.j_last_core <- m;
+            if job.j_started_at < 0 then job.j_started_at <- t;
+            seg_start.(m) <- t
+        | None -> ());
+        running.(m) <- next
+      end
+    done
+  in
+
+  let next_event_after t =
+    let t' = ref horizon in
+    Array.iter (fun a -> if a.next_release < !t' then t' := a.next_release) accs;
+    Array.iter
+      (function
+        | Some job ->
+            let fin = t + job.j_remaining in
+            if fin < !t' then t' := fin
+        | None -> ())
+      running;
+    !t'
+  in
+
+  let rec loop t =
+    if t < horizon then begin
+      release_jobs t;
+      let newrun = assign () in
+      switch_to t newrun;
+      let t' = next_event_after t in
+      let dt = t' - t in
+      for m = 0 to n_cores - 1 do
+        match running.(m) with
+        | Some job ->
+            job.j_remaining <- job.j_remaining - dt;
+            busy_ticks := !busy_ticks + dt
+        | None -> idle_ticks := !idle_ticks + dt
+      done;
+      (* Completions at t'. *)
+      for m = 0 to n_cores - 1 do
+        match running.(m) with
+        | Some job when job.j_remaining = 0 ->
+            emit_segment m job seg_start.(m) t';
+            let a = accs.(Hashtbl.find index_of_id job.j_task.st_id) in
+            let resp = t' - job.j_release in
+            a.finished <- a.finished + 1;
+            a.total_resp <- a.total_resp + resp;
+            if resp > a.max_resp then a.max_resp <- resp;
+            if t' > job.j_abs_deadline then a.misses <- a.misses + 1;
+            (match a.active with
+            | Some j when j == job -> a.active <- None
+            | Some _ | None -> ());
+            ready := List.filter (fun j -> j != job) !ready;
+            running.(m) <- None;
+            incr context_switches;
+            (match hooks.on_finish with
+            | Some f -> f job ~finish:t'
+            | None -> ())
+        | Some _ | None -> ()
+      done;
+      loop t'
+    end
+  in
+  loop 0;
+  (* Close segments still open at the horizon. *)
+  for m = 0 to n_cores - 1 do
+    match running.(m) with
+    | Some job -> emit_segment m job seg_start.(m) horizon
+    | None -> ()
+  done;
+  let per_task =
+    Array.mapi
+      (fun i a ->
+        { ts_task = tasks.(i); ts_released = a.released;
+          ts_finished = a.finished; ts_deadline_misses = a.misses;
+          ts_aborted = a.aborted; ts_max_response = a.max_resp;
+          ts_total_response = a.total_resp })
+      accs
+  in
+  { horizon; per_task; context_switches = !context_switches;
+    preemptions = !preemptions; migrations = !migrations;
+    busy_ticks = !busy_ticks; idle_ticks = !idle_ticks; trace }

@@ -1,0 +1,24 @@
+(** Convenience queries over simulation results — the quantities the
+    paper reports from its testbed runs (deadline misses, context
+    switches, response times). *)
+
+val stats_of_sim_id : Engine.stats -> sim_id:int -> Engine.task_stats
+(** Per-task stats by simulator task id. @raise Not_found if absent. *)
+
+val deadline_misses : Engine.stats -> sim_ids:int array -> int
+(** Total deadline misses over the given tasks. *)
+
+val finished_jobs : Engine.stats -> sim_ids:int array -> int
+(** Total completed jobs over the given tasks. *)
+
+val mean_response : Engine.stats -> sim_id:int -> float
+(** Mean response time of one task's finished jobs; [nan] if none. *)
+
+val max_response : Engine.stats -> sim_id:int -> int
+(** Maximum observed response time of one task (0 if none finished). *)
+
+val throughput : Engine.stats -> sim_id:int -> float
+(** Finished jobs per tick of one task. *)
+
+val core_utilization : Engine.stats -> n_cores:int -> float
+(** Busy fraction across all cores. *)

@@ -1,0 +1,8 @@
+type t = Fully_partitioned | Semi_partitioned | Global_all
+
+let name = function
+  | Fully_partitioned -> "fully-partitioned"
+  | Semi_partitioned -> "semi-partitioned"
+  | Global_all -> "global"
+
+let pp ppf p = Format.pp_print_string ppf (name p)

@@ -1,0 +1,11 @@
+(** Scheduling policies compared in the paper (Sec. 3 and 5.2.3). *)
+
+type t =
+  | Fully_partitioned
+      (** HYDRA world: RT tasks and security tasks are all pinned *)
+  | Semi_partitioned
+      (** HYDRA-C world: RT tasks pinned, security tasks migrate *)
+  | Global_all  (** GLOBAL-TMax world: every task migrates *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

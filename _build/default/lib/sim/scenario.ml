@@ -1,0 +1,55 @@
+module Task = Rtsched.Task
+
+type built = {
+  tasks : Engine.sim_task list;
+  rt_sim_ids : int array;
+  sec_sim_ids : int array;
+}
+
+let of_taskset (ts : Task.taskset) ~rt_assignment ~policy ~sec_periods
+    ?sec_cores () =
+  let n_rt = Array.length ts.rt in
+  let max_rt_prio =
+    Array.fold_left (fun acc t -> max acc t.Task.rt_prio) 0 ts.rt
+  in
+  let rt_core i =
+    match policy with
+    | Policy.Global_all -> None
+    | Policy.Fully_partitioned | Policy.Semi_partitioned ->
+        Some rt_assignment.(i)
+  in
+  let sec_core (s : Task.sec_task) =
+    match policy with
+    | Policy.Global_all | Policy.Semi_partitioned -> None
+    | Policy.Fully_partitioned -> (
+        match sec_cores with
+        | Some cores -> Some cores.(s.sec_id)
+        | None ->
+            invalid_arg
+              "Scenario.of_taskset: Fully_partitioned requires sec_cores")
+  in
+  let rt_tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i (t : Task.rt_task) ->
+           { Engine.st_id = i; st_name = t.rt_name; st_wcet = t.rt_wcet;
+             st_period = t.rt_period; st_deadline = t.rt_deadline;
+             st_prio = t.rt_prio; st_core = rt_core i; st_offset = 0 })
+         ts.rt)
+  in
+  let sec_tasks =
+    Array.to_list
+      (Array.mapi
+         (fun j (s : Task.sec_task) ->
+           let period = sec_periods.(s.sec_id) in
+           { Engine.st_id = n_rt + j; st_name = s.sec_name;
+             st_wcet = s.sec_wcet; st_period = period; st_deadline = period;
+             st_prio = max_rt_prio + 1 + s.sec_prio; st_core = sec_core s;
+             st_offset = 0 })
+         ts.sec)
+  in
+  let rt_sim_ids = Array.make n_rt 0 in
+  Array.iteri (fun i t -> rt_sim_ids.(t.Task.rt_id) <- i) ts.rt;
+  let sec_sim_ids = Array.make (Array.length ts.sec) 0 in
+  Array.iteri (fun j s -> sec_sim_ids.(s.Task.sec_id) <- n_rt + j) ts.sec;
+  { tasks = rt_tasks @ sec_tasks; rt_sim_ids; sec_sim_ids }

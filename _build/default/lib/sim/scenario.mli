@@ -1,0 +1,24 @@
+(** Bridges the analysis-side task model to the simulator: flattens a
+    {!Rtsched.Task.taskset} plus a scheme's decisions (security
+    periods, optional security pinning) into simulator tasks under a
+    given {!Policy.t}. Security tasks always sit in a strictly lower
+    global priority band than RT tasks. All first jobs are released
+    synchronously at time 0 (the critical instant). *)
+
+type built = {
+  tasks : Engine.sim_task list;
+  rt_sim_ids : int array;  (** sim id of the RT task with [rt_id = i] *)
+  sec_sim_ids : int array;  (** sim id of the security task with [sec_id = j] *)
+}
+(** Requires task ids to be dense ([0 .. n-1] within each class), as
+    the taskset generator and the smart constructors' conventions
+    produce. *)
+
+val of_taskset :
+  Rtsched.Task.taskset -> rt_assignment:int array -> policy:Policy.t ->
+  sec_periods:int array -> ?sec_cores:int array -> unit -> built
+(** [sec_periods] and [sec_cores] are indexed by [sec_id].
+    [sec_cores] is required for {!Policy.Fully_partitioned} and
+    ignored otherwise; under {!Policy.Global_all} the RT pinning is
+    dropped as well.
+    @raise Invalid_argument when [Fully_partitioned] lacks [sec_cores]. *)

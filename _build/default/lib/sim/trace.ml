@@ -1,0 +1,106 @@
+type time = int
+
+type segment = {
+  seg_core : int;
+  seg_task_id : int;
+  seg_task_name : string;
+  seg_job_seq : int;
+  seg_start : time;
+  seg_stop : time;
+}
+
+type t = { mutable segs : segment list }
+
+let create () = { segs = [] }
+let add t seg = t.segs <- seg :: t.segs
+
+let segments t =
+  List.sort
+    (fun a b ->
+      match compare a.seg_start b.seg_start with
+      | 0 -> compare a.seg_core b.seg_core
+      | c -> c)
+    t.segs
+
+let busy_time_of_task t ~task_id =
+  List.fold_left
+    (fun acc s ->
+      if s.seg_task_id = task_id then acc + (s.seg_stop - s.seg_start) else acc)
+    0 t.segs
+
+let segments_of_core t ~core =
+  segments t |> List.filter (fun s -> s.seg_core = core)
+
+let utilization_of_core t ~core ~horizon =
+  let busy =
+    List.fold_left
+      (fun acc s ->
+        if s.seg_core = core then acc + (s.seg_stop - s.seg_start) else acc)
+      0 t.segs
+  in
+  float_of_int busy /. float_of_int horizon
+
+let rec pairwise_disjoint = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a.seg_stop <= b.seg_start && pairwise_disjoint rest
+
+let no_overlap t =
+  let by_core = Hashtbl.create 8 in
+  let by_job = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let push tbl k =
+        Hashtbl.replace tbl k (s :: Option.value (Hashtbl.find_opt tbl k) ~default:[])
+      in
+      push by_core s.seg_core;
+      push by_job (s.seg_task_id, s.seg_job_seq))
+    t.segs;
+  let sorted_ok segs =
+    segs
+    |> List.sort (fun a b -> compare a.seg_start b.seg_start)
+    |> pairwise_disjoint
+  in
+  Hashtbl.fold (fun _ segs acc -> acc && sorted_ok segs) by_core true
+  && Hashtbl.fold (fun _ segs acc -> acc && sorted_ok segs) by_job true
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "core,task_id,task_name,job,start,stop\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%s,%d,%d,%d\n" s.seg_core s.seg_task_id
+           s.seg_task_name s.seg_job_seq s.seg_start s.seg_stop))
+    (segments t);
+  Buffer.contents buf
+
+let save_csv path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_csv t))
+
+let pp_ascii ?(width = 100) ppf t ~n_cores ~horizon =
+  let scale x = x * width / max 1 horizon in
+  let glyph_of_task = Hashtbl.create 16 in
+  let next = ref 0 in
+  let glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789" in
+  let glyph task_id =
+    match Hashtbl.find_opt glyph_of_task task_id with
+    | Some g -> g
+    | None ->
+        let g = glyphs.[!next mod String.length glyphs] in
+        incr next;
+        Hashtbl.add glyph_of_task task_id g;
+        g
+  in
+  for core = 0 to n_cores - 1 do
+    let line = Bytes.make width '.' in
+    List.iter
+      (fun s ->
+        if s.seg_core = core then
+          let a = scale s.seg_start and b = max (scale s.seg_start + 1) (scale s.seg_stop) in
+          for i = a to min (b - 1) (width - 1) do
+            Bytes.set line i (glyph s.seg_task_id)
+          done)
+      t.segs;
+    Format.fprintf ppf "core%d |%s|@." core (Bytes.to_string line)
+  done

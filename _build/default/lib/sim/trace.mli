@@ -1,0 +1,49 @@
+(** Schedule traces: the sequence of maximal execution segments
+    produced by a simulation, for debugging, visualization and the
+    trace-based tests (the simulator's schedule is cross-checked
+    against the analytical response-time bounds). *)
+
+type time = int
+
+type segment = {
+  seg_core : int;
+  seg_task_id : int;
+  seg_task_name : string;
+  seg_job_seq : int;
+  seg_start : time;
+  seg_stop : time;  (** exclusive *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> segment -> unit
+
+val segments : t -> segment list
+(** In chronological order of [seg_start] (ties by core). *)
+
+val busy_time_of_task : t -> task_id:int -> time
+(** Total executed ticks of one task across the trace. *)
+
+val segments_of_core : t -> core:int -> segment list
+(** Chronological segments of one core. *)
+
+val utilization_of_core : t -> core:int -> horizon:time -> float
+(** Fraction of [horizon] the core spent executing. *)
+
+val no_overlap : t -> bool
+(** True when no two segments of the same core overlap and no two
+    segments of the same {e job} overlap across cores — the basic
+    sanity invariants of a valid single-threaded-job schedule. *)
+
+val pp_ascii :
+  ?width:int -> Format.formatter -> t -> n_cores:int -> horizon:time -> unit
+(** Renders a compact per-core ASCII timeline ([width] columns). *)
+
+val to_csv : t -> string
+(** Renders the chronological segments as CSV
+    ([core,task_id,task_name,job,start,stop]) with a header row — the
+    interchange format for external Gantt/trace viewers. *)
+
+val save_csv : string -> t -> unit
+(** Writes {!to_csv} to a file. @raise Sys_error on I/O failure. *)

@@ -1,0 +1,1 @@
+lib/taskgen/generator.ml: Array Float List Loguniform Printf Randfixedsum Rng Rtsched

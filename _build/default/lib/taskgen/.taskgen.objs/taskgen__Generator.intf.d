@@ -1,0 +1,1 @@
+lib/taskgen/generator.mli: Rng Rtsched

@@ -1,0 +1,1 @@
+lib/taskgen/loguniform.ml: Float Rng

@@ -1,0 +1,1 @@
+lib/taskgen/loguniform.mli: Rng

@@ -1,0 +1,1 @@
+lib/taskgen/randfixedsum.ml: Array Float Printf Rng

@@ -1,0 +1,1 @@
+lib/taskgen/randfixedsum.mli: Rng

@@ -1,0 +1,1 @@
+lib/taskgen/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/taskgen/rng.mli:

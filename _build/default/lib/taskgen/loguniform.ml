@@ -1,0 +1,8 @@
+let sample rng ~lo ~hi =
+  if lo <= 0.0 || lo > hi then invalid_arg "Loguniform.sample: need 0 < lo <= hi";
+  exp (Rng.float_in rng (log lo) (log hi))
+
+let sample_int rng ~lo ~hi =
+  let v = sample rng ~lo:(float_of_int lo) ~hi:(float_of_int hi) in
+  let r = int_of_float (Float.round v) in
+  max lo (min hi r)

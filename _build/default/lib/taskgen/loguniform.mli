@@ -1,0 +1,15 @@
+(** Log-uniform sampling of task periods (paper Table 3).
+
+    A log-uniform period distribution gives every order of magnitude in
+    [\[lo, hi\]] equal probability mass — the standard choice in the
+    real-time taskset-generation literature (Emberson et al.,
+    WATERS'10) because it avoids the long-period bias of plain uniform
+    sampling. *)
+
+val sample : Rng.t -> lo:float -> hi:float -> float
+(** [sample rng ~lo ~hi] draws [exp(U(log lo, log hi))]; requires
+    [0 < lo <= hi]. *)
+
+val sample_int : Rng.t -> lo:int -> hi:int -> int
+(** Integer-valued variant: draws a real log-uniform value and rounds
+    to the nearest integer, clamped into [\[lo, hi\]]. *)

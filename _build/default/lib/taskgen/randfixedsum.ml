@@ -1,0 +1,70 @@
+(* Literal port of Roger Stafford's randfixedsum (MATLAB File Exchange
+   #9700), the algorithm recommended by Emberson-Stafford-Davis for
+   multiprocessor taskset synthesis. The n-1 dimensional simplex slice
+   {x in [0,1]^n | sum x = s} is decomposed into simplices; the w table
+   holds (scaled) relative volumes and t the transition probabilities
+   used to walk the decomposition while sampling. Indices below are
+   kept 1-based to match the published algorithm. *)
+
+let sample rng ~n ~total ~lo ~hi =
+  if n < 1 then invalid_arg "Randfixedsum.sample: n < 1";
+  if lo > hi then invalid_arg "Randfixedsum.sample: lo > hi";
+  let eps = 1e-9 in
+  if total < (float_of_int n *. lo) -. eps
+     || total > (float_of_int n *. hi) +. eps
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Randfixedsum.sample: total %g infeasible for n=%d in [%g, %g]"
+         total n lo hi);
+  if hi -. lo < 1e-12 then Array.make n lo
+  else begin
+    (* Rescale so each component lies in [0, 1]. *)
+    let s = (total -. (float_of_int n *. lo)) /. (hi -. lo) in
+    let s = max 0.0 (min (float_of_int n) s) in
+    let x =
+      if n = 1 then [| s |]
+      else begin
+        let k = max (min (int_of_float (floor s)) (n - 1)) 0 in
+        let s = max (min s (float_of_int k +. 1.0)) (float_of_int k) in
+        let s1 = Array.init (n + 1) (fun i -> s -. float_of_int (k - i + 1)) in
+        let s2 = Array.init (n + 1) (fun i -> float_of_int (k + n - i + 1) -. s) in
+        (* s1.(i), s2.(i) valid for i = 1..n (index 0 unused). *)
+        let w = Array.make_matrix (n + 1) (n + 2) 0.0 in
+        let t = Array.make_matrix n (n + 1) 0.0 in
+        let tiny = Float.min_float in
+        let huge = Float.max_float in
+        w.(1).(2) <- huge;
+        for i = 2 to n do
+          for j = 1 to i do
+            let tmp1 = w.(i - 1).(j + 1) *. s1.(j) /. float_of_int i in
+            let tmp2 = w.(i - 1).(j) *. s2.(n - i + j) /. float_of_int i in
+            w.(i).(j + 1) <- tmp1 +. tmp2;
+            let tmp3 = w.(i).(j + 1) +. tiny in
+            if s2.(n - i + j) > s1.(j) then t.(i - 1).(j) <- tmp2 /. tmp3
+            else t.(i - 1).(j) <- 1.0 -. (tmp1 /. tmp3)
+          done
+        done;
+        let x = Array.make (n + 1) 0.0 in
+        let sm = ref 0.0 and pr = ref 1.0 in
+        let sloc = ref s and j = ref (k + 1) in
+        for i = n - 1 downto 1 do
+          let e = if Rng.float rng 1.0 <= t.(i).(!j) then 1 else 0 in
+          let sx = Rng.float rng 1.0 ** (1.0 /. float_of_int i) in
+          sm := !sm +. ((1.0 -. sx) *. !pr *. !sloc /. float_of_int (i + 1));
+          pr := sx *. !pr;
+          x.(n - i) <- !sm +. (!pr *. float_of_int e);
+          sloc := !sloc -. float_of_int e;
+          j := !j - e
+        done;
+        x.(n) <- !sm +. (!pr *. !sloc);
+        Array.sub x 1 n
+      end
+    in
+    Rng.shuffle rng x;
+    let scaled = Array.map (fun v -> (v *. (hi -. lo)) +. lo) x in
+    (* Clamp rounding spill and spread the residual sum error evenly. *)
+    let clamped = Array.map (fun v -> max lo (min hi v)) scaled in
+    let err = (total -. Array.fold_left ( +. ) 0.0 clamped) /. float_of_int n in
+    Array.map (fun v -> max lo (min hi (v +. err))) clamped
+  end

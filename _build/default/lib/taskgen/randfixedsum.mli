@@ -1,0 +1,16 @@
+(** Randfixedsum — uniform sampling of n values with a fixed sum
+    (Emberson, Stafford & Davis, WATERS 2010; paper Table 3).
+
+    Generates [n] values, each in [\[lo, hi\]], whose sum is exactly
+    [total], distributed uniformly over that simplex slice. This is the
+    standard way to draw per-task utilizations for a target total
+    utilization without the bias of normalizing independent uniforms
+    (UUniFast is biased for multiprocessor ranges; Randfixedsum is
+    not). *)
+
+val sample : Rng.t -> n:int -> total:float -> lo:float -> hi:float -> float array
+(** [sample rng ~n ~total ~lo ~hi] draws the vector; requires [n >= 1],
+    [lo <= hi], and [n *. lo <= total <= n *. hi]. The result is
+    randomly permuted (component order carries no bias) and corrected
+    so the floating-point sum matches [total] to within a few ulps.
+    @raise Invalid_argument if the constraints are infeasible. *)

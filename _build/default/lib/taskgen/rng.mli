@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every experiment in this repository takes an explicit seed so that
+    the committed EXPERIMENTS.md numbers are reproducible bit-for-bit.
+    Splitmix64 is small, fast, passes BigCrush, and — unlike
+    [Stdlib.Random] — has a stable algorithm we control. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val split : t -> t
+(** Derives a statistically independent child generator; the parent
+    advances by one step. Used to give each taskset/trial its own
+    stream so per-trial work is order-independent. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]];
+    requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

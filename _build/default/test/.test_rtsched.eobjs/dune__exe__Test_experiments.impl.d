@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Experiments Filename Float Format Hydra In_channel Lazy List Printf String Sys Test_util Unix

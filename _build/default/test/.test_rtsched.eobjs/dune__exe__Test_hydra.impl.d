@@ -1,0 +1,1 @@
+test/test_hydra.ml: Alcotest Array Float Format Hydra List Printf QCheck Rtsched Security Sim String Test_util

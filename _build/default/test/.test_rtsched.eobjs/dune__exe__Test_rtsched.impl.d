@@ -1,0 +1,1 @@
+test/test_rtsched.ml: Alcotest Array List Option Printf QCheck Rtsched Sim String Test_util

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Gen Hydra List Printf QCheck Rtsched Security Sim Taskgen Test_util

@@ -1,0 +1,1 @@
+test/test_taskgen.ml: Alcotest Array List Printf QCheck Rtsched Taskgen Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format List QCheck QCheck_alcotest Rtsched

@@ -1,0 +1,887 @@
+(* Tests for the security substrate: hashing, the synthetic
+   filesystem, the generic profile checker and its two instantiations
+   (Tripwire analogue, kernel-module checker), intrusion injection,
+   the scan-progress detection monitor and the rover case study. *)
+
+module Hash = Security.Hash
+module Filesystem = Security.Filesystem
+module Profile_checker = Security.Profile_checker
+module Integrity_checker = Security.Integrity_checker
+module Kmod_checker = Security.Kmod_checker
+module Intrusion = Security.Intrusion
+module Detection = Security.Detection
+module Rover = Security.Rover
+module Task = Rtsched.Task
+
+let check_int = Test_util.check_int
+let check_bool = Test_util.check_bool
+
+(* ------------------------------------------------------------------ *)
+(* Hash *)
+
+let test_hash_deterministic () =
+  Alcotest.(check int64) "same input same hash" (Hash.fnv1a64 "hello")
+    (Hash.fnv1a64 "hello")
+
+let test_hash_discriminates () =
+  check_bool "different inputs differ" true
+    (Hash.fnv1a64 "hello" <> Hash.fnv1a64 "hellp");
+  check_bool "empty vs non-empty" true
+    (Hash.fnv1a64 "" <> Hash.fnv1a64 "x")
+
+let test_hash_list_order_sensitive () =
+  check_bool "order matters" true
+    (Hash.fnv1a64_list [ "a"; "b" ] <> Hash.fnv1a64_list [ "b"; "a" ])
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem *)
+
+let test_fs_crud () =
+  let fs = Filesystem.create () in
+  Filesystem.add_file fs "a.txt" "alpha";
+  check_bool "mem" true (Filesystem.mem fs "a.txt");
+  Alcotest.(check string) "read" "alpha" (Filesystem.read fs "a.txt");
+  Filesystem.write fs "a.txt" "beta";
+  Alcotest.(check string) "after write" "beta" (Filesystem.read fs "a.txt");
+  Filesystem.append fs "a.txt" "!";
+  Alcotest.(check string) "after append" "beta!" (Filesystem.read fs "a.txt");
+  Filesystem.remove fs "a.txt";
+  check_bool "removed" false (Filesystem.mem fs "a.txt")
+
+let test_fs_errors_on_missing () =
+  let fs = Filesystem.create () in
+  let raises f = try f (); false with Not_found -> true in
+  check_bool "write missing" true (raises (fun () ->
+      Filesystem.write fs "nope" "x"));
+  check_bool "read missing" true (raises (fun () ->
+      ignore (Filesystem.read fs "nope")));
+  check_bool "remove missing" true (raises (fun () ->
+      Filesystem.remove fs "nope"))
+
+let test_fs_populate_images () =
+  let fs = Filesystem.create () in
+  Filesystem.populate_images fs ~count:16 ~bytes_per_file:128;
+  check_int "file count" 16 (Filesystem.file_count fs);
+  check_int "bytes" (16 * 128) (Filesystem.total_bytes fs);
+  Alcotest.(check (list string)) "sorted first entries"
+    [ "img_0000.raw"; "img_0001.raw" ]
+    (match Filesystem.list_paths fs with
+    | a :: b :: _ -> [ a; b ]
+    | l -> l)
+
+let test_fs_images_distinct () =
+  let fs = Filesystem.create () in
+  Filesystem.populate_images fs ~count:4 ~bytes_per_file:64;
+  check_bool "image contents differ" true
+    (Filesystem.read fs "img_0000.raw" <> Filesystem.read fs "img_0001.raw")
+
+(* ------------------------------------------------------------------ *)
+(* Integrity checker (Profile_checker over the filesystem) *)
+
+let fresh_checker ?(files = 16) ?(regions = 8) () =
+  let fs = Filesystem.create () in
+  Filesystem.populate_images fs ~count:files ~bytes_per_file:64;
+  (fs, Integrity_checker.create fs ~n_regions:regions)
+
+let test_checker_clean_baseline () =
+  let _, checker = fresh_checker () in
+  Alcotest.(check int) "no violations initially" 0
+    (List.length (Integrity_checker.check_all checker))
+
+let test_checker_detects_modification () =
+  let fs, checker = fresh_checker () in
+  Integrity_checker.tamper_file fs "img_0003.raw";
+  let violations = Integrity_checker.check_all checker in
+  Alcotest.(check (list string)) "modified reported"
+    [ "img_0003.raw" ]
+    (List.map Profile_checker.violation_key violations);
+  (match violations with
+  | [ Profile_checker.Modified _ ] -> ()
+  | _ -> Alcotest.fail "expected a Modified violation");
+  (* and only its region flags it *)
+  let region = Integrity_checker.region_of_key checker "img_0003.raw" in
+  check_bool "the right region sees it" true
+    (Integrity_checker.check_region checker region <> []);
+  for r = 0 to Integrity_checker.n_regions checker - 1 do
+    if r <> region then
+      check_int
+        (Printf.sprintf "region %d clean" r)
+        0
+        (List.length (Integrity_checker.check_region checker r))
+  done
+
+let test_checker_detects_added_and_removed () =
+  let fs, checker = fresh_checker () in
+  Filesystem.add_file fs "rootkit.bin" "payload";
+  Filesystem.remove fs "img_0001.raw";
+  let keys =
+    List.map Profile_checker.violation_key (Integrity_checker.check_all checker)
+  in
+  check_bool "added seen" true (List.mem "rootkit.bin" keys);
+  check_bool "removed seen" true (List.mem "img_0001.raw" keys)
+
+let test_checker_rebaseline_clears () =
+  let fs, checker = fresh_checker () in
+  Integrity_checker.tamper_file fs "img_0000.raw";
+  check_bool "dirty before" true (Integrity_checker.check_all checker <> []);
+  Integrity_checker.rebaseline checker;
+  check_int "clean after rebaseline" 0
+    (List.length (Integrity_checker.check_all checker))
+
+let test_checker_region_partition () =
+  (* Every key belongs to exactly one region in [0, n). *)
+  let fs, checker = fresh_checker ~files:32 ~regions:5 () in
+  List.iter
+    (fun path ->
+      let r = Integrity_checker.region_of_key checker path in
+      check_bool "region in range" true
+        (r >= 0 && r < Integrity_checker.n_regions checker))
+    (Filesystem.list_paths fs)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-module checker *)
+
+let test_kmod_clean_profile () =
+  let table = Kmod_checker.create_table (Kmod_checker.default_profile ()) in
+  let checker = Kmod_checker.create table ~n_regions:4 in
+  check_int "clean" 0 (List.length (Kmod_checker.check_all checker))
+
+let test_kmod_detects_insertion () =
+  let table = Kmod_checker.create_table (Kmod_checker.default_profile ()) in
+  let checker = Kmod_checker.create table ~n_regions:4 in
+  Kmod_checker.insert_module table
+    { Kmod_checker.m_name = "rk_hook"; m_size = 666; m_addr = 0xdeadL;
+      m_signature = "unsigned" };
+  (match Kmod_checker.check_all checker with
+  | [ Profile_checker.Added "rk_hook" ] -> ()
+  | other ->
+      Alcotest.failf "expected Added rk_hook, got %d violations"
+        (List.length other))
+
+let test_kmod_detects_hiding () =
+  let table = Kmod_checker.create_table (Kmod_checker.default_profile ()) in
+  let checker = Kmod_checker.create table ~n_regions:4 in
+  Kmod_checker.hide_module table "brcmfmac";
+  (match Kmod_checker.check_all checker with
+  | [ Profile_checker.Removed "brcmfmac" ] -> ()
+  | _ -> Alcotest.fail "expected Removed brcmfmac")
+
+let test_kmod_detects_patching () =
+  let table = Kmod_checker.create_table (Kmod_checker.default_profile ()) in
+  let checker = Kmod_checker.create table ~n_regions:4 in
+  Kmod_checker.patch_module table "cfg80211" ~size:999999;
+  (match Kmod_checker.check_all checker with
+  | [ Profile_checker.Modified "cfg80211" ] -> ()
+  | _ -> Alcotest.fail "expected Modified cfg80211")
+
+let test_kmod_hide_missing_raises () =
+  let table = Kmod_checker.create_table [] in
+  let raised =
+    try Kmod_checker.hide_module table "ghost"; false
+    with Not_found -> true
+  in
+  check_bool "hide missing raises" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Intrusion injector *)
+
+let test_intrusion_applies_in_time_order () =
+  let log = ref [] in
+  let inj = Intrusion.create () in
+  Intrusion.schedule inj ~at:30 ~label:"c" (fun () -> log := "c" :: !log);
+  Intrusion.schedule inj ~at:10 ~label:"a" (fun () -> log := "a" :: !log);
+  Intrusion.schedule inj ~at:20 ~label:"b" (fun () -> log := "b" :: !log);
+  Intrusion.apply_until inj 25;
+  Alcotest.(check (list string)) "a then b applied" [ "a"; "b" ]
+    (List.rev !log);
+  Alcotest.(check (list (pair int string))) "c pending" [ (30, "c") ]
+    (Intrusion.pending inj);
+  Intrusion.apply_until inj 25;
+  Alcotest.(check (list string)) "idempotent" [ "a"; "b" ] (List.rev !log);
+  Intrusion.apply_until inj 30;
+  Alcotest.(check (list string)) "c applied at 30" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check_int "applied log" 3 (List.length (Intrusion.applied inj))
+
+(* ------------------------------------------------------------------ *)
+(* Detection monitor *)
+
+(* Drive the monitor by hand with synthetic jobs/segments. *)
+let synthetic_job seq =
+  let st =
+    { Sim.Engine.st_id = 7; st_name = "scanner"; st_wcet = 10; st_period = 100;
+      st_deadline = 100; st_prio = 0; st_core = None; st_offset = 0 }
+  in
+  { Sim.Engine.j_task = st; j_seq = seq; j_release = 0; j_abs_deadline = 100;
+    j_remaining = 10; j_last_core = -1; j_started_at = -1 }
+
+let test_detection_regions_complete_in_order () =
+  let completed = ref [] in
+  let target =
+    { Detection.n_regions = 5;
+      check_region =
+        (fun ~region ~started:_ ~finished ->
+          completed := (region, finished) :: !completed;
+          false) }
+  in
+  let monitor = Detection.create ~sim_id:7 ~wcet:10 ~target in
+  let job = synthetic_job 0 in
+  (* one uninterrupted segment covering the whole job at t in [100,110) *)
+  Detection.on_execute monitor job ~core:0 ~start:100 ~stop:110;
+  Alcotest.(check (list (pair int int))) "5 regions at exact instants"
+    [ (0, 102); (1, 104); (2, 106); (3, 108); (4, 110) ]
+    (List.rev !completed);
+  check_int "one full pass" 1 (Detection.full_passes monitor);
+  check_int "regions checked" 5 (Detection.regions_checked monitor)
+
+let test_detection_split_segments () =
+  let completed = ref [] in
+  let target =
+    { Detection.n_regions = 2;
+      check_region =
+        (fun ~region ~started ~finished ->
+          completed := (region, started, finished) :: !completed;
+          false) }
+  in
+  let monitor = Detection.create ~sim_id:7 ~wcet:10 ~target in
+  let job = synthetic_job 0 in
+  (* job preempted: runs [0,4), [50,56). Region 0 completes at
+     progress 5 -> wall 51; region 1 at progress 10 -> wall 56. *)
+  Detection.on_execute monitor job ~core:0 ~start:0 ~stop:4;
+  Detection.on_execute monitor job ~core:1 ~start:50 ~stop:56;
+  Alcotest.(check (list (triple int int int))) "split segments tracked"
+    [ (0, 0, 51); (1, 51, 56) ]
+    (List.rev !completed)
+
+let test_detection_ignores_other_tasks () =
+  let calls = ref 0 in
+  let target =
+    { Detection.n_regions = 1;
+      check_region = (fun ~region:_ ~started:_ ~finished:_ -> incr calls; true)
+    }
+  in
+  let monitor = Detection.create ~sim_id:99 ~wcet:10 ~target in
+  Detection.on_execute monitor (synthetic_job 0) ~core:0 ~start:0 ~stop:10;
+  check_int "other task ignored" 0 !calls
+
+let test_detection_first_hit_recorded () =
+  let hits = ref 0 in
+  let target =
+    { Detection.n_regions = 2;
+      check_region =
+        (fun ~region ~started:_ ~finished:_ ->
+          incr hits;
+          region = 1) }
+  in
+  let monitor = Detection.create ~sim_id:7 ~wcet:10 ~target in
+  Detection.on_execute monitor (synthetic_job 0) ~core:0 ~start:0 ~stop:10;
+  Alcotest.(check (option int)) "detection at region 1 completion" (Some 10)
+    (Detection.detection_time monitor);
+  (* a later pass must not overwrite the first detection *)
+  Detection.on_execute monitor (synthetic_job 1) ~core:0 ~start:100 ~stop:110;
+  Alcotest.(check (option int)) "first detection kept" (Some 10)
+    (Detection.detection_time monitor)
+
+let test_detection_new_job_restarts_pass () =
+  let regions_seen = ref [] in
+  let target =
+    { Detection.n_regions = 2;
+      check_region =
+        (fun ~region ~started:_ ~finished:_ ->
+          regions_seen := region :: !regions_seen;
+          false) }
+  in
+  let monitor = Detection.create ~sim_id:7 ~wcet:10 ~target in
+  (* job 0 aborted after region 0; job 1 starts from region 0 again *)
+  Detection.on_execute monitor (synthetic_job 0) ~core:0 ~start:0 ~stop:5;
+  Detection.on_execute monitor (synthetic_job 1) ~core:0 ~start:20 ~stop:30;
+  Alcotest.(check (list int)) "restart from region 0" [ 0; 0; 1 ]
+    (List.rev !regions_seen)
+
+let test_checker_target_race_semantics () =
+  (* A mutation landing during the inspection window is only seen on
+     the next pass (conservative mid-scan race). *)
+  let fs = Filesystem.create () in
+  Filesystem.populate_images fs ~count:4 ~bytes_per_file:32;
+  let checker = Integrity_checker.create fs ~n_regions:1 in
+  let inj = Intrusion.create () in
+  Intrusion.schedule inj ~at:5 ~label:"tamper" (fun () ->
+      Integrity_checker.tamper_file fs "img_0000.raw");
+  let target =
+    Detection.checker_target ~n_regions:1 ~injector:inj
+      ~check:(Integrity_checker.check_region checker)
+  in
+  (* inspection started at 0, finished at 10: attack at 5 not applied *)
+  check_bool "mid-scan attack missed" false
+    (target.Detection.check_region ~region:0 ~started:0 ~finished:10);
+  (* next pass starts at 20: attack now in effect *)
+  check_bool "next pass detects" true
+    (target.Detection.check_region ~region:0 ~started:20 ~finished:30)
+
+(* Random segmentation property: however a job's execution is sliced
+   by preemptions, one full job = exactly one full pass, each region
+   inspected once, at non-decreasing wall instants. *)
+let prop_detection_full_pass_under_any_preemption =
+  let arb =
+    QCheck.(
+      triple (int_range 1 60) (int_range 1 12)
+        (list_of_size Gen.(int_range 0 6) (int_range 1 10)))
+  in
+  Test_util.qtest ~count:200 "any segmentation yields one exact pass" arb
+    (fun (wcet, n_regions, cuts) ->
+      let inspections = ref [] in
+      let target =
+        { Detection.n_regions;
+          check_region =
+            (fun ~region ~started ~finished ->
+              inspections := (region, started, finished) :: !inspections;
+              false) }
+      in
+      let monitor = Detection.create ~sim_id:7 ~wcet ~target in
+      let job = synthetic_job 0 in
+      (* slice [0, wcet) into segments at the random cut offsets, with
+         a gap of 100 wall ticks between consecutive segments *)
+      let rec feed start progress = function
+        | [] ->
+            if progress < wcet then
+              Detection.on_execute monitor job ~core:0 ~start
+                ~stop:(start + (wcet - progress))
+        | cut :: rest ->
+            let len = min cut (wcet - progress) in
+            if len > 0 then begin
+              Detection.on_execute monitor job ~core:0 ~start
+                ~stop:(start + len);
+              feed (start + len + 100) (progress + len) rest
+            end
+            else feed start progress rest
+      in
+      feed 0 0 cuts;
+      let seen = List.rev !inspections in
+      Detection.full_passes monitor = 1
+      && Detection.regions_checked monitor = n_regions
+      && List.map (fun (r, _, _) -> r) seen = List.init n_regions (fun i -> i)
+      && List.for_all (fun (_, s, f) -> s <= f) seen
+      &&
+      let rec monotone = function
+        | (_, _, f1) :: ((_, s2, _) :: _ as rest) ->
+            f1 <= s2 && monotone rest
+        | _ -> true
+      in
+      monotone seen)
+
+(* ------------------------------------------------------------------ *)
+(* Packet monitor *)
+
+module PM = Security.Packet_monitor
+
+let test_capture_ring_bounds () =
+  let cap = PM.create_capture ~capacity:4 in
+  let rng = Taskgen.Rng.create 1 in
+  List.iter (PM.ingest cap) (PM.benign_traffic rng ~now:0 ~count:10);
+  check_int "bounded" 4 (PM.capture_count cap);
+  check_int "total ingested" 10 (PM.total_ingested cap);
+  (* the survivors are the newest four (times 6..9) *)
+  (match PM.captured cap with
+  | first :: _ -> check_int "oldest survivor" 6 first.PM.p_time
+  | [] -> Alcotest.fail "non-empty capture")
+
+let test_packet_monitor_clean_traffic () =
+  let cap = PM.create_capture ~capacity:64 in
+  let rng = Taskgen.Rng.create 2 in
+  List.iter (PM.ingest cap) (PM.benign_traffic rng ~now:0 ~count:64);
+  let mon = PM.create cap PM.default_rules ~n_regions:8 in
+  check_int "no alerts on benign traffic" 0
+    (List.length (PM.inspect_all mon))
+
+let test_packet_monitor_blacklist_and_signature () =
+  let cap = PM.create_capture ~capacity:16 in
+  PM.ingest cap (PM.c2_beacon ~src:"10.0.0.66" ~now:100);
+  let mon = PM.create cap PM.default_rules ~n_regions:4 in
+  let alerts = PM.inspect_all mon in
+  check_bool "blacklisted port flagged" true
+    (List.exists
+       (function PM.Blacklisted_port _ -> true | PM.Signature_match _ | PM.Port_scan _ -> false)
+       alerts);
+  check_bool "signature flagged" true
+    (List.exists
+       (function PM.Signature_match _ -> true | PM.Blacklisted_port _ | PM.Port_scan _ -> false)
+       alerts)
+
+let test_packet_monitor_port_scan () =
+  let cap = PM.create_capture ~capacity:32 in
+  let scan =
+    PM.port_scan ~src:"10.0.0.99" ~now:0 ~ports:(List.init 10 (fun i -> 1000 + i))
+  in
+  List.iter (PM.ingest cap) scan;
+  let mon = PM.create cap PM.default_rules ~n_regions:1 in
+  (match PM.inspect_all mon with
+  | [ PM.Port_scan ("10.0.0.99", n) ] -> check_bool "ports counted" true (n >= 8)
+  | other -> Alcotest.failf "expected one scan alert, got %d" (List.length other))
+
+let test_packet_monitor_scan_below_threshold () =
+  let cap = PM.create_capture ~capacity:32 in
+  let scan =
+    PM.port_scan ~src:"10.0.0.99" ~now:0 ~ports:(List.init 5 (fun i -> 1000 + i))
+  in
+  List.iter (PM.ingest cap) scan;
+  let mon = PM.create cap PM.default_rules ~n_regions:1 in
+  check_int "five ports do not trip the default threshold" 0
+    (List.length (PM.inspect_all mon))
+
+let test_packet_monitor_detection_target () =
+  (* The injector semantics carry over: a beacon scheduled mid-window
+     is only visible to the following inspection. *)
+  let cap = PM.create_capture ~capacity:8 in
+  let inj = Security.Intrusion.create () in
+  Security.Intrusion.schedule inj ~at:50 ~label:"beacon" (fun () ->
+      PM.ingest cap (PM.c2_beacon ~src:"evil" ~now:50));
+  let mon = PM.create cap PM.default_rules ~n_regions:1 in
+  let target = PM.detection_target mon ~injector:inj in
+  check_bool "window starting before the beacon misses it" false
+    (target.Detection.check_region ~region:0 ~started:40 ~finished:60);
+  check_bool "next window sees it" true
+    (target.Detection.check_region ~region:0 ~started:70 ~finished:90)
+
+let prop_benign_traffic_never_alerts =
+  (* completeness of the benign generator: no volume of it trips the
+     default rules (no blacklisted ports, no signatures, few distinct
+     ports per host). *)
+  Test_util.qtest ~count:100 "benign traffic is quiet"
+    QCheck.(pair (int_range 1 200) (int_range 0 10000))
+    (fun (count, seed) ->
+      let cap = PM.create_capture ~capacity:256 in
+      let rng = Taskgen.Rng.create seed in
+      List.iter (PM.ingest cap) (PM.benign_traffic rng ~now:0 ~count);
+      let mon = PM.create cap PM.default_rules ~n_regions:8 in
+      PM.inspect_all mon = [])
+
+let prop_capture_never_exceeds_capacity =
+  Test_util.qtest ~count:100 "capture ring bounded"
+    QCheck.(pair (int_range 1 32) (int_range 0 100))
+    (fun (capacity, n) ->
+      let cap = PM.create_capture ~capacity in
+      let rng = Taskgen.Rng.create 7 in
+      List.iter (PM.ingest cap) (PM.benign_traffic rng ~now:0 ~count:n);
+      PM.capture_count cap = min capacity n
+      && PM.total_ingested cap = n)
+
+(* ------------------------------------------------------------------ *)
+(* HPC monitor *)
+
+module HM = Security.Hpc_monitor
+
+let hpc_setup () =
+  let tasks = [ "navigation"; "camera" ] in
+  let stream = HM.create_stream ~tasks in
+  let rng = Taskgen.Rng.create 3 in
+  let monitor = HM.calibrate rng ~tasks stream in
+  (stream, rng, monitor)
+
+let test_hpc_clean_samples_pass () =
+  let stream, rng, monitor = hpc_setup () in
+  for _ = 1 to 20 do
+    HM.push stream (HM.clean_sample rng ~task:"navigation");
+    HM.push stream (HM.clean_sample rng ~task:"camera")
+  done;
+  check_int "no anomalies on clean load" 0 (List.length (HM.check_all monitor))
+
+let test_hpc_flags_compromised_task () =
+  let stream, rng, monitor = hpc_setup () in
+  HM.push stream (HM.clean_sample rng ~task:"camera");
+  HM.push stream (HM.compromised_sample rng ~task:"navigation");
+  let anomalies = HM.check_all monitor in
+  check_bool "anomalies found" true (anomalies <> []);
+  check_bool "all attributed to navigation" true
+    (List.for_all (fun a -> a.HM.a_task = "navigation") anomalies);
+  check_bool "cache misses stand out" true
+    (List.exists (fun a -> a.HM.a_counter = HM.Cache_misses) anomalies)
+
+let test_hpc_regions_map_to_tasks () =
+  let _, _, monitor = hpc_setup () in
+  check_int "one region per task" 2 (HM.n_regions monitor);
+  Alcotest.(check string) "region 0" "navigation"
+    (HM.task_of_region monitor 0);
+  Alcotest.(check string) "region 1" "camera" (HM.task_of_region monitor 1)
+
+let test_hpc_region_isolation () =
+  let stream, rng, monitor = hpc_setup () in
+  HM.push stream (HM.compromised_sample rng ~task:"camera");
+  check_int "navigation region clean" 0
+    (List.length (HM.check_region monitor 0));
+  check_bool "camera region flags" true (HM.check_region monitor 1 <> [])
+
+let test_hpc_push_unknown_task () =
+  let stream, rng, _ = hpc_setup () in
+  let raised =
+    try HM.push stream (HM.clean_sample rng ~task:"ghost"); false
+    with Invalid_argument _ -> true
+  in
+  check_bool "unknown task rejected" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Reactive (dependency-aware) monitoring *)
+
+module Reactive = Security.Reactive
+
+(* A controllable target: [trigger] decides which regions flag. *)
+let scripted_target n_regions trigger =
+  { Detection.n_regions;
+    check_region = (fun ~region ~started:_ ~finished -> trigger region finished)
+  }
+
+let reactive_monitor ?(cooldown = 2) ~passive_trigger ~exhaustive_trigger () =
+  Reactive.create ~sim_id:7 ~wcet:10
+    ~passive:(scripted_target 2 passive_trigger)
+    ~exhaustive:(scripted_target 3 exhaustive_trigger)
+    ~cooldown_passes:cooldown ()
+
+let run_job monitor seq start =
+  Reactive.on_execute monitor (synthetic_job seq) ~core:0 ~start
+    ~stop:(start + 10)
+
+let test_reactive_stays_passive_when_clean () =
+  let m =
+    reactive_monitor
+      ~passive_trigger:(fun _ _ -> false)
+      ~exhaustive_trigger:(fun _ _ -> false)
+      ()
+  in
+  run_job m 0 0;
+  run_job m 1 100;
+  check_bool "still passive" true (Reactive.mode m = Reactive.Passive);
+  Alcotest.(check (list (pair int string))) "no transitions" []
+    (Reactive.escalations m)
+
+let test_reactive_escalates_on_passive_hit () =
+  let m =
+    reactive_monitor
+      ~passive_trigger:(fun region _ -> region = 1)
+      ~exhaustive_trigger:(fun _ _ -> false)
+      ()
+  in
+  run_job m 0 0;
+  check_bool "escalated" true (Reactive.mode m = Reactive.Exhaustive);
+  (* passive regions are 2 over wcet 10: region 1 completes at t=10 *)
+  Alcotest.(check (option int)) "passive detection instant" (Some 10)
+    (Reactive.passive_detection_time m);
+  (match Reactive.escalations m with
+  | [ (10, "escalate") ] -> ()
+  | _ -> Alcotest.fail "expected one escalation at t=10")
+
+let test_reactive_exhaustive_detects_deep_threat () =
+  (* Passive keeps flagging; the deep threat only shows to the
+     exhaustive action (second exhaustive sub-region). *)
+  let m =
+    reactive_monitor
+      ~passive_trigger:(fun region _ -> region = 0)
+      ~exhaustive_trigger:(fun region _ -> region = 1)
+      ()
+  in
+  run_job m 0 0;
+  check_bool "escalated after job 0" true
+    (Reactive.mode m = Reactive.Exhaustive);
+  Alcotest.(check (option int)) "no deep detection yet" None
+    (Reactive.exhaustive_detection_time m);
+  run_job m 1 100;
+  (* escalated job: 5 regions over wcet 10 -> boundaries 102..110;
+     exhaustive region 1 is combined region 3, completing at 108 *)
+  Alcotest.(check (option int)) "deep detection" (Some 108)
+    (Reactive.exhaustive_detection_time m)
+
+let test_reactive_deescalates_after_cooldown () =
+  let attack_active = ref true in
+  let m =
+    reactive_monitor ~cooldown:2
+      ~passive_trigger:(fun region _ -> !attack_active && region = 0)
+      ~exhaustive_trigger:(fun _ _ -> false)
+      ()
+  in
+  run_job m 0 0;
+  check_bool "escalated" true (Reactive.mode m = Reactive.Exhaustive);
+  attack_active := false;
+  run_job m 1 100;
+  check_bool "one clean pass: still exhaustive" true
+    (Reactive.mode m = Reactive.Exhaustive);
+  run_job m 2 200;
+  check_bool "two clean passes: back to passive" true
+    (Reactive.mode m = Reactive.Passive);
+  (match Reactive.escalations m with
+  | [ (_, "escalate"); (_, "de-escalate") ] -> ()
+  | l -> Alcotest.failf "unexpected transition log (%d entries)" (List.length l))
+
+let test_reactive_mode_fixed_per_job () =
+  (* A hit mid-job escalates the *next* job; the current one keeps its
+     passive region layout (2 regions, not 5). *)
+  let regions_in_job0 = ref 0 in
+  let m =
+    reactive_monitor
+      ~passive_trigger:(fun region _ ->
+        incr regions_in_job0;
+        region = 0)
+      ~exhaustive_trigger:(fun _ _ -> false)
+      ()
+  in
+  run_job m 0 0;
+  check_int "job 0 ran exactly the passive regions" 2 !regions_in_job0
+
+(* ------------------------------------------------------------------ *)
+(* Rover application (navigation + camera + authorized writes) *)
+
+module App = Security.Rover_app
+
+let test_app_navigation_moves () =
+  let world = App.create_world ~seed:7 () in
+  for _ = 1 to 50 do App.navigate_step world done;
+  check_int "steps counted" 50 (App.steps_taken world);
+  check_bool "rover moved or turned" true
+    (App.pose world <> { App.x = 0; y = 0; heading = 0 }
+    || App.obstacle_encounters world > 0)
+
+let test_app_navigation_deterministic () =
+  let run () =
+    let world = App.create_world ~seed:11 () in
+    for _ = 1 to 200 do App.navigate_step world done;
+    (App.pose world, App.obstacle_encounters world)
+  in
+  check_bool "same seed same trajectory" true (run () = run ())
+
+let test_app_camera_grows_store () =
+  let fs = Filesystem.create () in
+  let world = App.create_world ~seed:3 () in
+  let cam = App.create_camera fs () in
+  let p0 = App.capture cam world 100 in
+  let p1 = App.capture cam world 200 in
+  check_int "two captures" 2 (App.captures cam);
+  check_bool "distinct paths" true (p0 <> p1);
+  check_bool "frames differ" true
+    (Filesystem.read fs p0 <> Filesystem.read fs p1)
+
+let test_app_authorized_writes_absorbed () =
+  let fs = Filesystem.create () in
+  Filesystem.populate_images fs ~count:8 ~bytes_per_file:64;
+  let checker = Integrity_checker.create fs ~n_regions:4 in
+  let world = App.create_world ~seed:5 () in
+  let cam = App.create_camera fs () in
+  let path = App.capture cam world 500 in
+  (* raw check sees the new file as Added... *)
+  let region = Integrity_checker.region_of_key checker path in
+  check_bool "raw check reports the capture" true
+    (Integrity_checker.check_region checker region <> []);
+  (* ...the guarded check absorbs it... *)
+  check_int "guarded check is clean" 0
+    (List.length (App.guarded_check_region cam checker region));
+  (* ...permanently (now part of the baseline). *)
+  check_int "raw check clean afterwards" 0
+    (List.length (Integrity_checker.check_region checker region))
+
+let test_app_tamper_still_detected () =
+  let fs = Filesystem.create () in
+  let checker = Integrity_checker.create fs ~n_regions:1 in
+  let world = App.create_world ~seed:5 () in
+  let cam = App.create_camera fs () in
+  let path = App.capture cam world 500 in
+  (* absorb the legitimate capture first *)
+  check_int "clean after capture" 0
+    (List.length (App.guarded_check_region cam checker 0));
+  (* the shellcode then tampers the captured frame: the journal hash
+     no longer matches, so the guarded check must report it *)
+  Integrity_checker.tamper_file fs path;
+  (match App.guarded_check_region cam checker 0 with
+  | [ Profile_checker.Modified p ] ->
+      Alcotest.(check string) "the tampered frame" path p
+  | _ -> Alcotest.fail "expected exactly the tampered capture")
+
+let test_app_sim_integration () =
+  (* Run the real rover taskset with the application wired in: the
+     camera produces one frame per job and a guarded Tripwire task
+     reports no findings without an attack. *)
+  let ts = Rover.taskset () in
+  let fs = Rover.image_store () in
+  let checker = Integrity_checker.create fs ~n_regions:Rover.image_regions in
+  let world = App.create_world ~seed:13 () in
+  let cam = App.create_camera fs () in
+  let bounds = [| 10000; 10000 |] in
+  let built =
+    Sim.Scenario.of_taskset ts ~rt_assignment:(Rover.rt_assignment ())
+      ~policy:Sim.Policy.Semi_partitioned ~sec_periods:bounds ()
+  in
+  let injector = Intrusion.create () in
+  let tw_monitor =
+    Detection.create ~sim_id:built.Sim.Scenario.sec_sim_ids.(0) ~wcet:5342
+      ~target:
+        (Detection.checker_target ~n_regions:Rover.image_regions ~injector
+           ~check:(App.guarded_check_region cam checker))
+  in
+  let hooks =
+    App.hooks world cam
+      ~nav_sim_id:built.Sim.Scenario.rt_sim_ids.(0)
+      ~cam_sim_id:built.Sim.Scenario.rt_sim_ids.(1)
+      { Sim.Engine.no_hooks with
+        Sim.Engine.on_execute = Some (Detection.on_execute tw_monitor) }
+  in
+  let stats =
+    Sim.Engine.run ~hooks ~n_cores:2 ~horizon:45000 built.Sim.Scenario.tasks
+  in
+  check_int "camera captured one frame per job" 9 (App.captures cam);
+  check_bool "navigation kept stepping" true (App.steps_taken world >= 89);
+  Alcotest.(check (option int)) "no false positive from live captures" None
+    (Detection.detection_time tw_monitor);
+  check_int "rt misses" 0
+    (Sim.Metrics.deadline_misses stats ~sim_ids:built.Sim.Scenario.rt_sim_ids)
+
+(* ------------------------------------------------------------------ *)
+(* Rover case study *)
+
+let test_rover_parameters () =
+  let ts = Rover.taskset () in
+  check_int "cores" 2 ts.Task.n_cores;
+  check_int "rt tasks" 2 (Array.length ts.Task.rt);
+  check_int "sec tasks" 2 (Array.length ts.Task.sec);
+  Alcotest.(check (float 1e-4)) "RT utilization (paper: 0.7040)" 0.7040
+    (Task.total_rt_utilization ts);
+  Alcotest.(check (float 1e-4)) "total min utilization (paper: 1.2605)" 1.2605
+    (Task.total_min_utilization ts)
+
+let test_rover_table2_has_all_rows () =
+  check_int "ten facts" 10 (List.length Rover.table2)
+
+let test_rover_stores () =
+  let fs = Rover.image_store () in
+  check_int "image count" Rover.image_regions (Filesystem.file_count fs);
+  let table = Rover.module_table () in
+  check_int "profile preloaded"
+    (List.length (Kmod_checker.default_profile ()))
+    (List.length (Kmod_checker.modules table))
+
+let test_rover_extended_taskset () =
+  let base = Rover.taskset () in
+  let ext = Rover.extended_taskset () in
+  check_int "four security tasks" 4 (Array.length ext.Task.sec);
+  check_bool "RT side untouched" true (ext.Task.rt = base.Task.rt);
+  (* the whole extended set must still schedule under HYDRA-C *)
+  let sys =
+    Hydra.Analysis.make_system ext ~assignment:(Rover.rt_assignment ())
+  in
+  (match Hydra.Period_selection.select sys ext.Task.sec with
+  | Hydra.Period_selection.Schedulable assignments ->
+      check_int "all four assigned" 4 (List.length assignments)
+  | Hydra.Period_selection.Unschedulable ->
+      Alcotest.fail "extended rover must stay schedulable")
+
+let test_catalog_table1 () =
+  check_int "four classes" 4 (List.length Security.Catalog.table1);
+  let implemented =
+    List.filter
+      (fun e -> e.Security.Catalog.implemented_by <> None)
+      Security.Catalog.table1
+  in
+  check_int "all four classes exercised" 4 (List.length implemented)
+
+let () =
+  Alcotest.run "security"
+    [ ( "hash",
+        [ Alcotest.test_case "deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "discriminates" `Quick test_hash_discriminates;
+          Alcotest.test_case "list order sensitive" `Quick
+            test_hash_list_order_sensitive ] );
+      ( "filesystem",
+        [ Alcotest.test_case "crud" `Quick test_fs_crud;
+          Alcotest.test_case "errors on missing" `Quick
+            test_fs_errors_on_missing;
+          Alcotest.test_case "populate images" `Quick test_fs_populate_images;
+          Alcotest.test_case "images distinct" `Quick test_fs_images_distinct ]
+      );
+      ( "integrity_checker",
+        [ Alcotest.test_case "clean baseline" `Quick
+            test_checker_clean_baseline;
+          Alcotest.test_case "detects modification" `Quick
+            test_checker_detects_modification;
+          Alcotest.test_case "detects add/remove" `Quick
+            test_checker_detects_added_and_removed;
+          Alcotest.test_case "rebaseline clears" `Quick
+            test_checker_rebaseline_clears;
+          Alcotest.test_case "region partition" `Quick
+            test_checker_region_partition ] );
+      ( "kmod_checker",
+        [ Alcotest.test_case "clean profile" `Quick test_kmod_clean_profile;
+          Alcotest.test_case "detects insertion" `Quick
+            test_kmod_detects_insertion;
+          Alcotest.test_case "detects hiding" `Quick test_kmod_detects_hiding;
+          Alcotest.test_case "detects patching" `Quick
+            test_kmod_detects_patching;
+          Alcotest.test_case "hide missing raises" `Quick
+            test_kmod_hide_missing_raises ] );
+      ( "intrusion",
+        [ Alcotest.test_case "time-ordered application" `Quick
+            test_intrusion_applies_in_time_order ] );
+      ( "detection",
+        [ Alcotest.test_case "regions complete in order" `Quick
+            test_detection_regions_complete_in_order;
+          Alcotest.test_case "split segments" `Quick
+            test_detection_split_segments;
+          Alcotest.test_case "ignores other tasks" `Quick
+            test_detection_ignores_other_tasks;
+          Alcotest.test_case "first hit recorded" `Quick
+            test_detection_first_hit_recorded;
+          Alcotest.test_case "new job restarts pass" `Quick
+            test_detection_new_job_restarts_pass;
+          Alcotest.test_case "mid-scan race semantics" `Quick
+            test_checker_target_race_semantics;
+          prop_detection_full_pass_under_any_preemption ] );
+      ( "packet_monitor",
+        [ Alcotest.test_case "capture ring bounds" `Quick
+            test_capture_ring_bounds;
+          Alcotest.test_case "clean traffic" `Quick
+            test_packet_monitor_clean_traffic;
+          Alcotest.test_case "blacklist + signature" `Quick
+            test_packet_monitor_blacklist_and_signature;
+          Alcotest.test_case "port scan" `Quick test_packet_monitor_port_scan;
+          Alcotest.test_case "scan below threshold" `Quick
+            test_packet_monitor_scan_below_threshold;
+          Alcotest.test_case "detection target semantics" `Quick
+            test_packet_monitor_detection_target;
+          prop_benign_traffic_never_alerts;
+          prop_capture_never_exceeds_capacity ] );
+      ( "hpc_monitor",
+        [ Alcotest.test_case "clean samples pass" `Quick
+            test_hpc_clean_samples_pass;
+          Alcotest.test_case "flags compromised task" `Quick
+            test_hpc_flags_compromised_task;
+          Alcotest.test_case "regions map to tasks" `Quick
+            test_hpc_regions_map_to_tasks;
+          Alcotest.test_case "region isolation" `Quick
+            test_hpc_region_isolation;
+          Alcotest.test_case "unknown task rejected" `Quick
+            test_hpc_push_unknown_task ] );
+      ( "reactive",
+        [ Alcotest.test_case "stays passive when clean" `Quick
+            test_reactive_stays_passive_when_clean;
+          Alcotest.test_case "escalates on passive hit" `Quick
+            test_reactive_escalates_on_passive_hit;
+          Alcotest.test_case "exhaustive finds deep threat" `Quick
+            test_reactive_exhaustive_detects_deep_threat;
+          Alcotest.test_case "de-escalates after cooldown" `Quick
+            test_reactive_deescalates_after_cooldown;
+          Alcotest.test_case "mode fixed per job" `Quick
+            test_reactive_mode_fixed_per_job ] );
+      ( "rover_app",
+        [ Alcotest.test_case "navigation moves" `Quick
+            test_app_navigation_moves;
+          Alcotest.test_case "navigation deterministic" `Quick
+            test_app_navigation_deterministic;
+          Alcotest.test_case "camera grows store" `Quick
+            test_app_camera_grows_store;
+          Alcotest.test_case "authorized writes absorbed" `Quick
+            test_app_authorized_writes_absorbed;
+          Alcotest.test_case "tamper still detected" `Quick
+            test_app_tamper_still_detected;
+          Alcotest.test_case "full simulation integration" `Quick
+            test_app_sim_integration ] );
+      ( "rover",
+        [ Alcotest.test_case "paper parameters" `Quick test_rover_parameters;
+          Alcotest.test_case "table 2 rows" `Quick
+            test_rover_table2_has_all_rows;
+          Alcotest.test_case "stores" `Quick test_rover_stores;
+          Alcotest.test_case "extended taskset" `Quick
+            test_rover_extended_taskset;
+          Alcotest.test_case "table 1 catalog" `Quick test_catalog_table1 ] ) ]

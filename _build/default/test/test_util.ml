@@ -1,0 +1,50 @@
+(* Shared helpers for the test executables: deterministic random
+   taskset generators (plain QCheck generators, independent of the
+   library's own Taskgen so generator bugs cannot mask library bugs)
+   and small assertion utilities. *)
+
+module Task = Rtsched.Task
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small random RT taskset on [n_cores]: each task gets a period in
+   [5, 100] and a WCET in [1, period], utilization uncontrolled (tests
+   that need schedulability filter afterwards). *)
+let gen_rt_tasks ~n ~max_period =
+  let open QCheck.Gen in
+  let gen_task i =
+    int_range 5 max_period >>= fun period ->
+    int_range 1 (max 1 (period / 4)) >>= fun wcet ->
+    return (Task.make_rt ~id:i ~prio:i ~wcet ~period ())
+  in
+  flatten_l (List.init n gen_task)
+
+let gen_sec_tasks ~n ~max_period =
+  let open QCheck.Gen in
+  let gen_task i =
+    int_range 20 max_period >>= fun period_max ->
+    int_range 1 (max 1 (period_max / 5)) >>= fun wcet ->
+    return (Task.make_sec ~id:i ~prio:i ~wcet ~period_max ())
+  in
+  flatten_l (List.init n gen_task)
+
+let gen_taskset ~n_cores ~n_rt ~n_sec =
+  let open QCheck.Gen in
+  gen_rt_tasks ~n:n_rt ~max_period:100 >>= fun rt ->
+  gen_sec_tasks ~n:n_sec ~max_period:400 >>= fun sec ->
+  return (Task.make_taskset ~n_cores ~rt:(Task.assign_rate_monotonic rt) ~sec)
+
+let print_taskset ts = Format.asprintf "%a" Task.pp_taskset ts
+
+let arb_taskset ~n_cores ~n_rt ~n_sec =
+  QCheck.make ~print:print_taskset (gen_taskset ~n_cores ~n_rt ~n_sec)
+
+(* Round-robin assignment: always valid input shape for analyses that
+   need an assignment but not schedulability. *)
+let round_robin_assignment ts =
+  Array.init (Array.length ts.Task.rt) (fun i -> i mod ts.Task.n_cores)
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name arb prop)
