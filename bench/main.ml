@@ -10,7 +10,12 @@
      BENCH_PER_GROUP   tasksets per utilization group for the printed
                        sweeps (default 25; the paper uses 250)
      BENCH_TRIALS      rover trials for the printed Fig. 5 (default 35)
-     BENCH_QUOTA_MS    Bechamel time quota per test (default 500). *)
+     BENCH_QUOTA_MS    Bechamel time quota per test (default 500)
+     BENCH_JOBS        worker domains for the printed artifacts and the
+                       parallel half of the seq-vs-par comparison
+                       (default: Parallel.Pool.default_jobs (), i.e.
+                       recommended_domain_count - 1; results are
+                       identical for any value — doc/PARALLELISM.md). *)
 
 open Bechamel
 open Toolkit
@@ -23,6 +28,7 @@ let getenv_int name default =
 let per_group = getenv_int "BENCH_PER_GROUP" 25
 let trials = getenv_int "BENCH_TRIALS" 35
 let quota_ms = getenv_int "BENCH_QUOTA_MS" 500
+let jobs = getenv_int "BENCH_JOBS" (Parallel.Pool.default_jobs ())
 
 let std = Format.std_formatter
 
@@ -31,25 +37,28 @@ let std = Format.std_formatter
 
 let print_artifacts () =
   Format.printf "==================================================@.";
-  Format.printf "Artifact regeneration (reduced scale: %d/group, %d trials)@."
-    per_group trials;
+  Format.printf
+    "Artifact regeneration (reduced scale: %d/group, %d trials, %d jobs)@."
+    per_group trials jobs;
   Format.printf "==================================================@.";
   Experiments.Tables.render_all std ();
-  let fig5 = Experiments.Fig5.run ~trials () in
+  let fig5 = Experiments.Fig5.run ~trials ~jobs () in
   Experiments.Fig5.render std fig5;
   let fig5_adapted =
-    Experiments.Fig5.run ~trials ~deployment:Experiments.Fig5.Adapted ()
+    Experiments.Fig5.run ~trials ~deployment:Experiments.Fig5.Adapted ~jobs ()
   in
   Experiments.Fig5.render std fig5_adapted;
   List.iter
     (fun n_cores ->
-      let sweep = Experiments.Sweep.run ~n_cores ~per_group ~seed:42 () in
+      let sweep =
+        Experiments.Sweep.run ~n_cores ~per_group ~seed:42 ~jobs ()
+      in
       Experiments.Fig6.render std (Experiments.Fig6.of_sweep sweep);
       let fig7 = Experiments.Fig7.of_sweep sweep in
       Experiments.Fig7.render_a std fig7;
       Experiments.Fig7.render_b std fig7)
     [ 2; 4 ];
-  Experiments.Ablation.run_all std ~seed:42
+  Experiments.Ablation.run_all ~jobs std ~seed:42
     ~per_group:(max 1 (per_group / 5))
     ~cores:[ 2 ]
 
@@ -98,7 +107,22 @@ let test_fig5b =
          Sim.Engine.run ~n_cores:2 ~horizon:45000 built.Sim.Scenario.tasks))
 
 let small_sweep ?policy ?config n_cores =
-  Experiments.Sweep.run ?policy ?config ~n_cores ~per_group:5 ~seed:1 ()
+  Experiments.Sweep.run ?policy ?config ~jobs:1 ~n_cores ~per_group:5 ~seed:1
+    ()
+
+(* Sequential-vs-parallel comparison on the same Fig. 6/7-shaped sweep:
+   identical work, jobs:1 vs BENCH_JOBS domains. The speedup line
+   printed after the timing table is the ratio of these two. *)
+let comparison_sweep ~jobs () =
+  Experiments.Sweep.run ~jobs ~n_cores:2 ~per_group:10 ~seed:3 ()
+
+let test_sweep_seq =
+  Test.make ~name:"sweep_seq_jobs1"
+    (Staged.stage (fun () -> comparison_sweep ~jobs:1 ()))
+
+let test_sweep_par =
+  Test.make ~name:"sweep_par_jobsN"
+    (Staged.stage (fun () -> comparison_sweep ~jobs ()))
 
 let test_fig6 =
   Test.make ~name:"fig6_period_distance"
@@ -246,7 +270,8 @@ let tests =
       test_ablation_partition; test_rta_uniproc; test_wcrt_semi_partitioned;
       test_period_selection; test_period_selection_extended;
       test_hydra_coordinated; test_randfixedsum; test_integrity_scan;
-      test_packet_inspection; test_hpc_check; test_sim_extended_rover ]
+      test_packet_inspection; test_hpc_check; test_sim_extended_rover;
+      test_sweep_seq; test_sweep_par ]
 
 let run_benchmarks () =
   let ols =
@@ -286,7 +311,21 @@ let run_benchmarks () =
         else Printf.sprintf "%8.0f ns" ns
       in
       Format.printf "%-42s %14s@." name pretty)
-    rows
+    rows;
+  (* Parallel speedup on the comparison sweep (same records either way). *)
+  let estimate suffix =
+    List.find_map
+      (fun (name, ns) ->
+        if String.ends_with ~suffix name && not (Float.is_nan ns) then Some ns
+        else None)
+      rows
+  in
+  match (estimate "sweep_seq_jobs1", estimate "sweep_par_jobsN") with
+  | Some seq, Some par when par > 0.0 ->
+      Format.printf
+        "@.parallel sweep speedup (jobs=%d vs jobs=1): %.2fx@." jobs
+        (seq /. par)
+  | _ -> ()
 
 let () =
   print_artifacts ();

@@ -8,9 +8,31 @@ open Cmdliner
 
 let std = Format.std_formatter
 
+(* Phase timings go to stderr: stdout must stay byte-identical across
+   --jobs values (the determinism contract, doc/PARALLELISM.md). *)
+let timed ~jobs label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.eprintf "[time] %-24s %8.2f s  (jobs=%d)@." label
+    (Unix.gettimeofday () -. t0)
+    jobs;
+  r
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
          ~doc:"PRNG seed (splitmix64).")
+
+let jobs_arg =
+  let raw =
+    Arg.(value & opt int (Parallel.Pool.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for sweep-shaped experiments (1 = plain \
+                   sequential loop). Results are identical for every value; \
+                   defaults to the machine's recommended domain count minus \
+                   one. See doc/PARALLELISM.md.")
+  in
+  (* clamp here so the [time] lines report the effective value *)
+  Term.(const (max 1) $ raw)
 
 let trials_arg =
   Arg.(value & opt int 35 & info [ "trials" ] ~docv:"N"
@@ -63,28 +85,34 @@ let export dat_dir f =
       let path = f ~dir in
       Format.printf "[export] wrote %s@." path
 
-let run_fig5 seed trials horizon deployment dat_dir =
-  let report = Experiments.Fig5.run ~seed ~trials ~horizon ~deployment () in
+let run_fig5 jobs seed trials horizon deployment dat_dir =
+  let report =
+    timed ~jobs "fig5" (fun () ->
+        Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ())
+  in
   Experiments.Fig5.render std report;
   export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
 
-let sweeps policy seed per_group cores =
+let sweeps jobs policy seed per_group cores =
   List.map
     (fun m ->
       Format.printf "[sweep] M=%d: %d tasksets x 10 groups...@." m per_group;
-      Experiments.Sweep.run ~policy ~n_cores:m ~per_group ~seed ())
+      timed ~jobs
+        (Printf.sprintf "sweep M=%d" m)
+        (fun () ->
+          Experiments.Sweep.run ~policy ~n_cores:m ~per_group ~seed ~jobs ()))
     cores
 
-let run_fig6 policy seed per_group cores dat_dir =
-  sweeps policy seed per_group cores
+let run_fig6 jobs policy seed per_group cores dat_dir =
+  sweeps jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig;
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig6 ~dir fig));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
-let run_fig7 which policy seed per_group cores dat_dir =
-  sweeps policy seed per_group cores
+let run_fig7 which jobs policy seed per_group cores dat_dir =
+  sweeps jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig7.of_sweep sweep in
          (match which with
@@ -101,8 +129,9 @@ let run_fig7 which policy seed per_group cores dat_dir =
              export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig)));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
-let run_ablation seed per_group cores =
-  Experiments.Ablation.run_all std ~seed ~per_group ~cores
+let run_ablation jobs seed per_group cores =
+  timed ~jobs "ablation" (fun () ->
+      Experiments.Ablation.run_all ~jobs std ~seed ~per_group ~cores)
 
 let run_analyze policy file =
   match Rtsched.Taskset_io.load file with
@@ -162,30 +191,36 @@ let run_analyze policy file =
           Format.printf "@.%a@." Hydra.Sensitivity.render
             (Hydra.Sensitivity.analyze ~policy sys ts.Rtsched.Task.sec))
 
-let run_report seed trials per_group cores out =
+let run_report jobs seed trials per_group cores out =
   let scale =
     { Experiments.Report.sc_seed = seed; sc_trials = trials;
       sc_per_group = per_group; sc_cores = cores;
       sc_validate_tasksets = 50 }
   in
-  Experiments.Report.write scale ~path:out;
+  timed ~jobs "report" (fun () ->
+      Experiments.Report.write ~jobs scale ~path:out);
   Format.printf "wrote %s@." out
 
-let run_validate policy seed tasksets cores =
+let run_validate jobs policy seed tasksets cores =
   List.iter
     (fun n_cores ->
       Format.printf "[validate] M=%d, %d tasksets...@." n_cores tasksets;
       let result =
-        Experiments.Validation.run ~policy ~n_cores ~tasksets ~seed ()
+        timed ~jobs
+          (Printf.sprintf "validate M=%d" n_cores)
+          (fun () ->
+            Experiments.Validation.run ~policy ~n_cores ~tasksets ~seed ~jobs
+              ())
       in
       Experiments.Validation.render std result)
     cores
 
-let run_all policy seed trials horizon per_group cores dat_dir =
+let run_all jobs policy seed trials horizon per_group cores dat_dir =
+  let t0 = Unix.gettimeofday () in
   run_tables ();
-  run_fig5 seed trials horizon Experiments.Fig5.Tmax dat_dir;
-  run_fig5 seed trials horizon Experiments.Fig5.Adapted dat_dir;
-  sweeps policy seed per_group cores
+  run_fig5 jobs seed trials horizon Experiments.Fig5.Tmax dat_dir;
+  run_fig5 jobs seed trials horizon Experiments.Fig5.Adapted dat_dir;
+  sweeps jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig6 = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig6;
@@ -196,7 +231,9 @@ let run_all policy seed trials horizon per_group cores dat_dir =
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig7a ~dir fig);
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores);
-  run_ablation seed (max 1 (per_group / 5)) cores
+  run_ablation jobs seed (max 1 (per_group / 5)) cores;
+  Format.eprintf "[time] %-24s %8.2f s  (jobs=%d)@." "total" 
+    (Unix.gettimeofday () -. t0) jobs
 
 let cmd_tables =
   Cmd.v (Cmd.info "tables" ~doc:"Render Tables 1-3.")
@@ -204,23 +241,23 @@ let cmd_tables =
 
 let cmd_fig5 =
   Cmd.v (Cmd.info "fig5" ~doc:"Rover detection-latency experiment (Fig. 5).")
-    Term.(const run_fig5 $ seed_arg $ trials_arg $ horizon_arg $ deploy_arg
-          $ dat_dir_arg)
+    Term.(const run_fig5 $ jobs_arg $ seed_arg $ trials_arg $ horizon_arg
+          $ deploy_arg $ dat_dir_arg)
 
 let cmd_fig6 =
   Cmd.v (Cmd.info "fig6" ~doc:"Period-distance sweep (Fig. 6).")
-    Term.(const run_fig6 $ policy_arg $ seed_arg $ per_group_arg $ cores_arg
-          $ dat_dir_arg)
+    Term.(const run_fig6 $ jobs_arg $ policy_arg $ seed_arg $ per_group_arg
+          $ cores_arg $ dat_dir_arg)
 
 let cmd_fig7a =
   Cmd.v (Cmd.info "fig7a" ~doc:"Acceptance-ratio sweep (Fig. 7a).")
-    Term.(const (run_fig7 `A) $ policy_arg $ seed_arg $ per_group_arg
-          $ cores_arg $ dat_dir_arg)
+    Term.(const (run_fig7 `A) $ jobs_arg $ policy_arg $ seed_arg
+          $ per_group_arg $ cores_arg $ dat_dir_arg)
 
 let cmd_fig7b =
   Cmd.v (Cmd.info "fig7b" ~doc:"Period-difference sweep (Fig. 7b).")
-    Term.(const (run_fig7 `B) $ policy_arg $ seed_arg $ per_group_arg
-          $ cores_arg $ dat_dir_arg)
+    Term.(const (run_fig7 `B) $ jobs_arg $ policy_arg $ seed_arg
+          $ per_group_arg $ cores_arg $ dat_dir_arg)
 
 let tasksets_arg =
   Arg.(value & opt int 100 & info [ "tasksets" ] ~docv:"N"
@@ -245,27 +282,29 @@ let cmd_report =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate every artifact and write a Markdown report.")
-    Term.(const run_report $ seed_arg $ trials_arg $ per_group_arg $ cores_arg
-          $ out_arg)
+    Term.(const run_report $ jobs_arg $ seed_arg $ trials_arg $ per_group_arg
+          $ cores_arg $ out_arg)
 
 let cmd_validate =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Cross-validate the HYDRA-C analysis against the discrete-event \
              simulator (soundness + tightness).")
-    Term.(const run_validate $ policy_arg $ seed_arg $ tasksets_arg $ cores_arg)
+    Term.(const run_validate $ jobs_arg $ policy_arg $ seed_arg $ tasksets_arg
+          $ cores_arg)
 
 let cmd_ablation =
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Ablations: carry-in policy, partitioning heuristic, priority \
              order.")
-    Term.(const run_ablation $ seed_arg $ per_group_arg $ cores_arg)
+    Term.(const run_ablation $ jobs_arg $ seed_arg $ per_group_arg
+          $ cores_arg)
 
 let cmd_all =
   Cmd.v (Cmd.info "all" ~doc:"Everything: tables, figures, ablations.")
-    Term.(const run_all $ policy_arg $ seed_arg $ trials_arg $ horizon_arg
-          $ per_group_arg $ cores_arg $ dat_dir_arg)
+    Term.(const run_all $ jobs_arg $ policy_arg $ seed_arg $ trials_arg
+          $ horizon_arg $ per_group_arg $ cores_arg $ dat_dir_arg)
 
 let () =
   let info =

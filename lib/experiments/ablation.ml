@@ -6,17 +6,20 @@ module Scheme = Hydra.Scheme
 let groups = List.init 10 (fun g -> g)
 
 (* Generate one batch of tasksets per group with a private stream per
-   taskset (same convention as Sweep). *)
-let generate_batch config ~seed ~per_group =
+   taskset, pre-split in group-major order (same convention as Sweep)
+   so the batch is identical for any [jobs]. *)
+let generate_batch ?jobs config ~seed ~per_group =
   let rng = Rng.create seed in
-  List.concat_map
-    (fun group ->
-      List.filter_map
-        (fun _ ->
-          let stream = Rng.split rng in
-          Option.map (fun g -> (group, g)) (Generator.generate config stream ~group))
-        (List.init per_group (fun i -> i)))
-    groups
+  let n = List.length groups * per_group in
+  let streams = Rng.split_n rng n in
+  Parallel.Pool.map ?jobs
+    (fun i ->
+      let group = i / per_group in
+      Option.map
+        (fun g -> (group, g))
+        (Generator.generate config streams.(i) ~group))
+    n
+  |> Array.to_list |> List.filter_map Fun.id
 
 let hydra_c_outcome ?policy (g : Generator.generated) =
   Scheme.evaluate ?policy Scheme.Hydra_c g.Generator.taskset
@@ -33,15 +36,16 @@ let distance_of (g : Generator.generated) (o : Scheme.outcome) =
       Some (Hydra.Metrics.normalized_distance_to_bound ~periods ~bounds)
   | Some _ | None -> None
 
-let run_carry_in ppf ~seed ~per_group ~n_cores =
+let run_carry_in ?jobs ppf ~seed ~per_group ~n_cores =
   (* Keep hp-sets small so the exhaustive Eq. 8 stays affordable. *)
   let config =
     { (Generator.default_config ~n_cores) with
       Generator.sec_count = (2, 2 * n_cores) }
   in
-  let batch = generate_batch config ~seed ~per_group in
+  let batch = generate_batch ?jobs config ~seed ~per_group in
   let evaluate policy =
-    List.map (fun (_, g) -> hydra_c_outcome ~policy g) batch
+    Parallel.Pool.map_list ?jobs (fun (_, g) -> hydra_c_outcome ~policy g)
+      batch
   in
   let top = evaluate Hydra.Analysis.Top_delta in
   let exh = evaluate Hydra.Analysis.Exhaustive in
@@ -74,7 +78,7 @@ let run_carry_in ppf ~seed ~per_group ~n_cores =
   Format.fprintf ppf
     "tasksets where the polynomial bound changes the verdict: %d@." diverging
 
-let run_partition ppf ~seed ~per_group ~n_cores =
+let run_partition ?jobs ppf ~seed ~per_group ~n_cores =
   let heuristics =
     [ Rtsched.Partition.Best_fit; Rtsched.Partition.First_fit;
       Rtsched.Partition.Worst_fit ]
@@ -86,8 +90,10 @@ let run_partition ppf ~seed ~per_group ~n_cores =
           { (Generator.default_config ~n_cores) with
             Generator.partition_heuristic = h }
         in
-        let batch = generate_batch config ~seed ~per_group in
-        let outcomes = List.map (fun (_, g) -> hydra_c_outcome g) batch in
+        let batch = generate_batch ?jobs config ~seed ~per_group in
+        let outcomes =
+          Parallel.Pool.map_list ?jobs (fun (_, g) -> hydra_c_outcome g) batch
+        in
         let accepted =
           List.length (List.filter (fun o -> o.Scheme.schedulable) outcomes)
         in
@@ -105,14 +111,14 @@ let run_partition ppf ~seed ~per_group ~n_cores =
          n_cores)
     ~header:[ "heuristic"; "generated"; "accepted"; "ratio" ] ~rows
 
-let run_priority_order ppf ~seed ~per_group ~n_cores =
+let run_priority_order ?jobs ppf ~seed ~per_group ~n_cores =
   let config = Generator.default_config ~n_cores in
-  let batch = generate_batch config ~seed ~per_group in
+  let batch = generate_batch ?jobs config ~seed ~per_group in
   let rows =
     List.map
       (fun ordering ->
         let outcomes =
-          List.map
+          Parallel.Pool.map_list ?jobs
             (fun (_, (g : Generator.generated)) ->
               let ts = g.Generator.taskset in
               let sec' = Hydra.Priority_assignment.apply ordering ts.Task.sec in
@@ -144,9 +150,9 @@ let run_priority_order ppf ~seed ~per_group ~n_cores =
          n_cores (List.length batch))
     ~header:[ "priority order"; "accepted"; "mean distance" ] ~rows
 
-let run_hydra_variants ppf ~seed ~per_group ~n_cores =
+let run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores =
   let config = Generator.default_config ~n_cores in
-  let batch = generate_batch config ~seed ~per_group in
+  let batch = generate_batch ?jobs config ~seed ~per_group in
   let bounds_of (ts : Task.taskset) =
     let v = Array.make (Array.length ts.Task.sec) 0 in
     Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.Task.sec;
@@ -155,7 +161,7 @@ let run_hydra_variants ppf ~seed ~per_group ~n_cores =
   (* Evaluate one variant: (accepted, mean distance of the accepted). *)
   let evaluate label run =
     let results =
-      List.map
+      Parallel.Pool.map_list ?jobs
         (fun (_, (g : Generator.generated)) ->
           let ts = g.Generator.taskset in
           let n_sec = Array.length ts.Task.sec in
@@ -218,7 +224,7 @@ let run_hydra_variants ppf ~seed ~per_group ~n_cores =
   (* Paired comparison on the tasksets both HYDRA-C and the
      coordinated variant schedule (the honest Fig. 7b-style number). *)
   let paired =
-    List.filter_map
+    Parallel.Pool.map_list ?jobs
       (fun (_, (g : Generator.generated)) ->
         match (hydra_c g, hydra_coordinated g) with
         | Some ours, Some other ->
@@ -227,6 +233,7 @@ let run_hydra_variants ppf ~seed ~per_group ~n_cores =
                  ~bounds:(bounds_of g.Generator.taskset))
         | (Some _ | None), _ -> None)
       batch
+    |> List.filter_map Fun.id
   in
   Format.fprintf ppf
     "paired HYDRA-C vs HYDRA-coordinated difference (positive = HYDRA-C \
@@ -234,7 +241,7 @@ let run_hydra_variants ppf ~seed ~per_group ~n_cores =
     (Table_render.float_cell (Hydra.Metrics.mean paired))
     (List.length paired)
 
-let run_overheads ppf ~seed ~trials =
+let run_overheads ?jobs ppf ~seed ~trials =
   let costs = [ (0, 0); (1, 2); (5, 10); (10, 20); (25, 50) ] in
   let rows =
     List.map
@@ -242,7 +249,7 @@ let run_overheads ppf ~seed ~trials =
         let overheads =
           { Sim.Engine.dispatch_cost; migration_cost }
         in
-        let r = Fig5.run ~seed ~trials ~overheads () in
+        let r = Fig5.run ~seed ~trials ~overheads ?jobs () in
         [ Printf.sprintf "%d/%d" dispatch_cost migration_cost;
           Table_render.pct r.Fig5.detection_speedup_pct;
           Printf.sprintf "%.2fx" r.Fig5.context_switch_ratio;
@@ -264,13 +271,13 @@ let run_overheads ppf ~seed ~trials =
       [ "cost d/m"; "detect speedup"; "cs ratio"; "rt misses"; "sec misses" ]
     ~rows
 
-let run_all ppf ~seed ~per_group ~cores =
+let run_all ?jobs ppf ~seed ~per_group ~cores =
   List.iter
     (fun n_cores ->
-      run_carry_in ppf ~seed ~per_group ~n_cores;
-      run_partition ppf ~seed ~per_group ~n_cores;
-      run_priority_order ppf ~seed ~per_group ~n_cores;
-      run_hydra_variants ppf ~seed ~per_group ~n_cores)
+      run_carry_in ?jobs ppf ~seed ~per_group ~n_cores;
+      run_partition ?jobs ppf ~seed ~per_group ~n_cores;
+      run_priority_order ?jobs ppf ~seed ~per_group ~n_cores;
+      run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores)
     cores;
   (* 35 trials as in Fig. 5 — fewer makes the paired speedup noisy. *)
-  run_overheads ppf ~seed ~trials:35
+  run_overheads ?jobs ppf ~seed ~trials:35

@@ -10,19 +10,28 @@
     - {b X3 security priority order}: the paper takes designer-given
       priorities; this ablation compares the generated order against
       WCET-ascending, WCET-descending and T^max-ascending
-      (rate-monotonic-like) orders under Algorithm 1. *)
+      (rate-monotonic-like) orders under Algorithm 1.
+
+    Every entry point takes [?jobs] (default
+    {!Parallel.Pool.default_jobs}[ ()]): taskset generation and
+    evaluation run on that many domains with output identical for any
+    value — see doc/PARALLELISM.md. *)
 
 val run_carry_in :
-  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
+  n_cores:int -> unit
 
 val run_partition :
-  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
+  n_cores:int -> unit
 
 val run_priority_order :
-  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
+  n_cores:int -> unit
 
 val run_hydra_variants :
-  Format.formatter -> seed:int -> per_group:int -> n_cores:int -> unit
+  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
+  n_cores:int -> unit
 (** {b X5 HYDRA charitable reading}: the paper describes HYDRA
     (DATE'18) as greedy per-task period minimization, which starves
     low-priority tasks. This ablation adds HYDRA-coordinated
@@ -32,7 +41,8 @@ val run_hydra_variants :
     Fig. 7a advantage comes from migration vs from the smarter
     minimization discipline. *)
 
-val run_overheads : Format.formatter -> seed:int -> trials:int -> unit
+val run_overheads :
+  ?jobs:int -> Format.formatter -> seed:int -> trials:int -> unit
 (** {b X4 overhead sensitivity}: the paper assumes context-switch and
     migration overheads are negligible (Sec. 3). This ablation re-runs
     the rover detection experiment charging increasing per-dispatch and
@@ -41,4 +51,5 @@ val run_overheads : Format.formatter -> seed:int -> trials:int -> unit
     overheads burn slack only). *)
 
 val run_all :
-  Format.formatter -> seed:int -> per_group:int -> cores:int list -> unit
+  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
+  cores:int list -> unit

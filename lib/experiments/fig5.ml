@@ -128,7 +128,7 @@ let summarize ~label ~periods ~horizon:_ outcomes ~rt_ids ~sec_ids =
     sec_deadline_misses = misses sec_ids }
 
 let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
-    ?overheads () =
+    ?overheads ?jobs () =
   let ts = Security.Rover.taskset () in
   let rt_assignment = Security.Rover.rt_assignment () in
   let n_sec = Array.length ts.Task.sec in
@@ -160,9 +160,12 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
         failwith "Fig5.run: rover taskset unschedulable under HYDRA"
   in
   let rng = Rng.create seed in
-  let outcomes_c = ref [] and outcomes_h = ref [] in
-  for _ = 1 to trials do
-    let stream = Rng.split rng in
+  (* One pre-split stream per trial (attack times and targets), so a
+     trial's draws are fixed by its index alone and the trials can run
+     on any number of domains with identical outcomes. *)
+  let streams = Rng.split_n rng trials in
+  let trial i =
+    let stream = streams.(i) in
     let attack_tripwire = Rng.int_in stream 1000 15000 in
     let attack_kmod = Rng.int_in stream 1000 15000 in
     let target_image =
@@ -176,24 +179,25 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
       run_one ?overheads ~ts ~rt_assignment ~policy ~periods ~sec_cores
         ~horizon ~attack_tripwire ~attack_kmod ~target_image ~rogue_name ()
     in
-    outcomes_c :=
-      common ~policy:Sim.Policy.Semi_partitioned ~periods:hc_periods
-        ~sec_cores:None
-      :: !outcomes_c;
-    outcomes_h :=
+    ( common ~policy:Sim.Policy.Semi_partitioned ~periods:hc_periods
+        ~sec_cores:None,
       common ~policy:Sim.Policy.Fully_partitioned ~periods:hy_periods
-        ~sec_cores:(Some hy_cores)
-      :: !outcomes_h
-  done;
+        ~sec_cores:(Some hy_cores) )
+  in
+  let results = Parallel.Pool.map ?jobs trial trials in
+  (* Last trial first, matching the original accumulation order: the
+     float means must not move with [jobs]. *)
+  let outcomes_c = List.rev_map fst (Array.to_list results)
+  and outcomes_h = List.rev_map snd (Array.to_list results) in
   let n_rt = Array.length ts.Task.rt in
   let rt_ids = Array.init n_rt (fun i -> i) in
   let sec_ids = Array.init n_sec (fun j -> n_rt + j) in
   let hydra_c =
-    summarize ~label:"HYDRA-C" ~periods:hc_periods ~horizon !outcomes_c
+    summarize ~label:"HYDRA-C" ~periods:hc_periods ~horizon outcomes_c
       ~rt_ids ~sec_ids
   in
   let hydra =
-    summarize ~label:"HYDRA" ~periods:hy_periods ~horizon !outcomes_h
+    summarize ~label:"HYDRA" ~periods:hy_periods ~horizon outcomes_h
       ~rt_ids ~sec_ids
   in
   (* Speedup of the mean latency, averaged over the two attack kinds

@@ -29,7 +29,7 @@ let para buf text =
   Buffer.add_string buf text;
   Buffer.add_string buf "\n\n"
 
-let generate scale =
+let generate ?jobs scale =
   let buf = Buffer.create 8192 in
   heading buf 1 "HYDRA-C experiment report";
   para buf
@@ -45,12 +45,12 @@ let generate scale =
 
   heading buf 2 "Fig. 5 — rover intrusion detection";
   para buf "T_max deployment (the paper's demo configuration):";
-  let fig5 = Fig5.run ~seed:scale.sc_seed ~trials:scale.sc_trials () in
+  let fig5 = Fig5.run ~seed:scale.sc_seed ~trials:scale.sc_trials ?jobs () in
   fenced buf (fun ppf -> Fig5.render ppf fig5);
   para buf "Adapted-period deployment (each scheme's own selection):";
   let fig5a =
     Fig5.run ~seed:scale.sc_seed ~trials:scale.sc_trials
-      ~deployment:Fig5.Adapted ()
+      ~deployment:Fig5.Adapted ?jobs ()
   in
   fenced buf (fun ppf -> Fig5.render ppf fig5a);
 
@@ -59,7 +59,7 @@ let generate scale =
     (fun n_cores ->
       let sweep =
         Sweep.run ~n_cores ~per_group:scale.sc_per_group ~seed:scale.sc_seed
-          ()
+          ?jobs ()
       in
       heading buf 3 (Printf.sprintf "M = %d" n_cores);
       fenced buf (fun ppf ->
@@ -71,7 +71,7 @@ let generate scale =
 
   heading buf 2 "Ablations";
   fenced buf (fun ppf ->
-      Ablation.run_all ppf ~seed:scale.sc_seed
+      Ablation.run_all ?jobs ppf ~seed:scale.sc_seed
         ~per_group:(max 1 (scale.sc_per_group / 5))
         ~cores:scale.sc_cores);
 
@@ -82,7 +82,7 @@ let generate scale =
           (fun n_cores ->
             let result =
               Validation.run ~n_cores ~tasksets:scale.sc_validate_tasksets
-                ~seed:scale.sc_seed ()
+                ~seed:scale.sc_seed ?jobs ()
             in
             Format.fprintf ppf "M = %d:@." n_cores;
             Validation.render ppf result)
@@ -90,7 +90,7 @@ let generate scale =
   end;
   buf
 
-let write scale ~path =
-  let buf = generate scale in
+let write ?jobs scale ~path =
+  let buf = generate ?jobs scale in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))

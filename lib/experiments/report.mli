@@ -16,8 +16,11 @@ val default_scale : scale
 (** seed 42, 35 trials, 50 per group, cores [2; 4], 50 validation
     tasksets — a few minutes of compute. *)
 
-val generate : scale -> Buffer.t
-(** Runs everything and renders the document. *)
+val generate : ?jobs:int -> scale -> Buffer.t
+(** Runs everything and renders the document. [jobs] (default
+    {!Parallel.Pool.default_jobs}[ ()]) is passed to every
+    sweep-shaped regeneration; the document is identical for any
+    value (doc/PARALLELISM.md). *)
 
-val write : scale -> path:string -> unit
+val write : ?jobs:int -> scale -> path:string -> unit
 (** [generate] to a file. @raise Sys_error on I/O failure. *)

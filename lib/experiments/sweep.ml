@@ -33,22 +33,28 @@ let evaluate_one ?policy schemes (g : Generator.generated) ~group =
   { group; norm_util = Task.normalized_utilization ts;
     bounds = bounds_of ts; outcomes }
 
-let run ?policy ?config ?(schemes = Scheme.all) ~n_cores ~per_group ~seed () =
+let run ?policy ?config ?(schemes = Scheme.all) ?jobs ~n_cores ~per_group
+    ~seed () =
   let config =
     Option.value config ~default:(Generator.default_config ~n_cores)
   in
   let rng = Taskgen.Rng.create seed in
-  let records = ref [] in
-  for group = 0 to config.Generator.util_groups - 1 do
-    for _ = 1 to per_group do
-      let stream = Taskgen.Rng.split rng in
-      match Generator.generate config stream ~group with
-      | None -> ()
-      | Some g ->
-          records := evaluate_one ?policy schemes g ~group :: !records
-    done
-  done;
-  { n_cores; per_group; records = List.rev !records }
+  (* Streams are pre-split in linear (group-major) order, so stream i's
+     seed — and with it record i — depends only on the parent seed,
+     never on worker count or completion order. *)
+  let n = config.Generator.util_groups * per_group in
+  let streams = Taskgen.Rng.split_n rng n in
+  let records =
+    Parallel.Pool.map ?jobs
+      (fun i ->
+        let group = i / per_group in
+        match Generator.generate config streams.(i) ~group with
+        | None -> None
+        | Some g -> Some (evaluate_one ?policy schemes g ~group))
+      n
+  in
+  { n_cores; per_group;
+    records = List.filter_map Fun.id (Array.to_list records) }
 
 let group_records t ~group = List.filter (fun r -> r.group = group) t.records
 

@@ -20,12 +20,18 @@ type t = {
 val run :
   ?policy:Hydra.Analysis.carry_in_policy ->
   ?config:Taskgen.Generator.config -> ?schemes:Hydra.Scheme.t list ->
-  n_cores:int -> per_group:int -> seed:int -> unit -> t
+  ?jobs:int -> n_cores:int -> per_group:int -> seed:int -> unit -> t
 (** Runs the sweep. [config] defaults to
     [Taskgen.Generator.default_config ~n_cores]; [schemes] defaults to
-    all four. Each taskset gets its own split-off RNG stream, so
-    results are independent of evaluation order. Groups where the
-    generator exhausts its attempts contribute fewer records. *)
+    all four. Each taskset gets its own RNG stream, pre-split in
+    generation order ({!Taskgen.Rng.split_n}), so results are
+    independent of evaluation order. Groups where the generator
+    exhausts its attempts contribute fewer records.
+
+    [jobs] (default {!Parallel.Pool.default_jobs}[ ()]) evaluates
+    tasksets on that many domains; the records are {b identical} for
+    every [jobs] value — [jobs:1] is the plain sequential loop — per
+    the determinism contract in doc/PARALLELISM.md. *)
 
 val group_records : t -> group:int -> record list
 

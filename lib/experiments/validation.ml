@@ -50,27 +50,37 @@ let validate_one ?policy ~horizon (g : Generator.generated) =
       in
       Some (checks, rt_misses)
 
-let run ?policy ?config ?(horizon = 100_000) ~n_cores ~tasksets ~seed () =
+let run ?policy ?config ?(horizon = 100_000) ?jobs ~n_cores ~tasksets ~seed
+    () =
   let config =
     Option.value config ~default:(Generator.default_config ~n_cores)
   in
   let rng = Taskgen.Rng.create seed in
+  (* Pre-split streams: taskset i is a function of (seed, i) only, so
+     generation + simulation parallelize without changing any number. *)
+  let streams = Taskgen.Rng.split_n rng tasksets in
+  let results =
+    Parallel.Pool.map ?jobs
+      (fun i ->
+        let group = i mod config.Generator.util_groups in
+        match Generator.generate config streams.(i) ~group with
+        | None -> None
+        | Some g -> validate_one ?policy ~horizon g)
+      tasksets
+  in
+  (* Fold in ascending index order — the same accumulation the
+     sequential loop performed, so the tightness means are stable. *)
   let all_checks = ref [] in
   let rt_misses = ref 0 in
   let checked = ref 0 in
-  for i = 0 to tasksets - 1 do
-    let group = i mod config.Generator.util_groups in
-    let stream = Taskgen.Rng.split rng in
-    match Generator.generate config stream ~group with
-    | None -> ()
-    | Some g -> (
-        match validate_one ?policy ~horizon g with
-        | None -> ()
-        | Some (checks, misses) ->
-            incr checked;
-            rt_misses := !rt_misses + misses;
-            all_checks := checks @ !all_checks)
-  done;
+  Array.iter
+    (function
+      | None -> ()
+      | Some (checks, misses) ->
+          incr checked;
+          rt_misses := !rt_misses + misses;
+          all_checks := checks @ !all_checks)
+    results;
   let checks = !all_checks in
   let tightness =
     List.filter_map

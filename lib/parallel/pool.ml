@@ -1,0 +1,63 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* The exact sequential path: no domain, no atomic, ascending order. *)
+let map_seq f n =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+let map ?jobs ?(chunk = 1) f n =
+  if n < 0 then invalid_arg "Pool.map: negative length";
+  let chunk = max 1 chunk in
+  let jobs =
+    let requested =
+      match jobs with Some j -> max 1 j | None -> default_jobs ()
+    in
+    (* more workers than chunks would only spawn idle domains *)
+    min requested (max 1 ((n + chunk - 1) / chunk))
+  in
+  if jobs = 1 then map_seq f n
+  else begin
+    let out = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let running = ref true in
+      while !running do
+        if Atomic.get failure <> None then running := false
+        else begin
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= n then running := false
+          else
+            let stop = min n (start + chunk) in
+            try
+              for i = start to stop - 1 do
+                (* distinct indices: no write ever races with another *)
+                out.(i) <- Some (f i)
+              done
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+              running := false
+        end
+      done
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_array ?jobs ?chunk f a =
+  map ?jobs ?chunk (fun i -> f a.(i)) (Array.length a)
+
+let map_list ?jobs ?chunk f l =
+  Array.to_list (map_array ?jobs ?chunk f (Array.of_list l))

@@ -1,0 +1,53 @@
+(** Deterministic data-parallel map over OCaml 5 domains.
+
+    The experiment layer's sweeps are embarrassingly parallel: every
+    taskset/trial owns a pre-split RNG stream ({!Taskgen.Rng.split_n}),
+    so evaluating item [i] touches no state shared with item [j]. This
+    pool exploits that shape while preserving the repository's
+    bit-for-bit reproducibility guarantee:
+
+    {b Determinism contract.} [map ~jobs f n] returns
+    [[| f 0; f 1; ...; f (n-1) |]] for {e every} [jobs] value: results
+    are slotted into the output array by index, never by completion
+    order, and workers race only over {e which} domain computes an
+    index, never over what the result at that index is. Provided [f]
+    is deterministic and items are independent (no shared mutable
+    state), the output is identical for [jobs = 1] and [jobs = 64].
+    [jobs = 1] does not spawn any domain at all — it is a plain
+    ascending [for] loop in the calling domain, i.e. the exact
+    sequential path.
+
+    Scheduling is chunked work-stealing: a shared atomic cursor hands
+    out chunks of [chunk] consecutive indices to whichever worker is
+    idle, so heterogeneous item costs (high-utilization tasksets take
+    far longer to analyze than low ones) balance automatically.
+
+    See [doc/PARALLELISM.md] for the full contract and measured
+    speedups. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], floored at 1: one worker
+    per available core, leaving a core's worth of headroom for the OS
+    and the orchestrating domain. On a single-core machine this is 1
+    (fully sequential). *)
+
+val map : ?jobs:int -> ?chunk:int -> (int -> 'a) -> int -> 'a array
+(** [map ~jobs ~chunk f n] is [[| f 0; ...; f (n-1) |]] computed on
+    [jobs] domains ([jobs - 1] spawned workers plus the calling
+    domain). [jobs] defaults to {!default_jobs}[ ()] and is clamped to
+    at least 1; [chunk] (default 1) is the number of consecutive
+    indices claimed per steal — raise it only when [f] is so cheap
+    that cursor contention shows.
+
+    If any [f i] raises, the first exception (in steal order) is
+    re-raised in the caller with its backtrace after all workers have
+    stopped; remaining unclaimed chunks are abandoned.
+
+    @raise Invalid_argument if [n < 0]. *)
+
+val map_array : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] is [Array.map f a], parallelized as {!map}. *)
+
+val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list f l] is [List.map f l], parallelized as {!map}. The
+    result preserves list order. *)

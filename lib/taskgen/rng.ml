@@ -18,6 +18,19 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+(* Explicit ascending loop: the split order (hence each stream's seed)
+   must not depend on Array.init's unspecified evaluation order. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (split t) in
+    for i = 1 to n - 1 do
+      a.(i) <- split t
+    done;
+    a
+  end
+
 (* Uniform int in [0, bound) by rejection on 62 random bits (the top
    of the 64-bit output; 62 so the value is a non-negative OCaml int),
    avoiding modulo bias. *)

@@ -19,6 +19,15 @@ val split : t -> t
     advances by one step. Used to give each taskset/trial its own
     stream so per-trial work is order-independent. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] successive {!split}s of [t], in ascending
+    index order. Pre-splitting the streams of an indexed workload up
+    front — before any parallel evaluation starts — fixes stream
+    [i]'s seed as a function of the parent seed and [i] alone, so the
+    assignment is independent of worker count and completion order
+    (the determinism contract of {!Parallel.Pool}; see
+    doc/PARALLELISM.md). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
