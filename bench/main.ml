@@ -15,7 +15,28 @@
                        parallel half of the seq-vs-par comparison
                        (default: Parallel.Pool.default_jobs (), i.e.
                        recommended_domain_count - 1; results are
-                       identical for any value — doc/PARALLELISM.md). *)
+                       identical for any value — doc/PARALLELISM.md).
+
+   Besides the printed output, the harness writes BENCH_sweep.json
+   (schema "hydra_c.bench_sweep/1") in the working directory — the
+   machine-readable record of the seq-vs-par comparison sweep:
+
+     {
+       "schema": "hydra_c.bench_sweep/1",
+       "jobs": N,                  -- BENCH_JOBS (parallel run)
+       "seq_wall_ns": ns,          -- wall clock of the sweep at jobs=1
+       "par_wall_ns": ns,          -- wall clock of the same sweep at jobs=N
+       "speedup": x,               -- seq_wall_ns / par_wall_ns
+       "counters_match_across_jobs": bool,
+                                   -- Hydra_obs counter totals (fixed-point
+                                      iterations, search probes, ...) equal
+                                      between the two runs: the analytical
+                                      work is identical, only the wall
+                                      clock moves (doc/PARALLELISM.md)
+       "counters": { "name": total, ... }
+                                   -- Hydra_obs counters of the jobs=N run
+                                      (catalog: doc/OBSERVABILITY.md)
+     } *)
 
 open Bechamel
 open Toolkit
@@ -113,8 +134,8 @@ let small_sweep ?policy ?config n_cores =
 (* Sequential-vs-parallel comparison on the same Fig. 6/7-shaped sweep:
    identical work, jobs:1 vs BENCH_JOBS domains. The speedup line
    printed after the timing table is the ratio of these two. *)
-let comparison_sweep ~jobs () =
-  Experiments.Sweep.run ~jobs ~n_cores:2 ~per_group:10 ~seed:3 ()
+let comparison_sweep ?obs ~jobs () =
+  Experiments.Sweep.run ?obs ~jobs ~n_cores:2 ~per_group:10 ~seed:3 ()
 
 let test_sweep_seq =
   Test.make ~name:"sweep_seq_jobs1"
@@ -167,7 +188,7 @@ let test_rta_uniproc =
            ~hp:
              [ { Rtsched.Rta_uniproc.hp_wcet = 240; hp_period = 500 };
                { Rtsched.Rta_uniproc.hp_wcet = 1120; hp_period = 5000 } ]
-           ~wcet:5342 ~limit:10000))
+           ~wcet:5342 ~limit:10000 ()))
 
 let test_wcrt_semi_partitioned =
   Test.make ~name:"micro_wcrt_semi_partitioned"
@@ -327,6 +348,47 @@ let run_benchmarks () =
         (seq /. par)
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: BENCH_sweep.json — schema documented in the file header. *)
+
+let emit_sweep_json () =
+  let timed_run ~jobs =
+    let obs = Hydra_obs.create () in
+    let t0 = Hydra_obs.now_ns () in
+    let (_ : Experiments.Sweep.t) = comparison_sweep ~obs ~jobs () in
+    (Hydra_obs.now_ns () - t0, Hydra_obs.counters obs)
+  in
+  let seq_wall, seq_counters = timed_run ~jobs:1 in
+  let par_wall, par_counters = timed_run ~jobs in
+  let speedup =
+    if par_wall > 0 then float_of_int seq_wall /. float_of_int par_wall
+    else Float.nan
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"hydra_c.bench_sweep/1\",\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"seq_wall_ns\": %d,\n" seq_wall;
+  Printf.bprintf buf "  \"par_wall_ns\": %d,\n" par_wall;
+  Printf.bprintf buf "  \"speedup\": %.4f,\n" speedup;
+  Printf.bprintf buf "  \"counters_match_across_jobs\": %b,\n"
+    (seq_counters = par_counters);
+  Buffer.add_string buf "  \"counters\": {";
+  List.iteri
+    (fun i (c : Hydra_obs.counter_view) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\n    \"%s\": %d" c.Hydra_obs.cv_name
+        c.Hydra_obs.cv_total)
+    par_counters;
+  Buffer.add_string buf "\n  }\n}\n";
+  Out_channel.with_open_text "BENCH_sweep.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Format.printf "@.wrote BENCH_sweep.json (speedup %.2fx, counters %s)@."
+    speedup
+    (if seq_counters = par_counters then "stable across jobs"
+     else "UNSTABLE across jobs")
+
 let () =
   print_artifacts ();
-  run_benchmarks ()
+  run_benchmarks ();
+  emit_sweep_json ()

@@ -18,6 +18,35 @@ let timed ~jobs label f =
     jobs;
   r
 
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect Hydra_obs metrics (fixed-point iterations,                  binary-search probes, simulator schedule events, spans)                  and print a summary table on stderr when the command                  finishes. Never changes stdout or any result                  (doc/OBSERVABILITY.md).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the spans of the run as Chrome trace-event JSON to                  FILE (open in Perfetto or chrome://tracing). Implies                  collection; stdout is unaffected.")
+
+(* One Hydra_obs registry per command invocation, created only when
+   --metrics or --trace-out asks for it: the [None] default keeps every
+   instrumented code path a no-op. The summary goes to stderr and the
+   trace to a file so stdout stays byte-identical to an uninstrumented
+   run (the determinism contract, doc/PARALLELISM.md). *)
+let with_obs ~metrics ~trace_out f =
+  if (not metrics) && trace_out = None then f None
+  else
+    let obs = Hydra_obs.create () in
+    Fun.protect
+      ~finally:(fun () ->
+        if metrics then Hydra_obs.pp_summary Format.err_formatter obs;
+        match trace_out with
+        | Some path ->
+            Hydra_obs.write_chrome_trace obs ~path;
+            Format.eprintf "[obs] wrote Chrome trace to %s@." path
+        | None -> ())
+      (fun () -> f (Some obs))
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
          ~doc:"PRNG seed (splitmix64).")
@@ -85,34 +114,39 @@ let export dat_dir f =
       let path = f ~dir in
       Format.printf "[export] wrote %s@." path
 
-let run_fig5 jobs seed trials horizon deployment dat_dir =
+let run_fig5 jobs seed trials horizon deployment dat_dir metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun obs ->
   let report =
     timed ~jobs "fig5" (fun () ->
-        Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ())
+        Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs ())
   in
   Experiments.Fig5.render std report;
   export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
 
-let sweeps jobs policy seed per_group cores =
+let sweeps ?obs jobs policy seed per_group cores =
   List.map
     (fun m ->
       Format.printf "[sweep] M=%d: %d tasksets x 10 groups...@." m per_group;
       timed ~jobs
         (Printf.sprintf "sweep M=%d" m)
         (fun () ->
-          Experiments.Sweep.run ~policy ~n_cores:m ~per_group ~seed ~jobs ()))
+          Experiments.Sweep.run ~policy ?obs ~n_cores:m ~per_group ~seed ~jobs
+            ()))
     cores
 
-let run_fig6 jobs policy seed per_group cores dat_dir =
-  sweeps jobs policy seed per_group cores
+let run_fig6 jobs policy seed per_group cores dat_dir metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun obs ->
+  sweeps ?obs jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig;
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig6 ~dir fig));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
-let run_fig7 which jobs policy seed per_group cores dat_dir =
-  sweeps jobs policy seed per_group cores
+let run_fig7 which jobs policy seed per_group cores dat_dir metrics trace_out
+    =
+  with_obs ~metrics ~trace_out @@ fun obs ->
+  sweeps ?obs jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig7.of_sweep sweep in
          (match which with
@@ -129,9 +163,10 @@ let run_fig7 which jobs policy seed per_group cores dat_dir =
              export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig)));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
-let run_ablation jobs seed per_group cores =
+let run_ablation jobs seed per_group cores metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun obs ->
   timed ~jobs "ablation" (fun () ->
-      Experiments.Ablation.run_all ~jobs std ~seed ~per_group ~cores)
+      Experiments.Ablation.run_all ~jobs ?obs std ~seed ~per_group ~cores)
 
 let run_analyze policy file =
   match Rtsched.Taskset_io.load file with
@@ -191,17 +226,19 @@ let run_analyze policy file =
           Format.printf "@.%a@." Hydra.Sensitivity.render
             (Hydra.Sensitivity.analyze ~policy sys ts.Rtsched.Task.sec))
 
-let run_report jobs seed trials per_group cores out =
+let run_report jobs seed trials per_group cores out metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun obs ->
   let scale =
     { Experiments.Report.sc_seed = seed; sc_trials = trials;
       sc_per_group = per_group; sc_cores = cores;
       sc_validate_tasksets = 50 }
   in
   timed ~jobs "report" (fun () ->
-      Experiments.Report.write ~jobs scale ~path:out);
+      Experiments.Report.write ~jobs ?obs scale ~path:out);
   Format.printf "wrote %s@." out
 
-let run_validate jobs policy seed tasksets cores =
+let run_validate jobs policy seed tasksets cores metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun obs ->
   List.iter
     (fun n_cores ->
       Format.printf "[validate] M=%d, %d tasksets...@." n_cores tasksets;
@@ -209,18 +246,29 @@ let run_validate jobs policy seed tasksets cores =
         timed ~jobs
           (Printf.sprintf "validate M=%d" n_cores)
           (fun () ->
-            Experiments.Validation.run ~policy ~n_cores ~tasksets ~seed ~jobs
-              ())
+            Experiments.Validation.run ~policy ?obs ~n_cores ~tasksets ~seed
+              ~jobs ())
       in
       Experiments.Validation.render std result)
     cores
 
-let run_all jobs policy seed trials horizon per_group cores dat_dir =
+let run_all jobs policy seed trials horizon per_group cores dat_dir metrics
+    trace_out =
+  with_obs ~metrics ~trace_out @@ fun obs ->
   let t0 = Unix.gettimeofday () in
   run_tables ();
-  run_fig5 jobs seed trials horizon Experiments.Fig5.Tmax dat_dir;
-  run_fig5 jobs seed trials horizon Experiments.Fig5.Adapted dat_dir;
-  sweeps jobs policy seed per_group cores
+  let fig5_under deployment =
+    let report =
+      timed ~jobs "fig5" (fun () ->
+          Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs
+            ())
+    in
+    Experiments.Fig5.render std report;
+    export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
+  in
+  fig5_under Experiments.Fig5.Tmax;
+  fig5_under Experiments.Fig5.Adapted;
+  sweeps ?obs jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig6 = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig6;
@@ -231,9 +279,33 @@ let run_all jobs policy seed trials horizon per_group cores dat_dir =
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig7a ~dir fig);
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores);
-  run_ablation jobs seed (max 1 (per_group / 5)) cores;
+  timed ~jobs "ablation" (fun () ->
+      Experiments.Ablation.run_all ~jobs ?obs std ~seed
+        ~per_group:(max 1 (per_group / 5))
+        ~cores);
   Format.eprintf "[time] %-24s %8.2f s  (jobs=%d)@." "total" 
     (Unix.gettimeofday () -. t0) jobs
+
+(* Default command (no subcommand): a fixed-scale smoke workload that
+   touches both the analysis stack (sweep -> Algorithm 1 -> Eq. 7
+   fixed points) and the simulator (validation runs), so
+   [hydra-experiments --jobs 4 --metrics --trace-out t.json] exercises
+   and exports every metric family while keeping stdout identical to a
+   plain [hydra-experiments --jobs 1] run. *)
+let run_smoke jobs metrics trace_out =
+  with_obs ~metrics ~trace_out @@ fun obs ->
+  Format.printf "[smoke] fixed-scale smoke workload (M=2, seed 42)@.";
+  let sweep =
+    timed ~jobs "smoke sweep" (fun () ->
+        Experiments.Sweep.run ?obs ~n_cores:2 ~per_group:8 ~seed:42 ~jobs ())
+  in
+  Experiments.Fig7.render_a std (Experiments.Fig7.of_sweep sweep);
+  let result =
+    timed ~jobs "smoke validate" (fun () ->
+        Experiments.Validation.run ?obs ~n_cores:2 ~tasksets:10 ~seed:42
+          ~jobs ())
+  in
+  Experiments.Validation.render std result
 
 let cmd_tables =
   Cmd.v (Cmd.info "tables" ~doc:"Render Tables 1-3.")
@@ -242,22 +314,24 @@ let cmd_tables =
 let cmd_fig5 =
   Cmd.v (Cmd.info "fig5" ~doc:"Rover detection-latency experiment (Fig. 5).")
     Term.(const run_fig5 $ jobs_arg $ seed_arg $ trials_arg $ horizon_arg
-          $ deploy_arg $ dat_dir_arg)
+          $ deploy_arg $ dat_dir_arg $ metrics_arg $ trace_out_arg)
 
 let cmd_fig6 =
   Cmd.v (Cmd.info "fig6" ~doc:"Period-distance sweep (Fig. 6).")
     Term.(const run_fig6 $ jobs_arg $ policy_arg $ seed_arg $ per_group_arg
-          $ cores_arg $ dat_dir_arg)
+          $ cores_arg $ dat_dir_arg $ metrics_arg $ trace_out_arg)
 
 let cmd_fig7a =
   Cmd.v (Cmd.info "fig7a" ~doc:"Acceptance-ratio sweep (Fig. 7a).")
     Term.(const (run_fig7 `A) $ jobs_arg $ policy_arg $ seed_arg
-          $ per_group_arg $ cores_arg $ dat_dir_arg)
+          $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
+          $ trace_out_arg)
 
 let cmd_fig7b =
   Cmd.v (Cmd.info "fig7b" ~doc:"Period-difference sweep (Fig. 7b).")
     Term.(const (run_fig7 `B) $ jobs_arg $ policy_arg $ seed_arg
-          $ per_group_arg $ cores_arg $ dat_dir_arg)
+          $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
+          $ trace_out_arg)
 
 let tasksets_arg =
   Arg.(value & opt int 100 & info [ "tasksets" ] ~docv:"N"
@@ -283,7 +357,7 @@ let cmd_report =
     (Cmd.info "report"
        ~doc:"Regenerate every artifact and write a Markdown report.")
     Term.(const run_report $ jobs_arg $ seed_arg $ trials_arg $ per_group_arg
-          $ cores_arg $ out_arg)
+          $ cores_arg $ out_arg $ metrics_arg $ trace_out_arg)
 
 let cmd_validate =
   Cmd.v
@@ -291,7 +365,7 @@ let cmd_validate =
        ~doc:"Cross-validate the HYDRA-C analysis against the discrete-event \
              simulator (soundness + tightness).")
     Term.(const run_validate $ jobs_arg $ policy_arg $ seed_arg $ tasksets_arg
-          $ cores_arg)
+          $ cores_arg $ metrics_arg $ trace_out_arg)
 
 let cmd_ablation =
   Cmd.v
@@ -299,21 +373,27 @@ let cmd_ablation =
        ~doc:"Ablations: carry-in policy, partitioning heuristic, priority \
              order.")
     Term.(const run_ablation $ jobs_arg $ seed_arg $ per_group_arg
-          $ cores_arg)
+          $ cores_arg $ metrics_arg $ trace_out_arg)
 
 let cmd_all =
   Cmd.v (Cmd.info "all" ~doc:"Everything: tables, figures, ablations.")
     Term.(const run_all $ jobs_arg $ policy_arg $ seed_arg $ trials_arg
-          $ horizon_arg $ per_group_arg $ cores_arg $ dat_dir_arg)
+          $ horizon_arg $ per_group_arg $ cores_arg $ dat_dir_arg
+          $ metrics_arg $ trace_out_arg)
+
+let smoke_term =
+  Term.(const run_smoke $ jobs_arg $ metrics_arg $ trace_out_arg)
 
 let () =
   let info =
     Cmd.info "hydra-experiments"
       ~doc:"Reproduce the evaluation of 'Period Adaptation for Continuous \
-            Security Monitoring in Multicore Real-Time Systems' (DATE 2020)."
+            Security Monitoring in Multicore Real-Time Systems' (DATE 2020). \
+            Without a subcommand, runs a fixed-scale smoke workload \
+            (useful with --metrics/--trace-out)."
   in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default:smoke_term info
           [ cmd_tables; cmd_fig5; cmd_fig6; cmd_fig7a; cmd_fig7b;
             cmd_ablation; cmd_validate; cmd_analyze; cmd_report; cmd_all ]))

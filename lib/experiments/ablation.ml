@@ -21,8 +21,8 @@ let generate_batch ?jobs config ~seed ~per_group =
     n
   |> Array.to_list |> List.filter_map Fun.id
 
-let hydra_c_outcome ?policy (g : Generator.generated) =
-  Scheme.evaluate ?policy Scheme.Hydra_c g.Generator.taskset
+let hydra_c_outcome ?policy ?obs (g : Generator.generated) =
+  Scheme.evaluate ?policy ?obs Scheme.Hydra_c g.Generator.taskset
     ~rt_assignment:g.Generator.rt_assignment
 
 let distance_of (g : Generator.generated) (o : Scheme.outcome) =
@@ -36,7 +36,8 @@ let distance_of (g : Generator.generated) (o : Scheme.outcome) =
       Some (Hydra.Metrics.normalized_distance_to_bound ~periods ~bounds)
   | Some _ | None -> None
 
-let run_carry_in ?jobs ppf ~seed ~per_group ~n_cores =
+let run_carry_in ?jobs ?obs ppf ~seed ~per_group ~n_cores =
+  Hydra_obs.span obs "ablation.carry_in" @@ fun () ->
   (* Keep hp-sets small so the exhaustive Eq. 8 stays affordable. *)
   let config =
     { (Generator.default_config ~n_cores) with
@@ -44,7 +45,8 @@ let run_carry_in ?jobs ppf ~seed ~per_group ~n_cores =
   in
   let batch = generate_batch ?jobs config ~seed ~per_group in
   let evaluate policy =
-    Parallel.Pool.map_list ?jobs (fun (_, g) -> hydra_c_outcome ~policy g)
+    Parallel.Pool.map_list ?jobs
+      (fun (_, g) -> hydra_c_outcome ~policy ?obs g)
       batch
   in
   let top = evaluate Hydra.Analysis.Top_delta in
@@ -78,7 +80,8 @@ let run_carry_in ?jobs ppf ~seed ~per_group ~n_cores =
   Format.fprintf ppf
     "tasksets where the polynomial bound changes the verdict: %d@." diverging
 
-let run_partition ?jobs ppf ~seed ~per_group ~n_cores =
+let run_partition ?jobs ?obs ppf ~seed ~per_group ~n_cores =
+  Hydra_obs.span obs "ablation.partition" @@ fun () ->
   let heuristics =
     [ Rtsched.Partition.Best_fit; Rtsched.Partition.First_fit;
       Rtsched.Partition.Worst_fit ]
@@ -92,7 +95,9 @@ let run_partition ?jobs ppf ~seed ~per_group ~n_cores =
         in
         let batch = generate_batch ?jobs config ~seed ~per_group in
         let outcomes =
-          Parallel.Pool.map_list ?jobs (fun (_, g) -> hydra_c_outcome g) batch
+          Parallel.Pool.map_list ?jobs
+            (fun (_, g) -> hydra_c_outcome ?obs g)
+            batch
         in
         let accepted =
           List.length (List.filter (fun o -> o.Scheme.schedulable) outcomes)
@@ -111,7 +116,8 @@ let run_partition ?jobs ppf ~seed ~per_group ~n_cores =
          n_cores)
     ~header:[ "heuristic"; "generated"; "accepted"; "ratio" ] ~rows
 
-let run_priority_order ?jobs ppf ~seed ~per_group ~n_cores =
+let run_priority_order ?jobs ?obs ppf ~seed ~per_group ~n_cores =
+  Hydra_obs.span obs "ablation.priority_order" @@ fun () ->
   let config = Generator.default_config ~n_cores in
   let batch = generate_batch ?jobs config ~seed ~per_group in
   let rows =
@@ -123,7 +129,7 @@ let run_priority_order ?jobs ppf ~seed ~per_group ~n_cores =
               let ts = g.Generator.taskset in
               let sec' = Hydra.Priority_assignment.apply ordering ts.Task.sec in
               let o =
-                Scheme.evaluate Scheme.Hydra_c
+                Scheme.evaluate ?obs Scheme.Hydra_c
                   { ts with Task.sec = sec' }
                   ~rt_assignment:g.Generator.rt_assignment
               in
@@ -150,7 +156,8 @@ let run_priority_order ?jobs ppf ~seed ~per_group ~n_cores =
          n_cores (List.length batch))
     ~header:[ "priority order"; "accepted"; "mean distance" ] ~rows
 
-let run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores =
+let run_hydra_variants ?jobs ?obs ppf ~seed ~per_group ~n_cores =
+  Hydra_obs.span obs "ablation.hydra_variants" @@ fun () ->
   let config = Generator.default_config ~n_cores in
   let batch = generate_batch ?jobs config ~seed ~per_group in
   let bounds_of (ts : Task.taskset) =
@@ -187,7 +194,7 @@ let run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores =
   in
   let hydra_greedy g =
     match
-      Hydra.Baseline_hydra.allocate ~minimize:true (sys_of g)
+      Hydra.Baseline_hydra.allocate ?obs ~minimize:true (sys_of g)
         g.Generator.taskset.Task.sec
     with
     | Hydra.Baseline_hydra.Schedulable allocs ->
@@ -196,7 +203,7 @@ let run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores =
   in
   let hydra_coordinated g =
     match
-      Hydra.Baseline_hydra.allocate_coordinated (sys_of g)
+      Hydra.Baseline_hydra.allocate_coordinated ?obs (sys_of g)
         g.Generator.taskset.Task.sec
     with
     | Hydra.Baseline_hydra.Schedulable allocs ->
@@ -205,7 +212,8 @@ let run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores =
   in
   let hydra_c g =
     match
-      Hydra.Period_selection.select (sys_of g) g.Generator.taskset.Task.sec
+      Hydra.Period_selection.select ?obs (sys_of g)
+        g.Generator.taskset.Task.sec
     with
     | Hydra.Period_selection.Schedulable a ->
         Some (Hydra.Period_selection.period_vector a ~n_sec:(n_sec_of g))
@@ -241,7 +249,8 @@ let run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores =
     (Table_render.float_cell (Hydra.Metrics.mean paired))
     (List.length paired)
 
-let run_overheads ?jobs ppf ~seed ~trials =
+let run_overheads ?jobs ?obs ppf ~seed ~trials =
+  Hydra_obs.span obs "ablation.overheads" @@ fun () ->
   let costs = [ (0, 0); (1, 2); (5, 10); (10, 20); (25, 50) ] in
   let rows =
     List.map
@@ -249,7 +258,7 @@ let run_overheads ?jobs ppf ~seed ~trials =
         let overheads =
           { Sim.Engine.dispatch_cost; migration_cost }
         in
-        let r = Fig5.run ~seed ~trials ~overheads ?jobs () in
+        let r = Fig5.run ~seed ~trials ~overheads ?jobs ?obs () in
         [ Printf.sprintf "%d/%d" dispatch_cost migration_cost;
           Table_render.pct r.Fig5.detection_speedup_pct;
           Printf.sprintf "%.2fx" r.Fig5.context_switch_ratio;
@@ -271,13 +280,13 @@ let run_overheads ?jobs ppf ~seed ~trials =
       [ "cost d/m"; "detect speedup"; "cs ratio"; "rt misses"; "sec misses" ]
     ~rows
 
-let run_all ?jobs ppf ~seed ~per_group ~cores =
+let run_all ?jobs ?obs ppf ~seed ~per_group ~cores =
   List.iter
     (fun n_cores ->
-      run_carry_in ?jobs ppf ~seed ~per_group ~n_cores;
-      run_partition ?jobs ppf ~seed ~per_group ~n_cores;
-      run_priority_order ?jobs ppf ~seed ~per_group ~n_cores;
-      run_hydra_variants ?jobs ppf ~seed ~per_group ~n_cores)
+      run_carry_in ?jobs ?obs ppf ~seed ~per_group ~n_cores;
+      run_partition ?jobs ?obs ppf ~seed ~per_group ~n_cores;
+      run_priority_order ?jobs ?obs ppf ~seed ~per_group ~n_cores;
+      run_hydra_variants ?jobs ?obs ppf ~seed ~per_group ~n_cores)
     cores;
   (* 35 trials as in Fig. 5 — fewer makes the paired speedup noisy. *)
-  run_overheads ?jobs ppf ~seed ~trials:35
+  run_overheads ?jobs ?obs ppf ~seed ~trials:35

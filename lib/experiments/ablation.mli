@@ -15,23 +15,26 @@
     Every entry point takes [?jobs] (default
     {!Parallel.Pool.default_jobs}[ ()]): taskset generation and
     evaluation run on that many domains with output identical for any
-    value — see doc/PARALLELISM.md. *)
+    value — see doc/PARALLELISM.md. Every entry point also takes
+    [?obs]: each ablation runs inside its own [ablation.*] span and
+    forwards [obs] to the analyses it exercises
+    (doc/OBSERVABILITY.md). *)
 
 val run_carry_in :
-  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
-  n_cores:int -> unit
+  ?jobs:int -> ?obs:Hydra_obs.t -> Format.formatter -> seed:int ->
+  per_group:int -> n_cores:int -> unit
 
 val run_partition :
-  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
-  n_cores:int -> unit
+  ?jobs:int -> ?obs:Hydra_obs.t -> Format.formatter -> seed:int ->
+  per_group:int -> n_cores:int -> unit
 
 val run_priority_order :
-  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
-  n_cores:int -> unit
+  ?jobs:int -> ?obs:Hydra_obs.t -> Format.formatter -> seed:int ->
+  per_group:int -> n_cores:int -> unit
 
 val run_hydra_variants :
-  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
-  n_cores:int -> unit
+  ?jobs:int -> ?obs:Hydra_obs.t -> Format.formatter -> seed:int ->
+  per_group:int -> n_cores:int -> unit
 (** {b X5 HYDRA charitable reading}: the paper describes HYDRA
     (DATE'18) as greedy per-task period minimization, which starves
     low-priority tasks. This ablation adds HYDRA-coordinated
@@ -42,7 +45,8 @@ val run_hydra_variants :
     minimization discipline. *)
 
 val run_overheads :
-  ?jobs:int -> Format.formatter -> seed:int -> trials:int -> unit
+  ?jobs:int -> ?obs:Hydra_obs.t -> Format.formatter -> seed:int ->
+  trials:int -> unit
 (** {b X4 overhead sensitivity}: the paper assumes context-switch and
     migration overheads are negligible (Sec. 3). This ablation re-runs
     the rover detection experiment charging increasing per-dispatch and
@@ -51,5 +55,5 @@ val run_overheads :
     overheads burn slack only). *)
 
 val run_all :
-  ?jobs:int -> Format.formatter -> seed:int -> per_group:int ->
-  cores:int list -> unit
+  ?jobs:int -> ?obs:Hydra_obs.t -> Format.formatter -> seed:int ->
+  per_group:int -> cores:int list -> unit

@@ -33,8 +33,8 @@ type trial_outcome = {
   stats : Sim.Engine.stats;
 }
 
-let run_one ?overheads ~ts ~rt_assignment ~policy ~periods ~sec_cores ~horizon
-    ~attack_tripwire ~attack_kmod ~target_image ~rogue_name () =
+let run_one ?overheads ?obs ~ts ~rt_assignment ~policy ~periods ~sec_cores
+    ~horizon ~attack_tripwire ~attack_kmod ~target_image ~rogue_name () =
   let built =
     Sim.Scenario.of_taskset ts ~rt_assignment ~policy ~sec_periods:periods
       ?sec_cores ()
@@ -85,7 +85,7 @@ let run_one ?overheads ~ts ~rt_assignment ~policy ~periods ~sec_cores ~horizon
     { Sim.Engine.no_hooks with Sim.Engine.on_execute = Some on_execute }
   in
   let stats =
-    Sim.Engine.run ~hooks ?overheads ~n_cores:ts.Task.n_cores ~horizon
+    Sim.Engine.run ?obs ~hooks ?overheads ~n_cores:ts.Task.n_cores ~horizon
       built.Sim.Scenario.tasks
   in
   let latency monitor attack =
@@ -128,7 +128,8 @@ let summarize ~label ~periods ~horizon:_ outcomes ~rt_ids ~sec_ids =
     sec_deadline_misses = misses sec_ids }
 
 let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
-    ?overheads ?jobs () =
+    ?overheads ?jobs ?obs () =
+  Hydra_obs.span obs "fig5.run" @@ fun () ->
   let ts = Security.Rover.taskset () in
   let rt_assignment = Security.Rover.rt_assignment () in
   let n_sec = Array.length ts.Task.sec in
@@ -143,7 +144,7 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
     match deployment with
     | Tmax -> bounds
     | Adapted -> (
-        match Hydra.Period_selection.select sys ts.Task.sec with
+        match Hydra.Period_selection.select ?obs sys ts.Task.sec with
         | Hydra.Period_selection.Schedulable a ->
             Hydra.Period_selection.period_vector a ~n_sec
         | Hydra.Period_selection.Unschedulable ->
@@ -152,7 +153,7 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
   (* HYDRA deployment: greedy per-core allocation, minimizing or not. *)
   let hy_periods, hy_cores =
     let minimize = deployment = Adapted in
-    match Hydra.Baseline_hydra.allocate ~minimize sys ts.Task.sec with
+    match Hydra.Baseline_hydra.allocate ?obs ~minimize sys ts.Task.sec with
     | Hydra.Baseline_hydra.Schedulable allocs ->
         ( Hydra.Baseline_hydra.period_vector allocs ~n_sec,
           Hydra.Baseline_hydra.core_vector allocs ~n_sec )
@@ -165,6 +166,7 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
      on any number of domains with identical outcomes. *)
   let streams = Rng.split_n rng trials in
   let trial i =
+    Hydra_obs.span obs "fig5.trial" @@ fun () ->
     let stream = streams.(i) in
     let attack_tripwire = Rng.int_in stream 1000 15000 in
     let attack_kmod = Rng.int_in stream 1000 15000 in
@@ -176,7 +178,7 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
       Printf.sprintf "rk_hook_%04x" (Rng.int stream 0xFFFF)
     in
     let common ~policy ~periods ~sec_cores =
-      run_one ?overheads ~ts ~rt_assignment ~policy ~periods ~sec_cores
+      run_one ?overheads ?obs ~ts ~rt_assignment ~policy ~periods ~sec_cores
         ~horizon ~attack_tripwire ~attack_kmod ~target_image ~rogue_name ()
     in
     ( common ~policy:Sim.Policy.Semi_partitioned ~periods:hc_periods

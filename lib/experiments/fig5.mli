@@ -49,13 +49,16 @@ type report = {
 
 val run :
   ?seed:int -> ?trials:int -> ?horizon:int -> ?deployment:deployment ->
-  ?overheads:Sim.Engine.overheads -> ?jobs:int -> unit -> report
+  ?overheads:Sim.Engine.overheads -> ?jobs:int -> ?obs:Hydra_obs.t ->
+  unit -> report
 (** Defaults: seed 42, 35 trials (as the paper), horizon 45000 ticks
     (the paper's 45 s observation window), deployment {!Tmax}, zero
     overheads (the paper's assumption; non-zero values feed the X4
     ablation). [jobs] (default {!Parallel.Pool.default_jobs}[ ()])
     simulates trials on that many domains; each trial owns a pre-split
     RNG stream, so the report is identical for any [jobs] value
-    (doc/PARALLELISM.md). *)
+    (doc/PARALLELISM.md). [obs] wraps the experiment in a [fig5.run]
+    span and each trial in a [fig5.trial] span, and forwards to the
+    simulator's schedule-event counters (doc/OBSERVABILITY.md). *)
 
 val render : Format.formatter -> report -> unit

@@ -29,7 +29,8 @@ let para buf text =
   Buffer.add_string buf text;
   Buffer.add_string buf "\n\n"
 
-let generate ?jobs scale =
+let generate ?jobs ?obs scale =
+  Hydra_obs.span obs "report.generate" @@ fun () ->
   let buf = Buffer.create 8192 in
   heading buf 1 "HYDRA-C experiment report";
   para buf
@@ -45,12 +46,14 @@ let generate ?jobs scale =
 
   heading buf 2 "Fig. 5 — rover intrusion detection";
   para buf "T_max deployment (the paper's demo configuration):";
-  let fig5 = Fig5.run ~seed:scale.sc_seed ~trials:scale.sc_trials ?jobs () in
+  let fig5 =
+    Fig5.run ~seed:scale.sc_seed ~trials:scale.sc_trials ?jobs ?obs ()
+  in
   fenced buf (fun ppf -> Fig5.render ppf fig5);
   para buf "Adapted-period deployment (each scheme's own selection):";
   let fig5a =
     Fig5.run ~seed:scale.sc_seed ~trials:scale.sc_trials
-      ~deployment:Fig5.Adapted ?jobs ()
+      ~deployment:Fig5.Adapted ?jobs ?obs ()
   in
   fenced buf (fun ppf -> Fig5.render ppf fig5a);
 
@@ -59,7 +62,7 @@ let generate ?jobs scale =
     (fun n_cores ->
       let sweep =
         Sweep.run ~n_cores ~per_group:scale.sc_per_group ~seed:scale.sc_seed
-          ?jobs ()
+          ?jobs ?obs ()
       in
       heading buf 3 (Printf.sprintf "M = %d" n_cores);
       fenced buf (fun ppf ->
@@ -71,7 +74,7 @@ let generate ?jobs scale =
 
   heading buf 2 "Ablations";
   fenced buf (fun ppf ->
-      Ablation.run_all ?jobs ppf ~seed:scale.sc_seed
+      Ablation.run_all ?jobs ?obs ppf ~seed:scale.sc_seed
         ~per_group:(max 1 (scale.sc_per_group / 5))
         ~cores:scale.sc_cores);
 
@@ -82,7 +85,7 @@ let generate ?jobs scale =
           (fun n_cores ->
             let result =
               Validation.run ~n_cores ~tasksets:scale.sc_validate_tasksets
-                ~seed:scale.sc_seed ?jobs ()
+                ~seed:scale.sc_seed ?jobs ?obs ()
             in
             Format.fprintf ppf "M = %d:@." n_cores;
             Validation.render ppf result)
@@ -90,7 +93,7 @@ let generate ?jobs scale =
   end;
   buf
 
-let write ?jobs scale ~path =
-  let buf = generate ?jobs scale in
+let write ?jobs ?obs scale ~path =
+  let buf = generate ?jobs ?obs scale in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))

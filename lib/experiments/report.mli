@@ -16,11 +16,12 @@ val default_scale : scale
 (** seed 42, 35 trials, 50 per group, cores [2; 4], 50 validation
     tasksets — a few minutes of compute. *)
 
-val generate : ?jobs:int -> scale -> Buffer.t
+val generate : ?jobs:int -> ?obs:Hydra_obs.t -> scale -> Buffer.t
 (** Runs everything and renders the document. [jobs] (default
     {!Parallel.Pool.default_jobs}[ ()]) is passed to every
     sweep-shaped regeneration; the document is identical for any
-    value (doc/PARALLELISM.md). *)
+    value (doc/PARALLELISM.md). [obs] is likewise forwarded everywhere
+    and never changes the document (doc/OBSERVABILITY.md). *)
 
-val write : ?jobs:int -> scale -> path:string -> unit
+val write : ?jobs:int -> ?obs:Hydra_obs.t -> scale -> path:string -> unit
 (** [generate] to a file. @raise Sys_error on I/O failure. *)

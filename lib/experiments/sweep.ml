@@ -20,21 +20,22 @@ let bounds_of (ts : Task.taskset) =
   Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.sec;
   v
 
-let evaluate_one ?policy schemes (g : Generator.generated) ~group =
+let evaluate_one ?policy ?obs schemes (g : Generator.generated) ~group =
   let ts = g.Generator.taskset in
   let outcomes =
     List.map
       (fun scheme ->
         ( scheme,
-          Scheme.evaluate ?policy scheme ts
+          Scheme.evaluate ?policy ?obs scheme ts
             ~rt_assignment:g.Generator.rt_assignment ))
       schemes
   in
   { group; norm_util = Task.normalized_utilization ts;
     bounds = bounds_of ts; outcomes }
 
-let run ?policy ?config ?(schemes = Scheme.all) ?jobs ~n_cores ~per_group
-    ~seed () =
+let run ?policy ?config ?(schemes = Scheme.all) ?jobs ?obs ~n_cores
+    ~per_group ~seed () =
+  Hydra_obs.span obs "sweep.run" @@ fun () ->
   let config =
     Option.value config ~default:(Generator.default_config ~n_cores)
   in
@@ -47,10 +48,17 @@ let run ?policy ?config ?(schemes = Scheme.all) ?jobs ~n_cores ~per_group
   let records =
     Parallel.Pool.map ?jobs
       (fun i ->
+        (* The span runs on the worker domain; the exporter attributes
+           it to that domain's trace row. *)
+        Hydra_obs.span obs "sweep.item" @@ fun () ->
         let group = i / per_group in
         match Generator.generate config streams.(i) ~group with
-        | None -> None
-        | Some g -> Some (evaluate_one ?policy schemes g ~group))
+        | None ->
+            Hydra_obs.incr obs "sweep.tasksets.discarded";
+            None
+        | Some g ->
+            Hydra_obs.incr obs "sweep.tasksets.generated";
+            Some (evaluate_one ?policy ?obs schemes g ~group))
       n
   in
   { n_cores; per_group;

@@ -20,7 +20,8 @@ type t = {
 val run :
   ?policy:Hydra.Analysis.carry_in_policy ->
   ?config:Taskgen.Generator.config -> ?schemes:Hydra.Scheme.t list ->
-  ?jobs:int -> n_cores:int -> per_group:int -> seed:int -> unit -> t
+  ?jobs:int -> ?obs:Hydra_obs.t -> n_cores:int -> per_group:int ->
+  seed:int -> unit -> t
 (** Runs the sweep. [config] defaults to
     [Taskgen.Generator.default_config ~n_cores]; [schemes] defaults to
     all four. Each taskset gets its own RNG stream, pre-split in
@@ -31,7 +32,13 @@ val run :
     [jobs] (default {!Parallel.Pool.default_jobs}[ ()]) evaluates
     tasksets on that many domains; the records are {b identical} for
     every [jobs] value — [jobs:1] is the plain sequential loop — per
-    the determinism contract in doc/PARALLELISM.md. *)
+    the determinism contract in doc/PARALLELISM.md.
+
+    [obs] wraps the sweep in a [sweep.run] span, each taskset in a
+    [sweep.item] span (attributed to the worker domain that ran it),
+    counts [sweep.tasksets.generated] / [sweep.tasksets.discarded] and
+    forwards to every analysis underneath; it never affects the
+    records (doc/OBSERVABILITY.md). *)
 
 val group_records : t -> group:int -> record list
 

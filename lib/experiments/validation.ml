@@ -16,12 +16,12 @@ type result = {
   checks : int;
 }
 
-let validate_one ?policy ~horizon (g : Generator.generated) =
+let validate_one ?policy ?obs ~horizon (g : Generator.generated) =
   let ts = g.Generator.taskset in
   let sys =
     Hydra.Analysis.make_system ts ~assignment:g.Generator.rt_assignment
   in
-  match Hydra.Period_selection.select ?policy sys ts.Task.sec with
+  match Hydra.Period_selection.select ?policy ?obs sys ts.Task.sec with
   | Hydra.Period_selection.Unschedulable -> None
   | Hydra.Period_selection.Schedulable assignments ->
       let n_sec = Array.length ts.Task.sec in
@@ -32,7 +32,7 @@ let validate_one ?policy ~horizon (g : Generator.generated) =
           ~policy:Sim.Policy.Semi_partitioned ~sec_periods:periods ()
       in
       let stats =
-        Sim.Engine.run ~n_cores:ts.Task.n_cores ~horizon
+        Sim.Engine.run ?obs ~n_cores:ts.Task.n_cores ~horizon
           built.Sim.Scenario.tasks
       in
       let checks =
@@ -50,8 +50,9 @@ let validate_one ?policy ~horizon (g : Generator.generated) =
       in
       Some (checks, rt_misses)
 
-let run ?policy ?config ?(horizon = 100_000) ?jobs ~n_cores ~tasksets ~seed
-    () =
+let run ?policy ?config ?(horizon = 100_000) ?jobs ?obs ~n_cores ~tasksets
+    ~seed () =
+  Hydra_obs.span obs "validation.run" @@ fun () ->
   let config =
     Option.value config ~default:(Generator.default_config ~n_cores)
   in
@@ -62,10 +63,11 @@ let run ?policy ?config ?(horizon = 100_000) ?jobs ~n_cores ~tasksets ~seed
   let results =
     Parallel.Pool.map ?jobs
       (fun i ->
+        Hydra_obs.span obs "validation.item" @@ fun () ->
         let group = i mod config.Generator.util_groups in
         match Generator.generate config streams.(i) ~group with
         | None -> None
-        | Some g -> validate_one ?policy ~horizon g)
+        | Some g -> validate_one ?policy ?obs ~horizon g)
       tasksets
   in
   (* Fold in ascending index order — the same accumulation the

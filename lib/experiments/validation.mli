@@ -29,12 +29,15 @@ type result = {
 
 val run :
   ?policy:Hydra.Analysis.carry_in_policy -> ?config:Taskgen.Generator.config ->
-  ?horizon:int -> ?jobs:int -> n_cores:int -> tasksets:int -> seed:int ->
-  unit -> result
+  ?horizon:int -> ?jobs:int -> ?obs:Hydra_obs.t -> n_cores:int ->
+  tasksets:int -> seed:int -> unit -> result
 (** Generates [tasksets] tasksets spread over the utilization groups
     and validates each schedulable one over [horizon] ticks (default
     100000). [jobs] (default {!Parallel.Pool.default_jobs}[ ()])
     simulates tasksets on that many domains; the result is identical
-    for every [jobs] value (doc/PARALLELISM.md). *)
+    for every [jobs] value (doc/PARALLELISM.md). [obs] wraps the run in
+    a [validation.run] span and each taskset in a [validation.item]
+    span, and forwards to the analysis and simulator underneath
+    (doc/OBSERVABILITY.md). *)
 
 val render : Format.formatter -> result -> unit

@@ -73,15 +73,25 @@ let omega_fixed_sets sys ~hp ~carry_in_ids ~job_wcet x =
       acc + i)
     rt hp
 
-(* Eq. 7 fixed-point iteration from x = C_s for a monotone Omega. *)
-let fixpoint ~n_cores ~wcet ~limit omega =
+(* Eq. 7 fixed-point iteration from x = C_s for a monotone Omega.
+   [iters] accumulates the iteration count locally (an int ref costs
+   nothing measurable); the caller reports it to [obs] once. *)
+let fixpoint ~iters ~n_cores ~wcet ~limit omega =
   let rec iter x =
     if x > limit then None
-    else
+    else begin
+      incr iters;
       let x' = (omega x / n_cores) + wcet in
       if x' = x then Some x else iter x'
+    end
   in
   if wcet > limit then None else iter wcet
+
+let record_fixpoint obs iters r =
+  Hydra_obs.add obs "analysis.fixpoint.iterations" !iters;
+  match r with
+  | Some _ -> Hydra_obs.incr obs "analysis.fixpoint.converged"
+  | None -> Hydra_obs.incr obs "analysis.fixpoint.diverged"
 
 let carry_in_subsets items ~max_size =
   let rec go = function
@@ -97,31 +107,44 @@ let carry_in_subsets items ~max_size =
   in
   if max_size <= 0 then [ [] ] else go items
 
-let response_time_top_delta sys ~hp ~wcet ~limit =
-  fixpoint ~n_cores:sys.n_cores ~wcet ~limit
-    (omega_top_delta sys ~hp ~job_wcet:wcet)
+let response_time_top_delta ?obs sys ~hp ~wcet ~limit =
+  Hydra_obs.observe obs "analysis.carry_in.set_size"
+    (min (sys.n_cores - 1) (List.length hp));
+  let iters = ref 0 in
+  let r =
+    fixpoint ~iters ~n_cores:sys.n_cores ~wcet ~limit
+      (omega_top_delta sys ~hp ~job_wcet:wcet)
+  in
+  record_fixpoint obs iters r;
+  r
 
 (* Literal Eq. 8: the WCRT is the maximum over carry-in subsets of the
    per-subset fixed points; the task is unschedulable as soon as one
    subset's iteration exceeds the limit. *)
-let response_time_exhaustive sys ~hp ~wcet ~limit =
+let response_time_exhaustive ?obs sys ~hp ~wcet ~limit =
   let subsets =
     carry_in_subsets
       (List.map (fun h -> h.hp_task.Task.sec_id) hp)
       ~max_size:(sys.n_cores - 1)
   in
+  Hydra_obs.add obs "analysis.carry_in.subsets" (List.length subsets);
   let step acc carry_in_ids =
     match acc with
     | None -> None
     | Some best -> (
+        Hydra_obs.observe obs "analysis.carry_in.set_size"
+          (List.length carry_in_ids);
         let omega = omega_fixed_sets sys ~hp ~carry_in_ids ~job_wcet:wcet in
-        match fixpoint ~n_cores:sys.n_cores ~wcet ~limit omega with
+        let iters = ref 0 in
+        let r = fixpoint ~iters ~n_cores:sys.n_cores ~wcet ~limit omega in
+        record_fixpoint obs iters r;
+        match r with
         | None -> None
         | Some r -> Some (max best r))
   in
   List.fold_left step (Some wcet) subsets
 
-let response_time ?(policy = Top_delta) sys ~hp ~wcet ~limit =
+let response_time ?(policy = Top_delta) ?obs sys ~hp ~wcet ~limit =
   match policy with
-  | Top_delta -> response_time_top_delta sys ~hp ~wcet ~limit
-  | Exhaustive -> response_time_exhaustive sys ~hp ~wcet ~limit
+  | Top_delta -> response_time_top_delta ?obs sys ~hp ~wcet ~limit
+  | Exhaustive -> response_time_exhaustive ?obs sys ~hp ~wcet ~limit

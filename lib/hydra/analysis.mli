@@ -54,12 +54,18 @@ val rt_interference : system -> job_wcet:time -> time -> time
 (** Total RT interference term of Eq. 6 for a window of length [x]. *)
 
 val response_time :
-  ?policy:carry_in_policy -> system -> hp:hp_sec list -> wcet:time ->
-  limit:time -> time option
+  ?policy:carry_in_policy -> ?obs:Hydra_obs.t -> system -> hp:hp_sec list ->
+  wcet:time -> limit:time -> time option
 (** [response_time sys ~hp ~wcet ~limit] is the WCRT of a security job
     of WCET [wcet] below the given higher-priority security tasks, or
     [None] if the fixed point exceeds [limit] (Sec. 4.4 stops at
-    [T_s^max] since the task is then trivially unschedulable). *)
+    [T_s^max] since the task is then trivially unschedulable).
+
+    [obs] records the Eq. 7/8 instrumentation:
+    [analysis.fixpoint.iterations] plus converged/diverged tallies,
+    [analysis.carry_in.subsets] (Exhaustive: subsets enumerated) and
+    the [analysis.carry_in.set_size] distribution
+    (doc/OBSERVABILITY.md). *)
 
 val carry_in_subsets : 'a list -> max_size:int -> 'a list list
 (** All sublists of size [<= max_size] (order-preserving); exposed for

@@ -14,7 +14,7 @@ type result =
   | Schedulable of alloc list
   | Unschedulable
 
-let core_response_time (sys : Analysis.system) ~core ~placed s =
+let core_response_time ?obs (sys : Analysis.system) ~core ~placed s =
   let rt_hp =
     List.map
       (fun (t : Task.rt_task) ->
@@ -29,8 +29,8 @@ let core_response_time (sys : Analysis.system) ~core ~placed s =
         else None)
       placed
   in
-  Rta.response_time ~hp:(rt_hp @ sec_hp) ~wcet:s.Task.sec_wcet
-    ~limit:s.Task.sec_period_max
+  Rta.response_time ?obs ~hp:(rt_hp @ sec_hp) ~wcet:s.Task.sec_wcet
+    ~limit:s.Task.sec_period_max ()
 
 type criterion = Min_response | Max_utilization
 
@@ -46,7 +46,7 @@ let core_sec_utilization placed core =
 (* Pick a feasible core: the one minimizing the response time (HYDRA's
    "maximum monitoring frequency") or classic best-fit by committed
    utilization; ties broken by lowest core index. *)
-let best_core criterion sys ~placed s =
+let best_core criterion obs sys ~placed s =
   let better (m, r) (m', r') =
     match criterion with
     | Min_response -> if r' < r then (m', r') else (m, r)
@@ -59,7 +59,7 @@ let best_core criterion sys ~placed s =
     if m >= sys.Analysis.n_cores then best
     else
       let best =
-        match core_response_time sys ~core:m ~placed s with
+        match core_response_time ?obs sys ~core:m ~placed s with
         | None -> best
         | Some r -> (
             match best with
@@ -70,7 +70,7 @@ let best_core criterion sys ~placed s =
   in
   go 0 None
 
-let allocate ?criterion ~minimize sys secs =
+let allocate ?criterion ?obs ~minimize sys secs =
   let criterion =
     Option.value criterion
       ~default:(if minimize then Min_response else Max_utilization)
@@ -79,9 +79,10 @@ let allocate ?criterion ~minimize sys secs =
   let rec place placed = function
     | [] -> Schedulable (List.rev placed)
     | s :: rest -> (
-        match best_core criterion sys ~placed s with
+        match best_core criterion obs sys ~placed s with
         | None -> Unschedulable
         | Some (core, resp) ->
+            Hydra_obs.incr obs "baseline_hydra.placements";
             let period = if minimize then resp else s.Task.sec_period_max in
             place ({ sec = s; core; period; resp } :: placed) rest)
   in
@@ -91,16 +92,16 @@ let allocate ?criterion ~minimize sys secs =
 
 (* Response time of alloc [a] given the current periods of the other
    allocations on its core (encoded in [placed]). *)
-let realloc_resp sys placed (a : alloc) =
-  core_response_time sys ~core:a.core ~placed a.sec
+let realloc_resp obs sys placed (a : alloc) =
+  core_response_time ?obs sys ~core:a.core ~placed a.sec
 
 (* Recompute responses of [allocs] (priority order) against each
    other's current periods; [None] if someone misses its bound. *)
-let recompute_core sys allocs =
+let recompute_core obs sys allocs =
   let rec go done_ = function
     | [] -> Some (List.rev done_)
     | a :: rest -> (
-        match realloc_resp sys done_ a with
+        match realloc_resp obs sys done_ a with
         | None -> None
         | Some resp -> go ({ a with resp } :: done_) rest)
   in
@@ -109,7 +110,7 @@ let recompute_core sys allocs =
 (* Minimum feasible period for position [idx] of a core's allocation
    list (priority order): binary search in [resp, bound], feasible when
    every lower-priority core-mate still meets its bound. *)
-let min_core_period sys allocs idx =
+let min_core_period obs sys allocs idx =
   let a = List.nth allocs idx in
   let feasible candidate =
     let probed =
@@ -117,33 +118,40 @@ let min_core_period sys allocs idx =
         (fun i x -> if i = idx then { x with period = candidate } else x)
         allocs
     in
-    Option.is_some (recompute_core sys probed)
+    Option.is_some (recompute_core obs sys probed)
   in
+  let steps = ref 0 in
   let rec search lo hi best =
     if lo > hi then best
-    else
+    else begin
+      incr steps;
       let c = (lo + hi) / 2 in
       if feasible c then search lo (c - 1) (min best c)
       else search (c + 1) hi best
+    end
   in
-  search a.resp a.sec.Task.sec_period_max a.sec.Task.sec_period_max
+  let t_star =
+    search a.resp a.sec.Task.sec_period_max a.sec.Task.sec_period_max
+  in
+  Hydra_obs.add obs "baseline_hydra.search.steps" !steps;
+  t_star
 
-let minimize_core sys allocs =
+let minimize_core obs sys allocs =
   let n = List.length allocs in
   let rec loop allocs idx =
     if idx >= n then
       (* final response refresh so callers see consistent WCRTs *)
-      match recompute_core sys allocs with
+      match recompute_core obs sys allocs with
       | Some refreshed -> refreshed
       | None -> assert false
     else
       (* refresh responses first: minimizing higher-priority periods
          grows the lower-priority responses, and the search's lower
          bound must be the task's *current* WCRT *)
-      match recompute_core sys allocs with
+      match recompute_core obs sys allocs with
       | None -> assert false (* invariant: the previous step was feasible *)
       | Some refreshed ->
-          let t_star = min_core_period sys refreshed idx in
+          let t_star = min_core_period obs sys refreshed idx in
           let updated =
             List.mapi
               (fun i x -> if i = idx then { x with period = t_star } else x)
@@ -153,8 +161,8 @@ let minimize_core sys allocs =
   in
   loop allocs 0
 
-let allocate_coordinated ?(criterion = Max_utilization) sys secs =
-  match allocate ~criterion ~minimize:false sys secs with
+let allocate_coordinated ?(criterion = Max_utilization) ?obs sys secs =
+  match allocate ~criterion ?obs ~minimize:false sys secs with
   | Unschedulable -> Unschedulable
   | Schedulable allocs ->
       let per_core core =
@@ -162,7 +170,7 @@ let allocate_coordinated ?(criterion = Max_utilization) sys secs =
       in
       let minimized =
         List.init sys.Analysis.n_cores per_core
-        |> List.concat_map (minimize_core sys)
+        |> List.concat_map (minimize_core obs sys)
       in
       (* restore global priority order *)
       let ordered =

@@ -40,14 +40,14 @@ type criterion =
           this criterion. *)
 
 val allocate :
-  ?criterion:criterion -> minimize:bool -> Analysis.system ->
-  Rtsched.Task.sec_task array -> result
+  ?criterion:criterion -> ?obs:Hydra_obs.t -> minimize:bool ->
+  Analysis.system -> Rtsched.Task.sec_task array -> result
 (** [allocate ~minimize sys secs] runs the greedy allocation;
     [minimize = true] is HYDRA (default criterion [Min_response]),
     [false] is HYDRA-TMax (default criterion [Max_utilization]). *)
 
 val allocate_coordinated :
-  ?criterion:criterion -> Analysis.system ->
+  ?criterion:criterion -> ?obs:Hydra_obs.t -> Analysis.system ->
   Rtsched.Task.sec_task array -> result
 (** HYDRA-coordinated — a charitable reading of the DATE'18 baseline
     used by the X5 ablation: first allocate every task with its period
@@ -60,7 +60,7 @@ val allocate_coordinated :
     construction while the periods are still adapted. *)
 
 val core_response_time :
-  Analysis.system -> core:int -> placed:alloc list ->
+  ?obs:Hydra_obs.t -> Analysis.system -> core:int -> placed:alloc list ->
   Rtsched.Task.sec_task -> time option
 (** Response time the given security task would have on [core], below
     that core's RT tasks and the already-[placed] security tasks

@@ -4,10 +4,10 @@ module Task = Rtsched.Task
 let flatten ts =
   Rta_global.of_taskset ts ~sec_period:(fun s -> s.Task.sec_period_max)
 
-let global_tmax_schedulable ts =
-  Rta_global.all_schedulable ~n_cores:ts.Task.n_cores (flatten ts)
+let global_tmax_schedulable ?obs ts =
+  Rta_global.all_schedulable ?obs ~n_cores:ts.Task.n_cores (flatten ts)
 
-let global_response_times ts =
+let global_response_times ?obs ts =
   let gtasks = flatten ts in
-  let resps = Rta_global.response_times ~n_cores:ts.Task.n_cores gtasks in
+  let resps = Rta_global.response_times ?obs ~n_cores:ts.Task.n_cores gtasks in
   List.map2 (fun (g : Rta_global.gtask) r -> (g.g_name, r)) gtasks resps

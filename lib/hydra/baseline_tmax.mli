@@ -4,12 +4,13 @@
     the Guan-style global RTA of {!Rtsched.Rta_global}. This isolates
     the cost of abandoning the legacy partitioning of RT tasks. *)
 
-val global_tmax_schedulable : Rtsched.Task.taskset -> bool
+val global_tmax_schedulable : ?obs:Hydra_obs.t -> Rtsched.Task.taskset -> bool
 (** Whether the flattened taskset (RT priorities above security
     priorities, periods at the bounds) passes global RTA: [R_r <= D_r]
     for every RT task and [R_s <= T_s^max] for every security task. *)
 
 val global_response_times :
-  Rtsched.Task.taskset -> (string * Rtsched.Task.time option) list
+  ?obs:Hydra_obs.t -> Rtsched.Task.taskset ->
+  (string * Rtsched.Task.time option) list
 (** Per-task response times (task name, WCRT if schedulable) in global
     priority order — for inspection and tests. *)

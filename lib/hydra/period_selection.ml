@@ -19,21 +19,21 @@ let hp_list (sorted : Task.sec_task array) periods resps j =
 
 (* Response time of the task at position [j] given the current period
    vector; [None] when it exceeds T_j^max. *)
-let resp_at policy sys sorted periods resps j =
+let resp_at policy obs sys sorted periods resps j =
   let s = sorted.(j) in
-  Analysis.response_time ?policy sys
+  Analysis.response_time ?policy ?obs sys
     ~hp:(hp_list sorted periods resps j)
     ~wcet:s.Task.sec_wcet ~limit:s.Task.sec_period_max
 
 (* Recompute response times for positions [from..n-1] into a copy of
    [resps]; [None] as soon as some task misses its bound. *)
-let recompute_from policy sys sorted periods resps ~from =
+let recompute_from policy obs sys sorted periods resps ~from =
   let n = Array.length sorted in
   let resps = Array.copy resps in
   let rec go j =
     if j >= n then Some resps
     else
-      match resp_at policy sys sorted periods resps j with
+      match resp_at policy obs sys sorted periods resps j with
       | None -> None
       | Some r ->
           resps.(j) <- r;
@@ -43,38 +43,51 @@ let recompute_from policy sys sorted periods resps ~from =
 
 (* Is the whole lower-priority suffix schedulable if position [index]
    takes period [candidate]? *)
-let candidate_feasible policy sys sorted periods resps ~index ~candidate =
+let candidate_feasible policy obs sys sorted periods resps ~index ~candidate =
   let periods = Array.copy periods in
   periods.(index) <- candidate;
-  Option.is_some (recompute_from policy sys sorted periods resps ~from:(index + 1))
+  Option.is_some
+    (recompute_from policy obs sys sorted periods resps ~from:(index + 1))
 
 (* Algorithm 2: binary search for the minimum feasible period of the
    task at [index], collecting every feasible probe and returning the
    least one. T_s^max is feasible by the Algorithm 1 invariant. *)
-let min_feasible_period_impl policy sys ~sorted ~periods ~resps ~index =
+let min_feasible_period_impl policy obs sys ~sorted ~periods ~resps ~index =
   let s = sorted.(index) in
   let tmax = s.Task.sec_period_max in
+  let steps = ref 0 in
   let rec search lo hi best =
     if lo > hi then best
-    else
+    else begin
+      incr steps;
       let c = (lo + hi) / 2 in
-      if candidate_feasible policy sys sorted periods resps ~index ~candidate:c
+      if
+        candidate_feasible policy obs sys sorted periods resps ~index
+          ~candidate:c
       then search lo (c - 1) (min best c)
       else search (c + 1) hi best
+    end
   in
-  search resps.(index) tmax tmax
+  let t_star = search resps.(index) tmax tmax in
+  (* Algorithm 2 cost: total probes and the per-task distribution. *)
+  Hydra_obs.add obs "period_selection.search.steps" !steps;
+  Hydra_obs.observe obs "period_selection.search.steps_per_task" !steps;
+  t_star
 
-let min_feasible_period ?policy sys ~sorted ~periods ~resps ~index =
-  min_feasible_period_impl policy sys ~sorted ~periods ~resps ~index
+let min_feasible_period ?policy ?obs sys ~sorted ~periods ~resps ~index =
+  min_feasible_period_impl policy obs sys ~sorted ~periods ~resps ~index
 
-let select ?policy sys secs =
+let select ?policy ?obs sys secs =
   let sorted = Task.sort_sec_by_priority secs in
   let n = Array.length sorted in
   let periods = Array.map (fun s -> s.Task.sec_period_max) sorted in
   let resps = Array.make n 0 in
+  Hydra_obs.add obs "period_selection.tasks" n;
   (* Algorithm 1, lines 1-4: all periods at their bounds. *)
-  match recompute_from policy sys sorted periods resps ~from:0 with
-  | None -> Unschedulable
+  match recompute_from policy obs sys sorted periods resps ~from:0 with
+  | None ->
+      Hydra_obs.incr obs "period_selection.unschedulable";
+      Unschedulable
   | Some resps0 ->
       Array.blit resps0 0 resps 0 n;
       (* Lines 5-9: minimize periods from highest to lowest priority,
@@ -83,10 +96,13 @@ let select ?policy sys secs =
         if index >= n then ()
         else begin
           let t_star =
-            min_feasible_period_impl policy sys ~sorted ~periods ~resps ~index
+            min_feasible_period_impl policy obs sys ~sorted ~periods ~resps
+              ~index
           in
           periods.(index) <- t_star;
-          (match recompute_from policy sys sorted periods resps ~from:(index + 1)
+          (match
+             recompute_from policy obs sys sorted periods resps
+               ~from:(index + 1)
            with
           | Some updated -> Array.blit updated 0 resps 0 n
           | None ->
@@ -97,6 +113,7 @@ let select ?policy sys secs =
         end
       in
       minimize 0;
+      Hydra_obs.incr obs "period_selection.schedulable";
       let assignments =
         List.init n (fun j ->
             { sec = sorted.(j); period = periods.(j); resp = resps.(j) })

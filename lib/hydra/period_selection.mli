@@ -30,13 +30,16 @@ type result =
           at its bound (Algorithm 1, line 2) *)
 
 val select :
-  ?policy:Analysis.carry_in_policy -> Analysis.system ->
+  ?policy:Analysis.carry_in_policy -> ?obs:Hydra_obs.t -> Analysis.system ->
   Rtsched.Task.sec_task array -> result
 (** Runs Algorithm 1 on the security tasks (any order; they are sorted
-    by priority internally). *)
+    by priority internally). [obs] counts the Algorithm 2 probes
+    ([period_selection.search.steps], plus the per-task
+    [period_selection.search.steps_per_task] distribution) and the
+    schedulable/unschedulable outcome tallies (doc/OBSERVABILITY.md). *)
 
 val min_feasible_period :
-  ?policy:Analysis.carry_in_policy -> Analysis.system ->
+  ?policy:Analysis.carry_in_policy -> ?obs:Hydra_obs.t -> Analysis.system ->
   sorted:Rtsched.Task.sec_task array -> periods:time array ->
   resps:time array -> index:int -> time
 (** Algorithm 2 for the task at [index] of the priority-sorted array,

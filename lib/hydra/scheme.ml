@@ -27,12 +27,12 @@ let tmax_periods (ts : Task.taskset) =
   Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.sec;
   v
 
-let evaluate ?policy scheme (ts : Task.taskset) ~rt_assignment =
+let evaluate ?policy ?obs scheme (ts : Task.taskset) ~rt_assignment =
   let n_sec = Array.length ts.sec in
   match scheme with
   | Hydra_c -> (
       let sys = Analysis.make_system ts ~assignment:rt_assignment in
-      match Period_selection.select ?policy sys ts.sec with
+      match Period_selection.select ?policy ?obs sys ts.sec with
       | Period_selection.Unschedulable -> unschedulable
       | Period_selection.Schedulable assignments ->
           { schedulable = true;
@@ -41,14 +41,14 @@ let evaluate ?policy scheme (ts : Task.taskset) ~rt_assignment =
   | Hydra | Hydra_tmax -> (
       let minimize = scheme = Hydra in
       let sys = Analysis.make_system ts ~assignment:rt_assignment in
-      match Baseline_hydra.allocate ~minimize sys ts.sec with
+      match Baseline_hydra.allocate ?obs ~minimize sys ts.sec with
       | Baseline_hydra.Unschedulable -> unschedulable
       | Baseline_hydra.Schedulable allocs ->
           { schedulable = true;
             periods = Some (Baseline_hydra.period_vector allocs ~n_sec);
             sec_cores = Some (Baseline_hydra.core_vector allocs ~n_sec) })
   | Global_tmax ->
-      if Baseline_tmax.global_tmax_schedulable ts then
+      if Baseline_tmax.global_tmax_schedulable ?obs ts then
         { schedulable = true; periods = Some (tmax_periods ts);
           sec_cores = None }
       else unschedulable

@@ -25,7 +25,9 @@ type outcome = {
 }
 
 val evaluate :
-  ?policy:Analysis.carry_in_policy -> t -> Rtsched.Task.taskset ->
-  rt_assignment:int array -> outcome
+  ?policy:Analysis.carry_in_policy -> ?obs:Hydra_obs.t -> t ->
+  Rtsched.Task.taskset -> rt_assignment:int array -> outcome
 (** Evaluates a scheme on a taskset whose RT part is already
-    partitioned ([rt_assignment] is ignored by [Global_tmax]). *)
+    partitioned ([rt_assignment] is ignored by [Global_tmax]).
+    [obs] forwards to the underlying analyses, which record their
+    fixed-point and search metrics (doc/OBSERVABILITY.md). *)

@@ -1,0 +1,336 @@
+external now_ns : unit -> int = "hydra_obs_monotonic_ns" [@@noalloc]
+
+(* ------------------------------------------------------------------ *)
+(* Striped atomic cells.
+
+   Every metric is an array of [stripes] atomics; a writer touches only
+   the cell indexed by its domain id, so Parallel.Pool workers never
+   contend on a cache line they both write. The OCaml 5 runtime caps
+   live domains at 128 and domain ids only grow, so a power-of-two mask
+   keeps collisions rare — and a collision merely shares an atomic, it
+   never loses an update. Reads sum (or fold min/max over) the stripes;
+   they are exact once the writing domains have been joined, which is
+   the only point the experiment harnesses read them. *)
+
+let stripes = 64
+let slot () = (Domain.self () :> int) land (stripes - 1)
+
+type counter = int Atomic.t array
+
+let make_counter () : counter = Array.init stripes (fun _ -> Atomic.make 0)
+let counter_add (c : counter) n = ignore (Atomic.fetch_and_add c.(slot ()) n)
+
+let counter_read (c : counter) =
+  Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+type dist = {
+  d_count : counter;
+  d_sum : counter;
+  d_min : int Atomic.t array;
+  d_max : int Atomic.t array;
+}
+
+let make_dist () =
+  { d_count = make_counter ();
+    d_sum = make_counter ();
+    d_min = Array.init stripes (fun _ -> Atomic.make max_int);
+    d_max = Array.init stripes (fun _ -> Atomic.make min_int) }
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let dist_record d v =
+  let s = slot () in
+  ignore (Atomic.fetch_and_add d.d_count.(s) 1);
+  ignore (Atomic.fetch_and_add d.d_sum.(s) v);
+  atomic_min d.d_min.(s) v;
+  atomic_max d.d_max.(s) v
+
+let dist_read d =
+  let count = counter_read d.d_count in
+  let sum = counter_read d.d_sum in
+  let mn = Array.fold_left (fun acc a -> min acc (Atomic.get a)) max_int d.d_min in
+  let mx = Array.fold_left (fun acc a -> max acc (Atomic.get a)) min_int d.d_max in
+  (count, sum, mn, mx)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+type event = {
+  ev_name : string;
+  ev_domain : int;
+  ev_start_ns : int;  (* relative to the registry's creation *)
+  ev_dur_ns : int;
+}
+
+type t = {
+  id : int;
+  epoch_ns : int;
+  mu : Mutex.t;
+  counters : (string, counter) Hashtbl.t;
+  dists : (string, dist) Hashtbl.t;
+  spans : (string, dist) Hashtbl.t;
+  events : event list Atomic.t;
+}
+
+let next_id = Atomic.make 0
+
+let create () =
+  { id = Atomic.fetch_and_add next_id 1;
+    epoch_ns = now_ns ();
+    mu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    dists = Hashtbl.create 16;
+    spans = Hashtbl.create 16;
+    events = Atomic.make [] }
+
+(* Per-domain handle caches: name resolution takes the registry mutex
+   only on a domain's first use of a metric; afterwards the lookup is a
+   domain-local hashtable hit followed by one atomic add on the
+   domain's own stripe — no cross-domain contention in steady state.
+   Keys include the registry id so multiple registries coexist. *)
+
+let counter_cache : (int * string, counter) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let dist_cache : (int * string, dist) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let span_cache : (int * string, dist) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let resolve cache table mu ~make id name =
+  let local = Domain.DLS.get cache in
+  match Hashtbl.find_opt local (id, name) with
+  | Some cell -> cell
+  | None ->
+      let cell =
+        Mutex.protect mu (fun () ->
+            match Hashtbl.find_opt table name with
+            | Some cell -> cell
+            | None ->
+                let cell = make () in
+                Hashtbl.add table name cell;
+                cell)
+      in
+      Hashtbl.add local (id, name) cell;
+      cell
+
+(* ------------------------------------------------------------------ *)
+(* Recording (all no-ops on [None]) *)
+
+let add obs name n =
+  match obs with
+  | None -> ()
+  | Some t ->
+      counter_add (resolve counter_cache t.counters t.mu ~make:make_counter t.id name) n
+
+let incr obs name = add obs name 1
+
+let observe obs name v =
+  match obs with
+  | None -> ()
+  | Some t ->
+      dist_record (resolve dist_cache t.dists t.mu ~make:make_dist t.id name) v
+
+let push_event t ev =
+  let rec go () =
+    let cur = Atomic.get t.events in
+    if not (Atomic.compare_and_set t.events cur (ev :: cur)) then go ()
+  in
+  go ()
+
+let span obs name f =
+  match obs with
+  | None -> f ()
+  | Some t ->
+      let d = resolve span_cache t.spans t.mu ~make:make_dist t.id name in
+      let t0 = now_ns () in
+      let finish () =
+        let dur = now_ns () - t0 in
+        dist_record d dur;
+        push_event t
+          { ev_name = name; ev_domain = (Domain.self () :> int);
+            ev_start_ns = t0 - t.epoch_ns; ev_dur_ns = dur }
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+type counter_view = { cv_name : string; cv_total : int }
+
+type dist_view = {
+  dv_name : string;
+  dv_count : int;
+  dv_sum : int;
+  dv_min : int;
+  dv_max : int;
+}
+
+type span_view = {
+  sv_name : string;
+  sv_count : int;
+  sv_total_ns : int;
+  sv_max_ns : int;
+}
+
+let by_name f a b = compare (f a) (f b)
+
+let counters t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> { cv_name = name; cv_total = counter_read c } :: acc)
+        t.counters [])
+  |> List.sort (by_name (fun v -> v.cv_name))
+
+let dists t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold
+        (fun name d acc ->
+          let count, sum, mn, mx = dist_read d in
+          if count = 0 then acc
+          else
+            { dv_name = name; dv_count = count; dv_sum = sum; dv_min = mn;
+              dv_max = mx }
+            :: acc)
+        t.dists [])
+  |> List.sort (by_name (fun v -> v.dv_name))
+
+let span_stats t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold
+        (fun name d acc ->
+          let count, sum, _, mx = dist_read d in
+          if count = 0 then acc
+          else
+            { sv_name = name; sv_count = count; sv_total_ns = sum;
+              sv_max_ns = mx }
+            :: acc)
+        t.spans [])
+  |> List.sort (by_name (fun v -> v.sv_name))
+
+let counter_total t name =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> counter_read c
+      | None -> 0)
+
+let events t =
+  Atomic.get t.events
+  |> List.sort (fun a b ->
+         match compare a.ev_start_ns b.ev_start_ns with
+         | 0 -> compare (a.ev_domain, a.ev_name) (b.ev_domain, b.ev_name)
+         | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let pp_ns ppf ns =
+  if ns < 1_000 then Format.fprintf ppf "%dns" ns
+  else if ns < 1_000_000 then Format.fprintf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then
+    Format.fprintf ppf "%.1fms" (float_of_int ns /. 1e6)
+  else Format.fprintf ppf "%.2fs" (float_of_int ns /. 1e9)
+
+let pp_summary ppf t =
+  let line = String.make 70 '-' in
+  Format.fprintf ppf "%s@." line;
+  Format.fprintf ppf "Hydra_obs metrics summary@.";
+  Format.fprintf ppf "%s@." line;
+  let cs = counters t and ds = dists t and ss = span_stats t in
+  if cs <> [] then begin
+    Format.fprintf ppf "%-44s %12s@." "counter" "total";
+    List.iter
+      (fun v -> Format.fprintf ppf "  %-42s %12d@." v.cv_name v.cv_total)
+      cs
+  end;
+  if ds <> [] then begin
+    Format.fprintf ppf "%-36s %8s %10s %7s %7s@." "distribution" "count"
+      "mean" "min" "max";
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "  %-34s %8d %10.2f %7d %7d@." v.dv_name v.dv_count
+          (float_of_int v.dv_sum /. float_of_int v.dv_count)
+          v.dv_min v.dv_max)
+      ds
+  end;
+  if ss <> [] then begin
+    Format.fprintf ppf "%-36s %8s %10s %10s %10s@." "span" "count" "total"
+      "mean" "max";
+    let ns n = Format.asprintf "%a" pp_ns n in
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "  %-34s %8d %10s %10s %10s@." v.sv_name v.sv_count
+          (ns v.sv_total_ns)
+          (ns (v.sv_total_ns / max 1 v.sv_count))
+          (ns v.sv_max_ns))
+      ss
+  end;
+  if cs = [] && ds = [] && ss = [] then
+    Format.fprintf ppf "(no metrics recorded)@.";
+  Format.fprintf ppf "%s@." line
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome trace-event format (the JSON array flavour understood by
+   Perfetto and chrome://tracing): one "X" complete event per span with
+   microsecond timestamps, tid = the recording domain's id, plus
+   process/thread metadata events. Viewers reconstruct span nesting
+   from containment of [ts, ts+dur] intervals on the same tid. *)
+let chrome_trace t =
+  let evs = events t in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"hydra\"}}";
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.ev_domain) evs)
+  in
+  List.iter
+    (fun tid ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+           (json_escape e.ev_name) e.ev_domain
+           (float_of_int e.ev_start_ns /. 1e3)
+           (float_of_int e.ev_dur_ns /. 1e3)))
+    evs;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_chrome_trace t ~path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (chrome_trace t))

@@ -1,0 +1,120 @@
+(** Domain-safe observability: counters, distributions, monotonic-clock
+    spans, and two exporters (a human summary table and Chrome
+    trace-event JSON loadable in Perfetto / chrome://tracing).
+
+    Every instrumented entry point in the repository takes an optional
+    [?obs:Hydra_obs.t] capability. The default is [None], and every
+    recording function in this module is an allocation-free no-op on
+    [None] — instrumentation can stay in hot paths (the Eq. 7/8
+    fixed-point loops, the simulator, the sweep workers) without
+    costing uninstrumented runs anything.
+
+    {b Domain safety.} All recording operations may be called
+    concurrently from any number of domains (in particular from inside
+    {!Parallel.Pool} workers). Each metric is an array of striped
+    atomic cells indexed by domain id: a writer touches only its own
+    stripe, so workers never contend; reads aggregate the stripes and
+    are exact once the writing domains have been joined. Metric-name
+    resolution caches handles in domain-local storage, so the registry
+    mutex is taken only on a domain's first use of each name.
+
+    {b Determinism contract.} Observability never feeds back into
+    results: recording functions return [unit] (or, for {!span}, the
+    wrapped function's value unchanged), so an instrumented run
+    computes bit-for-bit the same artifacts as an uninstrumented one —
+    stdout stays byte-identical for every [--jobs] value, with or
+    without [--metrics]/[--trace-out]. See doc/OBSERVABILITY.md for the
+    metric catalog and doc/PARALLELISM.md for the contract. *)
+
+type t
+(** A metrics registry plus span sink. Create one per instrumented run
+    and thread it (as [Some t]) through the [?obs] parameters. *)
+
+val create : unit -> t
+
+val now_ns : unit -> int
+(** Monotonic clock (CLOCK_MONOTONIC) in nanoseconds. Unboxed and
+    allocation-free; the zero point is unspecified (time since boot),
+    so only differences are meaningful. *)
+
+(** {1 Recording}
+
+    All functions are no-ops when the first argument is [None]. Metric
+    names are dot-separated paths ([layer.subject.quantity], e.g.
+    ["analysis.fixpoint.iterations"]); the catalog lives in
+    doc/OBSERVABILITY.md. *)
+
+val incr : t option -> string -> unit
+(** Bump a counter by one. *)
+
+val add : t option -> string -> int -> unit
+(** Bump a counter by [n]. Prefer accumulating in a local [int ref]
+    inside a tight loop and calling [add] once at the end. *)
+
+val observe : t option -> string -> int -> unit
+(** Record one sample of a distribution (count/sum/min/max). *)
+
+val span : t option -> string -> (unit -> 'a) -> 'a
+(** [span obs name f] runs [f ()], timing it with the monotonic clock.
+    The duration feeds the [name] span aggregate, and one trace event
+    attributed to the calling domain is pushed for the Chrome-trace
+    exporter. Nested spans on the same domain render as a stack in
+    Perfetto. The span is recorded (and the exception re-raised) even
+    if [f] raises. On [None] this is exactly [f ()]. *)
+
+(** {1 Reading}
+
+    Aggregated views, sorted by metric name. Exact once all recording
+    domains have been joined (e.g. after {!Parallel.Pool.map}
+    returns). Distributions and spans that were never recorded are
+    omitted. *)
+
+type counter_view = { cv_name : string; cv_total : int }
+
+type dist_view = {
+  dv_name : string;
+  dv_count : int;
+  dv_sum : int;
+  dv_min : int;
+  dv_max : int;
+}
+
+type span_view = {
+  sv_name : string;
+  sv_count : int;
+  sv_total_ns : int;
+  sv_max_ns : int;
+}
+
+type event = {
+  ev_name : string;
+  ev_domain : int;  (** id of the domain that recorded the span *)
+  ev_start_ns : int;  (** relative to the registry's creation *)
+  ev_dur_ns : int;
+}
+
+val counters : t -> counter_view list
+val dists : t -> dist_view list
+val span_stats : t -> span_view list
+
+val counter_total : t -> string -> int
+(** Total of one counter; [0] if it was never touched. *)
+
+val events : t -> event list
+(** All span events in chronological order of their start. *)
+
+(** {1 Exporters} *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable summary table (counters, distributions, spans). The
+    CLI prints this on {b stderr} under [--metrics] so stdout stays
+    byte-identical to an uninstrumented run. *)
+
+val chrome_trace : t -> string
+(** The span events as Chrome trace-event JSON
+    ([{"traceEvents": [...]}], "X" complete events, microsecond
+    timestamps, tid = recording domain) — open in
+    {{:https://ui.perfetto.dev}Perfetto} or chrome://tracing. *)
+
+val write_chrome_trace : t -> path:string -> unit
+(** {!chrome_trace} to a file. @raise Sys_error on I/O failure. *)

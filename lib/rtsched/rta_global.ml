@@ -37,33 +37,41 @@ let omega ~n_cores ~job_wcet ~window hp =
   let deltas = List.map snd pairs in
   nc_total + top_k_sum (n_cores - 1) deltas
 
-let response_time_of_lowest ~n_cores ~hp ~wcet ~limit =
+let response_time_of_lowest ?obs ~n_cores ~hp ~wcet ~limit () =
+  let iters = ref 0 in
   let rec iter x =
     if x > limit then None
-    else
+    else begin
+      incr iters;
       let om = omega ~n_cores ~job_wcet:wcet ~window:x hp in
       let x' = (om / n_cores) + wcet in
       if x' = x then Some x else iter (max x' (x + 1))
+    end
   in
-  if wcet > limit then None else iter wcet
+  let r = if wcet > limit then None else iter wcet in
+  Hydra_obs.add obs "rta.global.iterations" !iters;
+  (match r with
+  | Some _ -> Hydra_obs.incr obs "rta.global.converged"
+  | None -> Hydra_obs.incr obs "rta.global.diverged");
+  r
 
-let response_times ~n_cores tasks =
+let response_times ?obs ~n_cores tasks =
   (* Analyze in priority order, threading the (task, response) pairs of
      already-analyzed higher-priority tasks. *)
   let rec go hp_acc = function
     | [] -> []
     | t :: rest -> (
         match
-          response_time_of_lowest ~n_cores ~hp:(List.rev hp_acc)
-            ~wcet:t.g_wcet ~limit:t.g_deadline
+          response_time_of_lowest ?obs ~n_cores ~hp:(List.rev hp_acc)
+            ~wcet:t.g_wcet ~limit:t.g_deadline ()
         with
         | Some r -> Some r :: go ((t, r) :: hp_acc) rest
         | None -> None :: List.map (fun _ -> None) rest)
   in
   go [] tasks
 
-let all_schedulable ~n_cores tasks =
-  List.for_all Option.is_some (response_times ~n_cores tasks)
+let all_schedulable ?obs ~n_cores tasks =
+  List.for_all Option.is_some (response_times ?obs ~n_cores tasks)
 
 let of_taskset (ts : Task.taskset) ~sec_period =
   let rt =

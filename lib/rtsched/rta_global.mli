@@ -21,22 +21,24 @@ type gtask = {
 (** A task in the global system; the list position defines priority
     (head = highest). *)
 
-val response_times : n_cores:int -> gtask list -> time option list
+val response_times :
+  ?obs:Hydra_obs.t -> n_cores:int -> gtask list -> time option list
 (** Response time of each task in the priority-ordered list (highest
     first), bounded by its deadline. A task whose fixed point exceeds
     its deadline gets [None]; tasks below an unschedulable task also
     get [None] because their carry-in bound needs every
-    higher-priority response time. *)
+    higher-priority response time. [obs] counts
+    [rta.global.iterations] and the converged/diverged tallies. *)
 
 val response_time_of_lowest :
-  n_cores:int -> hp:(gtask * time) list -> wcet:time -> limit:time ->
-  time option
+  ?obs:Hydra_obs.t -> n_cores:int -> hp:(gtask * time) list -> wcet:time ->
+  limit:time -> unit -> time option
 (** [response_time_of_lowest ~n_cores ~hp ~wcet ~limit] analyzes one
     extra lowest-priority task of WCET [wcet] against higher-priority
     tasks with {e known} response times [(task, resp)], without
     re-analyzing them. Exposed for tests and cross-checks. *)
 
-val all_schedulable : n_cores:int -> gtask list -> bool
+val all_schedulable : ?obs:Hydra_obs.t -> n_cores:int -> gtask list -> bool
 (** Whether every task of the priority-ordered list meets its
     deadline under global scheduling. *)
 

@@ -93,7 +93,7 @@ let validate ~n_cores tasks =
       Hashtbl.add prios t.st_prio ())
     tasks
 
-let run ?(hooks = no_hooks) ?(collect_trace = false)
+let run_unobserved ?(hooks = no_hooks) ?(collect_trace = false)
     ?(overheads = no_overheads) ~n_cores ~horizon tasks =
   if horizon < 1 then invalid_arg "Engine.run: horizon < 1";
   if overheads.dispatch_cost < 0 || overheads.migration_cost < 0 then
@@ -307,3 +307,17 @@ let run ?(hooks = no_hooks) ?(collect_trace = false)
   { horizon; per_task; context_switches = !context_switches;
     preemptions = !preemptions; migrations = !migrations;
     busy_ticks = !busy_ticks; idle_ticks = !idle_ticks; trace }
+
+let run ?obs ?hooks ?collect_trace ?overheads ~n_cores ~horizon tasks =
+  let stats =
+    Hydra_obs.span obs "sim.run" (fun () ->
+        run_unobserved ?hooks ?collect_trace ?overheads ~n_cores ~horizon
+          tasks)
+  in
+  Hydra_obs.incr obs "sim.runs";
+  Hydra_obs.add obs "sim.context_switches" stats.context_switches;
+  Hydra_obs.add obs "sim.preemptions" stats.preemptions;
+  Hydra_obs.add obs "sim.migrations" stats.migrations;
+  Hydra_obs.add obs "sim.busy_ticks" stats.busy_ticks;
+  Hydra_obs.add obs "sim.idle_ticks" stats.idle_ticks;
+  stats

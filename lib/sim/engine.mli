@@ -92,10 +92,15 @@ type stats = {
 }
 
 val run :
-  ?hooks:hooks -> ?collect_trace:bool -> ?overheads:overheads ->
-  n_cores:int -> horizon:time -> sim_task list -> stats
+  ?obs:Hydra_obs.t -> ?hooks:hooks -> ?collect_trace:bool ->
+  ?overheads:overheads -> n_cores:int -> horizon:time -> sim_task list ->
+  stats
 (** Simulates the task list over [\[0, horizon)]. [overheads] defaults
-    to {!no_overheads} (the paper's assumption).
+    to {!no_overheads} (the paper's assumption). [obs] wraps the run in
+    a [sim.run] span and accumulates the schedule-event counters
+    ([sim.context_switches], [sim.preemptions], [sim.migrations],
+    [sim.busy_ticks], [sim.idle_ticks], [sim.runs]) — see
+    doc/OBSERVABILITY.md.
     @raise Invalid_argument on empty task list, non-positive horizon
     or WCET, pinned core out of range, duplicate ids/priorities, or
     negative overheads. *)

@@ -34,3 +34,11 @@ let throughput stats ~sim_id =
 let core_utilization (stats : Engine.stats) ~n_cores =
   float_of_int stats.busy_ticks
   /. float_of_int (n_cores * stats.Engine.horizon)
+
+let record obs (stats : Engine.stats) =
+  Hydra_obs.incr obs "sim.runs";
+  Hydra_obs.add obs "sim.context_switches" stats.context_switches;
+  Hydra_obs.add obs "sim.preemptions" stats.preemptions;
+  Hydra_obs.add obs "sim.migrations" stats.migrations;
+  Hydra_obs.add obs "sim.busy_ticks" stats.busy_ticks;
+  Hydra_obs.add obs "sim.idle_ticks" stats.idle_ticks

@@ -22,3 +22,10 @@ val throughput : Engine.stats -> sim_id:int -> float
 
 val core_utilization : Engine.stats -> n_cores:int -> float
 (** Busy fraction across all cores. *)
+
+val record : Hydra_obs.t option -> Engine.stats -> unit
+(** Accumulates the schedule-event counters of one finished run into
+    [obs] ([sim.context_switches], [sim.preemptions], [sim.migrations],
+    [sim.busy_ticks], [sim.idle_ticks], [sim.runs]); no-op on [None].
+    {!Engine.run} already calls this when given [?obs] — use it for
+    stats obtained without threading [obs] into the engine. *)

@@ -32,13 +32,15 @@ let segments_of_core t ~core =
   segments t |> List.filter (fun s -> s.seg_core = core)
 
 let utilization_of_core t ~core ~horizon =
-  let busy =
-    List.fold_left
-      (fun acc s ->
-        if s.seg_core = core then acc + (s.seg_stop - s.seg_start) else acc)
-      0 t.segs
-  in
-  float_of_int busy /. float_of_int horizon
+  if horizon <= 0 then 0.0
+  else
+    let busy =
+      List.fold_left
+        (fun acc s ->
+          if s.seg_core = core then acc + (s.seg_stop - s.seg_start) else acc)
+        0 t.segs
+    in
+    float_of_int busy /. float_of_int horizon
 
 let rec pairwise_disjoint = function
   | [] | [ _ ] -> true
@@ -92,6 +94,11 @@ let pp_ascii ?(width = 100) ppf t ~n_cores ~horizon =
         Hashtbl.add glyph_of_task task_id g;
         g
   in
+  (* Render from the sorted view, not the raw insertion-order list:
+     glyphs are assigned on first appearance, so sorting makes both the
+     glyph legend and later-segment-wins overdraw chronological rather
+     than dependent on insertion order. *)
+  let sorted = segments t in
   for core = 0 to n_cores - 1 do
     let line = Bytes.make width '.' in
     List.iter
@@ -101,6 +108,6 @@ let pp_ascii ?(width = 100) ppf t ~n_cores ~horizon =
           for i = a to min (b - 1) (width - 1) do
             Bytes.set line i (glyph s.seg_task_id)
           done)
-      t.segs;
+      sorted;
     Format.fprintf ppf "core%d |%s|@." core (Bytes.to_string line)
   done

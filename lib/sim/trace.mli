@@ -29,7 +29,8 @@ val segments_of_core : t -> core:int -> segment list
 (** Chronological segments of one core. *)
 
 val utilization_of_core : t -> core:int -> horizon:time -> float
-(** Fraction of [horizon] the core spent executing. *)
+(** Fraction of [horizon] the core spent executing; [0.0] when
+    [horizon <= 0] (an empty window has no busy fraction). *)
 
 val no_overlap : t -> bool
 (** True when no two segments of the same core overlap and no two

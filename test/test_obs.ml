@@ -1,0 +1,340 @@
+(* Tests for Hydra_obs: exactness of the striped counters under
+   Parallel.Pool domains, span nesting through the Chrome-trace
+   exporter (with a minimal JSON parser), the zero-allocation no-op
+   path, and the determinism contract (instrumentation never changes
+   results). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser — enough to validate the Chrome-trace export
+   without adding a dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, got EOF" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do advance () done;
+              Buffer.add_char buf '?';
+              go ()
+          | Some c -> advance (); Buffer.add_char buf c; go ()
+          | None -> fail "bad escape")
+      | Some c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected EOF"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj kvs -> ( match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> raise (Bad_json ("missing member " ^ k)))
+  | _ -> raise (Bad_json "not an object")
+
+let as_list = function
+  | List l -> l
+  | _ -> raise (Bad_json "not an array")
+
+let as_num = function
+  | Num f -> f
+  | _ -> raise (Bad_json "not a number")
+
+let as_str = function
+  | Str s -> s
+  | _ -> raise (Bad_json "not a string")
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counter_aggregation_parallel () =
+  (* Every worker bumps shared counters from its own domain; the
+     aggregated totals must be exact, not approximate. *)
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  let n = 1000 in
+  let (_ : unit array) =
+    Parallel.Pool.map ~jobs:4
+      (fun i ->
+        Hydra_obs.incr obs "test.ticks";
+        Hydra_obs.add obs "test.weight" i;
+        Hydra_obs.observe obs "test.sample" i)
+      n
+  in
+  check_int "incr total" n (Hydra_obs.counter_total obs_t "test.ticks");
+  check_int "add total" (n * (n - 1) / 2)
+    (Hydra_obs.counter_total obs_t "test.weight");
+  match Hydra_obs.dists obs_t with
+  | [ d ] ->
+      Alcotest.(check string) "dist name" "test.sample" d.Hydra_obs.dv_name;
+      check_int "dist count" n d.Hydra_obs.dv_count;
+      check_int "dist sum" (n * (n - 1) / 2) d.Hydra_obs.dv_sum;
+      check_int "dist min" 0 d.Hydra_obs.dv_min;
+      check_int "dist max" (n - 1) d.Hydra_obs.dv_max
+  | ds -> Alcotest.failf "expected 1 distribution, got %d" (List.length ds)
+
+let test_counter_total_untouched () =
+  let obs_t = Hydra_obs.create () in
+  check_int "never-touched counter" 0 (Hydra_obs.counter_total obs_t "ghost");
+  check_bool "no counters listed" true (Hydra_obs.counters obs_t = [])
+
+(* ------------------------------------------------------------------ *)
+(* Spans and the Chrome-trace exporter *)
+
+let test_span_nesting_round_trip () =
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  let r =
+    Hydra_obs.span obs "outer" (fun () ->
+        let a = Hydra_obs.span obs "inner" (fun () -> 21) in
+        a * 2)
+  in
+  check_int "span returns the value" 42 r;
+  (match Hydra_obs.span_stats obs_t with
+  | [ i; o ] ->
+      Alcotest.(check string) "inner first (sorted)" "inner"
+        i.Hydra_obs.sv_name;
+      Alcotest.(check string) "outer second" "outer" o.Hydra_obs.sv_name;
+      check_bool "outer contains inner duration" true
+        (o.Hydra_obs.sv_total_ns >= i.Hydra_obs.sv_total_ns)
+  | l -> Alcotest.failf "expected 2 span stats, got %d" (List.length l));
+  (* The export must be valid JSON with both events, and the inner
+     event's interval must nest inside the outer one on the same tid —
+     that containment is exactly what Perfetto uses to draw stacks. *)
+  let json = parse_json (Hydra_obs.chrome_trace obs_t) in
+  let events =
+    member "traceEvents" json |> as_list
+    |> List.filter (fun e -> as_str (member "ph" e) = "X")
+  in
+  check_int "two X events" 2 (List.length events);
+  let find name =
+    List.find (fun e -> as_str (member "name" e) = name) events
+  in
+  let outer = find "outer" and inner = find "inner" in
+  let ts e = as_num (member "ts" e)
+  and dur e = as_num (member "dur" e)
+  and tid e = as_num (member "tid" e) in
+  check_bool "same tid" true (tid outer = tid inner);
+  check_bool "inner starts after outer" true (ts inner >= ts outer);
+  check_bool "inner ends before outer" true
+    (ts inner +. dur inner <= ts outer +. dur outer +. 0.001)
+
+let test_span_records_on_exception () =
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  (try Hydra_obs.span obs "boom" (fun () -> failwith "x") with
+  | Failure _ -> ());
+  match Hydra_obs.span_stats obs_t with
+  | [ s ] ->
+      Alcotest.(check string) "span recorded" "boom" s.Hydra_obs.sv_name;
+      check_int "once" 1 s.Hydra_obs.sv_count
+  | l -> Alcotest.failf "expected 1 span stat, got %d" (List.length l)
+
+let test_chrome_trace_escapes_names () =
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  Hydra_obs.span obs "weird \"name\"\\with\nstuff" (fun () -> ());
+  (* Must stay parseable despite quotes, backslashes and newlines. *)
+  let json = parse_json (Hydra_obs.chrome_trace obs_t) in
+  let events =
+    member "traceEvents" json |> as_list
+    |> List.filter (fun e -> as_str (member "ph" e) = "X")
+  in
+  check_int "one event" 1 (List.length events)
+
+(* ------------------------------------------------------------------ *)
+(* No-op path *)
+
+let test_noop_allocates_nothing () =
+  (* On None every recording call must stay allocation-free so that
+     instrumentation can live in the Eq. 7 fixed-point loop. Counter
+     names are static literals and the payloads immediate ints, so the
+     minor heap must not move at all across many calls. *)
+  let tick = Hydra_obs.incr None
+  and weigh = Hydra_obs.add None
+  and sample = Hydra_obs.observe None in
+  (* warm up (any one-time allocation happens here) *)
+  tick "x"; weigh "y" 3; sample "z" 7;
+  let before = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    tick "x";
+    weigh "y" i;
+    sample "z" i
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0)) "no minor allocation on the None path" 0.0
+    allocated
+
+let test_results_identical_with_and_without_obs () =
+  (* The determinism contract: threading a live registry through the
+     sweep must not change a single record. *)
+  let plain =
+    Experiments.Sweep.run ~jobs:2 ~n_cores:2 ~per_group:3 ~seed:11 ()
+  in
+  let obs_t = Hydra_obs.create () in
+  let instrumented =
+    Experiments.Sweep.run ~jobs:2 ~obs:obs_t ~n_cores:2 ~per_group:3 ~seed:11
+      ()
+  in
+  check_bool "same records" true (plain = instrumented);
+  check_bool "and the registry saw the work" true
+    (Hydra_obs.counter_total obs_t "analysis.fixpoint.iterations" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sim.Metrics.record *)
+
+let test_metrics_record () =
+  let t =
+    { Sim.Engine.st_id = 0; st_name = "t"; st_wcet = 2; st_period = 5;
+      st_deadline = 5; st_prio = 0; st_core = Some 0; st_offset = 0 }
+  in
+  let stats = Sim.Engine.run ~n_cores:1 ~horizon:50 [ t ] in
+  let obs_t = Hydra_obs.create () in
+  Sim.Metrics.record (Some obs_t) stats;
+  Sim.Metrics.record None stats;
+  check_int "context switches surfaced" stats.Sim.Engine.context_switches
+    (Hydra_obs.counter_total obs_t "sim.context_switches");
+  check_int "busy ticks surfaced" stats.Sim.Engine.busy_ticks
+    (Hydra_obs.counter_total obs_t "sim.busy_ticks");
+  check_int "one run" 1 (Hydra_obs.counter_total obs_t "sim.runs")
+
+let test_engine_run_with_obs () =
+  let t =
+    { Sim.Engine.st_id = 0; st_name = "t"; st_wcet = 2; st_period = 5;
+      st_deadline = 5; st_prio = 0; st_core = Some 0; st_offset = 0 }
+  in
+  let obs_t = Hydra_obs.create () in
+  let stats = Sim.Engine.run ~obs:obs_t ~n_cores:1 ~horizon:50 [ t ] in
+  check_int "counter matches stats" stats.Sim.Engine.context_switches
+    (Hydra_obs.counter_total obs_t "sim.context_switches");
+  match Hydra_obs.span_stats obs_t with
+  | [ s ] -> Alcotest.(check string) "sim.run span" "sim.run" s.Hydra_obs.sv_name
+  | l -> Alcotest.failf "expected 1 span stat, got %d" (List.length l)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "counters",
+        [ Alcotest.test_case "parallel aggregation exact" `Quick
+            test_counter_aggregation_parallel;
+          Alcotest.test_case "untouched counter is 0" `Quick
+            test_counter_total_untouched ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting round-trips to Chrome JSON" `Quick
+            test_span_nesting_round_trip;
+          Alcotest.test_case "recorded on exception" `Quick
+            test_span_records_on_exception;
+          Alcotest.test_case "names escaped in JSON" `Quick
+            test_chrome_trace_escapes_names ] );
+      ( "no-op",
+        [ Alcotest.test_case "allocates nothing" `Quick
+            test_noop_allocates_nothing;
+          Alcotest.test_case "results identical with/without obs" `Quick
+            test_results_identical_with_and_without_obs ] );
+      ( "sim-metrics",
+        [ Alcotest.test_case "record surfaces engine counters" `Quick
+            test_metrics_record;
+          Alcotest.test_case "engine run with obs" `Quick
+            test_engine_run_with_obs ] ) ]

@@ -169,25 +169,25 @@ let hp wcet period = { Rta.hp_wcet = wcet; hp_period = period }
 
 let test_rta_no_interference () =
   Alcotest.(check (option int)) "alone" (Some 7)
-    (Rta.response_time ~hp:[] ~wcet:7 ~limit:100)
+    (Rta.response_time ~hp:[] ~wcet:7 ~limit:100 ())
 
 let test_rta_liu_layland_example () =
   (* Classic: tasks (1,4), (2,6), (3,13) on one core. *)
   Alcotest.(check (option int)) "tau1" (Some 1)
-    (Rta.response_time ~hp:[] ~wcet:1 ~limit:4);
+    (Rta.response_time ~hp:[] ~wcet:1 ~limit:4 ());
   Alcotest.(check (option int)) "tau2" (Some 3)
-    (Rta.response_time ~hp:[ hp 1 4 ] ~wcet:2 ~limit:6);
+    (Rta.response_time ~hp:[ hp 1 4 ] ~wcet:2 ~limit:6 ());
   Alcotest.(check (option int)) "tau3" (Some 10)
-    (Rta.response_time ~hp:[ hp 1 4; hp 2 6 ] ~wcet:3 ~limit:13)
+    (Rta.response_time ~hp:[ hp 1 4; hp 2 6 ] ~wcet:3 ~limit:13 ())
 
 let test_rta_unschedulable () =
   Alcotest.(check (option int)) "over limit" None
-    (Rta.response_time ~hp:[ hp 5 10 ] ~wcet:6 ~limit:10)
+    (Rta.response_time ~hp:[ hp 5 10 ] ~wcet:6 ~limit:10 ())
 
 let test_rta_exact_at_full_utilization () =
   (* (2,4) + (2,4): second task has R = 4 exactly. *)
   Alcotest.(check (option int)) "fits exactly" (Some 4)
-    (Rta.response_time ~hp:[ hp 2 4 ] ~wcet:2 ~limit:4)
+    (Rta.response_time ~hp:[ hp 2 4 ] ~wcet:2 ~limit:4 ())
 
 let test_core_rt_schedulable () =
   let core =

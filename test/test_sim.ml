@@ -177,6 +177,36 @@ let test_trace_core_utilization () =
       Alcotest.(check (float 1e-9)) "core utilization" 0.5
         (Trace.utilization_of_core tr ~core:0 ~horizon:100)
 
+let test_trace_zero_horizon_utilization () =
+  (* horizon <= 0 must not divide by zero: an empty window is 0.0. *)
+  let tr = Trace.create () in
+  Trace.add tr
+    { Trace.seg_core = 0; seg_task_id = 0; seg_task_name = "a"; seg_job_seq = 0;
+      seg_start = 0; seg_stop = 5 };
+  Alcotest.(check (float 1e-9)) "zero horizon" 0.0
+    (Trace.utilization_of_core tr ~core:0 ~horizon:0);
+  Alcotest.(check (float 1e-9)) "negative horizon" 0.0
+    (Trace.utilization_of_core tr ~core:0 ~horizon:(-7))
+
+let test_trace_ascii_insertion_order_invariant () =
+  (* pp_ascii renders from the sorted segment view, so the picture must
+     not depend on the order segments were added. *)
+  let seg core start stop id =
+    { Trace.seg_core = core; seg_task_id = id; seg_task_name = "t";
+      seg_job_seq = 0; seg_start = start; seg_stop = stop }
+  in
+  let render tr =
+    Format.asprintf "%a"
+      (fun ppf () -> Trace.pp_ascii ~width:20 ppf tr ~n_cores:1 ~horizon:20)
+      ()
+  in
+  let fwd = Trace.create () in
+  List.iter (Trace.add fwd) [ seg 0 0 5 0; seg 0 5 10 1; seg 0 10 15 0 ];
+  let rev = Trace.create () in
+  List.iter (Trace.add rev) [ seg 0 10 15 0; seg 0 5 10 1; seg 0 0 5 0 ];
+  Alcotest.(check string) "same rendering either order" (render fwd)
+    (render rev)
+
 let test_trace_csv () =
   let a = task ~id:0 ~prio:0 ~wcet:5 ~period:10 () in
   let stats = run ~collect_trace:true ~n_cores:1 ~horizon:20 [ a ] in
@@ -534,6 +564,10 @@ let () =
             test_trace_no_overlap_and_busy_time;
           Alcotest.test_case "trace core utilization" `Quick
             test_trace_core_utilization;
+          Alcotest.test_case "zero-horizon utilization" `Quick
+            test_trace_zero_horizon_utilization;
+          Alcotest.test_case "ascii insertion-order invariant" `Quick
+            test_trace_ascii_insertion_order_invariant;
           Alcotest.test_case "csv export" `Quick test_trace_csv;
           Alcotest.test_case "ascii rendering" `Quick test_trace_ascii_renders ]
       );
