@@ -9,12 +9,15 @@ open Cmdliner
 let std = Format.std_formatter
 
 (* Phase timings go to stderr: stdout must stay byte-identical across
-   --jobs values (the determinism contract, doc/PARALLELISM.md). *)
+   --jobs values (the determinism contract, doc/PARALLELISM.md). The
+   monotonic clock (Hydra_obs.now_ns) rather than wall-clock time, so
+   durations survive clock steps — and rule D1 of [dune build @lint]
+   stays clean (doc/STATIC_ANALYSIS.md). *)
 let timed ~jobs label f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Hydra_obs.now_ns () in
   let r = f () in
   Format.eprintf "[time] %-24s %8.2f s  (jobs=%d)@." label
-    (Unix.gettimeofday () -. t0)
+    (float_of_int (Hydra_obs.now_ns () - t0) /. 1e9)
     jobs;
   r
 
@@ -255,7 +258,7 @@ let run_validate jobs policy seed tasksets cores metrics trace_out =
 let run_all jobs policy seed trials horizon per_group cores dat_dir metrics
     trace_out =
   with_obs ~metrics ~trace_out @@ fun obs ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Hydra_obs.now_ns () in
   run_tables ();
   let fig5_under deployment =
     let report =
@@ -283,8 +286,9 @@ let run_all jobs policy seed trials horizon per_group cores dat_dir metrics
       Experiments.Ablation.run_all ~jobs ?obs std ~seed
         ~per_group:(max 1 (per_group / 5))
         ~cores);
-  Format.eprintf "[time] %-24s %8.2f s  (jobs=%d)@." "total" 
-    (Unix.gettimeofday () -. t0) jobs
+  Format.eprintf "[time] %-24s %8.2f s  (jobs=%d)@." "total"
+    (float_of_int (Hydra_obs.now_ns () - t0) /. 1e9)
+    jobs
 
 (* Default command (no subcommand): a fixed-scale smoke workload that
    touches both the analysis stack (sweep -> Algorithm 1 -> Eq. 7

@@ -1,0 +1,68 @@
+(* hydra_lint: the determinism & domain-safety static-analysis gate
+   (doc/STATIC_ANALYSIS.md). Parses every .ml under the given paths
+   with compiler-libs and checks rules D1-D5; exit 0 = clean, 1 =
+   findings, 2 = read/parse/usage errors. Wired as [dune build @lint]
+   by the root dune file. *)
+
+let usage =
+  "hydra_lint [--format text|json] [--allowlist FILE] [--out FILE] \
+   [--list-rules] [PATH...]\n\
+   Lint .ml sources for determinism and domain-safety (rules D1-D5).\n\
+   PATH defaults to: lib bin bench"
+
+let () =
+  let format = ref "text" in
+  let allowlist_file = ref None in
+  let out_file = ref None in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [ ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " report format on stdout (default text)" );
+      ( "--allowlist",
+        Arg.String (fun s -> allowlist_file := Some s),
+        "FILE checked-in suppression file (RULE PATH[:LINE] per line)" );
+      ( "--out",
+        Arg.String (fun s -> out_file := Some s),
+        "FILE also write the JSON report to FILE" );
+      ( "--list-rules",
+        Arg.Set list_rules,
+        " print the rule catalog and exit" ) ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    Lint.Rules.pp_catalog Format.std_formatter ();
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  let allowlist =
+    match !allowlist_file with
+    | None -> Lint.Allowlist.empty
+    | Some file -> (
+        match Lint.Allowlist.load file with
+        | Ok t -> t
+        | Error m ->
+            Printf.eprintf "hydra_lint: bad allowlist: %s\n" m;
+            exit 2)
+  in
+  let result = Lint.Driver.run ~allowlist paths in
+  let report =
+    match !format with
+    | "json" -> Lint.Driver.report_json result
+    | _ -> Lint.Driver.report_text result
+  in
+  print_string report;
+  (match !out_file with
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Lint.Driver.report_json result))
+  | None -> ());
+  List.iter (Printf.eprintf "hydra_lint: error: %s\n") result.errors;
+  Printf.eprintf "hydra_lint: scanned %d file(s), %d finding(s)\n"
+    result.files_scanned
+    (List.length result.findings);
+  if result.errors <> [] then exit 2
+  else if result.findings <> [] then exit 1

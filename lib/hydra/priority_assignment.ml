@@ -26,7 +26,10 @@ let comparator ordering (a : Task.sec_task) (b : Task.sec_task) =
     | Wcet_descending -> compare b.Task.sec_wcet a.Task.sec_wcet
     | Bound_ascending -> compare a.Task.sec_period_max b.Task.sec_period_max
     | Utilization_descending ->
-        compare (Task.sec_min_utilization b) (Task.sec_min_utilization a)
+        (* floats: Float.compare is total on NaN where polymorphic
+           compare's ordering is fragile (rule D5) *)
+        Float.compare (Task.sec_min_utilization b)
+          (Task.sec_min_utilization a)
   in
   match key with 0 -> compare a.Task.sec_id b.Task.sec_id | c -> c
 

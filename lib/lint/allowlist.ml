@@ -1,0 +1,63 @@
+type entry = { a_rule : string; a_path : string; a_line : int option }
+type t = entry list
+
+let empty = []
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_line line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Ok None
+  else
+    match
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> "")
+    with
+    | [ rule; target ] ->
+        let entry =
+          match String.rindex_opt target ':' with
+          | Some i -> (
+              let tail =
+                String.sub target (i + 1) (String.length target - i - 1)
+              in
+              match int_of_string_opt tail with
+              | Some l ->
+                  { a_rule = rule;
+                    a_path = String.sub target 0 i;
+                    a_line = Some l }
+              | None -> { a_rule = rule; a_path = target; a_line = None })
+          | None -> { a_rule = rule; a_path = target; a_line = None }
+        in
+        Ok (Some entry)
+    | _ -> Error (Printf.sprintf "expected \"RULE PATH[:LINE]\", got %S" line)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | contents ->
+      let lines = String.split_on_char '\n' contents in
+      let rec go n acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+            match parse_line line with
+            | Ok None -> go (n + 1) acc rest
+            | Ok (Some e) -> go (n + 1) (e :: acc) rest
+            | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m))
+      in
+      go 1 [] lines
+
+let path_matches ~entry_path ~file =
+  entry_path = file
+  || String.ends_with ~suffix:("/" ^ entry_path) file
+
+let permits t (f : Finding.t) =
+  List.exists
+    (fun e ->
+      (e.a_rule = "*" || e.a_rule = f.rule)
+      && path_matches ~entry_path:e.a_path ~file:f.file
+      && (match e.a_line with None -> true | Some l -> l = f.line))
+    t

@@ -1,0 +1,30 @@
+(** The checked-in suppression file ([lint.allowlist] at the repo
+    root). One entry per line:
+
+    {v
+    # comment
+    D3 lib/security/profile_checker.ml        # whole file, one rule
+    D3 lib/security/profile_checker.ml:64     # one line only
+    *  lib/legacy_module.ml                   # every rule
+    v}
+
+    Prefer inline [[@lint.allow "D3"]] attributes — they live next to
+    the code they excuse; the allowlist exists for files that must not
+    be edited (vendored code, generated sources). *)
+
+type entry = { a_rule : string; a_path : string; a_line : int option }
+type t = entry list
+
+val empty : t
+
+(** Parse one line; [None] for blanks and comments. Malformed lines
+    are an [Error]. *)
+val parse_line : string -> (entry option, string) result
+
+(** Load a file; the error names the offending line. *)
+val load : string -> (t, string) result
+
+(** Does some entry cover this finding? Paths match on equality or as
+    a [/]-separated suffix, so entries written repo-relative also match
+    findings reported under a prefixed path. *)
+val permits : t -> Finding.t -> bool

@@ -1,0 +1,75 @@
+type result = {
+  findings : Finding.t list;
+  errors : string list;
+  files_scanned : int;
+}
+
+let normalize path =
+  let path =
+    String.concat "/" (String.split_on_char '\\' path)
+  in
+  if String.starts_with ~prefix:"./" path then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let rec add_tree acc path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+             if name = "" || name.[0] = '.' || name = "_build" then acc
+             else add_tree acc (path ^ "/" ^ name))
+           acc
+  | false -> if Filename.check_suffix path ".ml" then path :: acc else acc
+
+let collect_ml_files paths =
+  List.fold_left add_tree [] (List.map normalize paths)
+  |> List.sort_uniq String.compare
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let run ?(allowlist = Allowlist.empty) paths =
+  let files = collect_ml_files paths in
+  let findings, errors =
+    List.fold_left
+      (fun (fs, errs) file ->
+        match read_file file with
+        | exception Sys_error m -> (fs, m :: errs)
+        | source -> (
+            match Engine.lint_source ~file source with
+            | Ok f -> (List.rev_append f fs, errs)
+            | Error m -> (fs, m :: errs)))
+      ([], []) files
+  in
+  { findings =
+      findings
+      |> List.filter (fun f -> not (Allowlist.permits allowlist f))
+      |> List.sort Finding.order;
+    errors = List.rev errors;
+    files_scanned = List.length files }
+
+let report_text r =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Format.asprintf "%a" Finding.pp f);
+      Buffer.add_char b '\n')
+    r.findings;
+  Buffer.contents b
+
+let report_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"version\":1,\"files_scanned\":%d,\"count\":%d,\"findings\":["
+       r.files_scanned
+       (List.length r.findings));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Finding.to_json f))
+    r.findings;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

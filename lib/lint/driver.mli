@@ -1,0 +1,24 @@
+(** Whole-tree runs: walk directories, lint every [.ml], apply the
+    checked-in allowlist, render reports. The walk itself obeys the
+    determinism contract: [Sys.readdir] order is unspecified, so files
+    are sorted before linting and findings are reported in
+    {!Finding.order}. *)
+
+type result = {
+  findings : Finding.t list;  (** sorted, allowlist already applied *)
+  errors : string list;  (** read/parse failures, in walk order *)
+  files_scanned : int;
+}
+
+(** Every [.ml] under the given files/directories, sorted.
+    [_build] and dot-directories are skipped. *)
+val collect_ml_files : string list -> string list
+
+val run : ?allowlist:Allowlist.t -> string list -> result
+
+(** [file:line:col [rule] message] lines. *)
+val report_text : result -> string
+
+(** One JSON object: [{"version":1,"files_scanned":N,"count":N,
+    "findings":[...]}], newline-terminated. *)
+val report_json : result -> string

@@ -1,0 +1,320 @@
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* Scoping *)
+
+type scope = { in_lib : bool; in_obs : bool }
+
+let scope_of_file file =
+  let rec go = function
+    | "lib" :: rest ->
+        { in_lib = true;
+          in_obs = (match rest with "obs" :: _ -> true | _ -> false) }
+    | _ :: rest -> go rest
+    | [] -> { in_lib = false; in_obs = false }
+  in
+  go (String.split_on_char '/' file)
+
+(* ------------------------------------------------------------------ *)
+(* Small Parsetree helpers *)
+
+let flatten_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | parts -> Some parts
+      | exception _ -> None)
+  | _ -> None
+
+(* Head of a (possibly partial) application chain: the [List.sort] in
+   [List.sort cmp] or [x |> List.sort cmp]. *)
+let rec head_ident e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> head_ident f
+  | _ -> flatten_ident e
+
+(* [exists_in_expr pred e]: does any subexpression of [e] satisfy
+   [pred]? Only expressions are inspected (not patterns or types). *)
+let exists_in_expr pred e =
+  let found = ref false in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          if not !found then
+            if pred e then found := true
+            else Ast_iterator.default_iterator.expr it e) }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule matchers *)
+
+(* D1: ambient wall-clock / entropy. [Random.State.*] (explicit-state)
+   is fine; the two-segment global-state [Random.*] functions are not. *)
+let d1_hit = function
+  | [ "Unix"; "gettimeofday" ] -> Some "Unix.gettimeofday"
+  | [ "Unix"; "time" ] -> Some "Unix.time"
+  | [ "Sys"; "time" ] -> Some "Sys.time"
+  | [ "Random"; f ]
+    when f <> "" && Char.lowercase_ascii f.[0] = f.[0] ->
+      Some ("Random." ^ f)
+  | _ -> None
+
+(* D2: stdout from library code. *)
+let d2_hit = function
+  | [ f ] when String.starts_with ~prefix:"print_" f -> Some f
+  | [ "Stdlib"; f ] when String.starts_with ~prefix:"print_" f ->
+      Some ("Stdlib." ^ f)
+  | [ "Printf"; "printf" ] -> Some "Printf.printf"
+  | [ "Format"; "printf" ] -> Some "Format.printf"
+  | [ "Format"; f ] when String.starts_with ~prefix:"print_" f ->
+      Some ("Format." ^ f)
+  | [ "Format"; "std_formatter" ] -> Some "Format.std_formatter"
+  | [ "stdout" ] | [ "Stdlib"; "stdout" ] -> Some "stdout"
+  | _ -> None
+
+(* D3: does this expression build an order-sensitive value — a list
+   (cons/append), a string (concat), or a buffer? *)
+let accumulates e =
+  exists_in_expr
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) -> true
+      | Pexp_ident _ -> (
+          match flatten_ident e with
+          | Some ([ "@" ] | [ "^" ] | [ "List"; "cons" ]) -> true
+          | Some [ "Buffer"; f ] -> String.starts_with ~prefix:"add" f
+          | _ -> false)
+      | _ -> false)
+    e
+
+let is_sort = function
+  | [ "List"; ("sort" | "sort_uniq" | "stable_sort" | "fast_sort") ]
+  | [ "Array"; ("sort" | "stable_sort" | "fast_sort") ] ->
+      true
+  | _ -> false
+
+(* D4: creators of shared mutable cells. [Atomic.make], [Mutex.create]
+   and [Domain.DLS.new_key] are deliberately absent — they are the
+   sanctioned forms of module-level state. *)
+let d4_creator = function
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+  | [ "Queue"; "create" ] -> Some "Queue.create"
+  | [ "Stack"; "create" ] -> Some "Stack.create"
+  | [ "Buffer"; "create" ] -> Some "Buffer.create"
+  | [ "Array"; ("make" | "create_float" | "init") as f ] ->
+      Some ("Array." ^ f)
+  | [ "Bytes"; ("create" | "make") as f ] -> Some ("Bytes." ^ f)
+  | _ -> None
+
+(* D5: syntactic evidence that an operand is a float. *)
+let float_evidence e =
+  exists_in_expr
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_float _) -> true
+      | Pexp_ident _ -> (
+          match flatten_ident e with
+          | Some [ ("+." | "-." | "*." | "/." | "**") ] -> true
+          | Some [ "float_of_int" ] -> true
+          | Some ("Float" :: _) -> true
+          | _ -> false)
+      | _ -> false)
+    e
+
+(* ------------------------------------------------------------------ *)
+(* The pass *)
+
+type ctx = {
+  file : string;
+  scope : scope;
+  mutable findings : Finding.t list;
+  (* (rule, first byte offset, last byte offset) covered by an inline
+     [@lint.allow] attribute *)
+  mutable allows : (string * int * int) list;
+  (* > 0 while inside an expression chain that sorts its result *)
+  mutable sorted_depth : int;
+}
+
+let allow_rules_of_payload = function
+  | PStr
+      [ { pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _ } ] ->
+      String.split_on_char ' ' s
+      |> List.concat_map (String.split_on_char ',')
+      |> List.filter (fun r -> r <> "")
+  | _ -> []
+
+let run_pass ctx ast =
+  let add rule (loc : Location.t) msg =
+    ctx.findings <- Finding.make ~rule ~file:ctx.file ~loc ~msg :: ctx.findings
+  in
+  let record_allow (attr : attribute) ~first ~last =
+    if attr.attr_name.txt = "lint.allow" then
+      List.iter
+        (fun r -> ctx.allows <- (r, first, last) :: ctx.allows)
+        (allow_rules_of_payload attr.attr_payload)
+  in
+  let record_allow_loc attr (loc : Location.t) =
+    record_allow attr ~first:loc.loc_start.pos_cnum ~last:loc.loc_end.pos_cnum
+  in
+  let check_ident e =
+    match flatten_ident e with
+    | None -> ()
+    | Some parts ->
+        (if not ctx.scope.in_obs then
+           match d1_hit parts with
+           | Some name ->
+               add "D1" e.pexp_loc
+                 (Printf.sprintf
+                    "%s reads ambient wall-clock/entropy state; results must \
+                     be reproducible from the seed alone — use \
+                     Hydra_obs.now_ns for timing or Taskgen.Rng for \
+                     randomness"
+                    name)
+           | None -> ());
+        if ctx.scope.in_lib then
+          match d2_hit parts with
+          | Some name ->
+              add "D2" e.pexp_loc
+                (Printf.sprintf
+                   "%s writes to stdout from library code; results must flow \
+                    through a formatter argument or a returned value so \
+                    stdout stays byte-identical across --jobs"
+                   name)
+          | None -> ()
+  in
+  let expr_h it e =
+    List.iter (fun a -> record_allow_loc a e.pexp_loc) e.pexp_attributes;
+    check_ident e;
+    match e.pexp_desc with
+    | Pexp_apply (fn, args) ->
+        let fnp = flatten_ident fn in
+        (match fnp with
+        | Some [ "Hashtbl"; (("fold" | "iter") as which) ]
+          when ctx.sorted_depth = 0 ->
+            if List.exists (fun (_, a) -> accumulates a) args then
+              add "D3" e.pexp_loc
+                (Printf.sprintf
+                   "Hashtbl.%s builds an order-sensitive value in \
+                    unspecified hash-bucket order; sort the result in the \
+                    same expression chain, or mark a commutative fold with \
+                    [@lint.allow \"D3\"]"
+                   which)
+        | _ -> ());
+        (match fnp with
+        | Some ([ "compare" ] | [ "Stdlib"; "compare" ] | [ "=" ] | [ "<>" ])
+          ->
+            if List.exists (fun (_, a) -> float_evidence a) args then
+              add "D5" e.pexp_loc
+                "polymorphic compare/(=) on float operands is order-fragile \
+                 around NaN; use Float.compare / Float.equal"
+        | _ -> ());
+        let sorted_here =
+          (match fnp with Some p -> is_sort p | None -> false)
+          ||
+          match fnp with
+          | Some ([ "|>" ] | [ "@@" ]) ->
+              List.exists
+                (fun (_, a) ->
+                  match head_ident a with
+                  | Some p -> is_sort p
+                  | None -> false)
+                args
+          | _ -> false
+        in
+        if sorted_here then begin
+          ctx.sorted_depth <- ctx.sorted_depth + 1;
+          Ast_iterator.default_iterator.expr it e;
+          ctx.sorted_depth <- ctx.sorted_depth - 1
+        end
+        else Ast_iterator.default_iterator.expr it e
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  (* D4 looks only at code that runs at module initialisation: the
+     scan stops at function and lazy boundaries, where creation happens
+     per call instead. *)
+  let d4_scan e0 =
+    let it =
+      { Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            match e.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
+            | Pexp_apply (fn, _) ->
+                (match flatten_ident fn with
+                | Some parts -> (
+                    match d4_creator parts with
+                    | Some name ->
+                        add "D4" e.pexp_loc
+                          (Printf.sprintf
+                             "module-level %s is mutable state shared by \
+                              every domain under Parallel.Pool; use Atomic, \
+                              Domain.DLS, or pass the state explicitly"
+                             name)
+                    | None -> ())
+                | None -> ());
+                Ast_iterator.default_iterator.expr it e
+            | _ -> Ast_iterator.default_iterator.expr it e) }
+    in
+    it.expr it e0
+  in
+  let structure_item_h it si =
+    (match si.pstr_desc with
+    | Pstr_attribute attr ->
+        (* floating [@@@lint.allow "..."]: the whole file *)
+        record_allow attr ~first:0 ~last:max_int
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            List.iter
+              (fun a -> record_allow_loc a vb.pvb_loc)
+              vb.pvb_attributes;
+            if ctx.scope.in_lib then d4_scan vb.pvb_expr)
+          vbs
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item it si
+  in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr = expr_h;
+      structure_item = structure_item_h }
+  in
+  it.structure it ast
+
+let suppressed ctx (f : Finding.t) =
+  List.exists
+    (fun (rule, first, last) ->
+      (rule = "*" || rule = f.rule) && f.off >= first && f.off <= last)
+    ctx.allows
+
+let lint_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) ->
+            Format.asprintf "%a" Location.print_report report
+        | Some `Already_displayed | None -> Printexc.to_string exn
+      in
+      Error msg
+  | ast ->
+      let ctx =
+        { file;
+          scope = scope_of_file file;
+          findings = [];
+          allows = [];
+          sorted_depth = 0 }
+      in
+      run_pass ctx ast;
+      Ok
+        (ctx.findings
+        |> List.filter (fun f -> not (suppressed ctx f))
+        |> List.sort Finding.order)

@@ -1,0 +1,19 @@
+(** The determinism & domain-safety pass: parse one [.ml] source with
+    compiler-libs and walk the Parsetree with an [Ast_iterator],
+    checking rules D1–D5 (see {!Rules.all} and doc/STATIC_ANALYSIS.md).
+
+    Scoping is derived from [file]'s [/]-separated segments: a path
+    containing a [lib] segment is library-scoped (enables D2/D4), and
+    [lib/obs/...] is exempt from D1 (it is the sanctioned clock).
+
+    Suppression understood here (the checked-in allowlist is applied
+    later, by {!Driver.run}):
+    - [(expr [@lint.allow "D3"])] — that expression and its subtree;
+    - [let x = ... [@@lint.allow "D4"]] — that binding;
+    - [[@@@lint.allow "D1 D5"]] — the whole file.
+    Several rule ids may be given in one string, separated by spaces
+    or commas; ["*"] means every rule. *)
+
+(** Findings are sorted by position and already filtered by inline
+    [[@lint.allow]] attributes. [Error] is a rendered parse error. *)
+val lint_source : file:string -> string -> (Finding.t list, string) result

@@ -1,0 +1,52 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  off : int;
+  msg : string;
+}
+
+let make ~rule ~file ~(loc : Location.t) ~msg =
+  let p = loc.loc_start in
+  { rule;
+    file;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    off = p.pos_cnum;
+    msg }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.msg
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+    (json_escape f.rule) (json_escape f.file) f.line f.col (json_escape f.msg)

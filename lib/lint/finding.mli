@@ -1,0 +1,21 @@
+(** One lint finding: a rule violation at a source position. *)
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["D3"] (doc/STATIC_ANALYSIS.md) *)
+  file : string;  (** path as reported, normally repo-relative *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler diagnostics *)
+  off : int;  (** byte offset of [line:col] in the file, for suppression *)
+  msg : string;
+}
+
+val make : rule:string -> file:string -> loc:Location.t -> msg:string -> t
+
+(** Total order: file, then line, col, rule — the report order. *)
+val order : t -> t -> int
+
+(** [file:line:col [rule] message] *)
+val pp : Format.formatter -> t -> unit
+
+(** One JSON object (no trailing newline). *)
+val to_json : t -> string

@@ -1,0 +1,50 @@
+type meta = {
+  id : string;
+  title : string;
+  rationale : string;
+}
+
+let all =
+  [ { id = "D1";
+      title = "wall clock / ambient entropy";
+      rationale =
+        "Unix.gettimeofday, Sys.time, Random.self_init and the global-state \
+         Random.* functions read state outside the task-set seed, so results \
+         stop being reproducible; route timing through Hydra_obs (lib/obs) \
+         and randomness through Taskgen.Rng. Flagged everywhere except \
+         lib/obs." };
+    { id = "D2";
+      title = "stdout writes in library code";
+      rationale =
+        "print_*, Printf.printf, Format.printf and Format.std_formatter \
+         inside lib/ bypass the determinism contract: results must flow \
+         through a formatter argument or a returned value so stdout stays \
+         byte-identical across --jobs (doc/PARALLELISM.md)." };
+    { id = "D3";
+      title = "hash-order-sensitive Hashtbl.fold/iter";
+      rationale =
+        "Hashtbl.fold and Hashtbl.iter visit buckets in an unspecified \
+         order; building a list or string from them leaks that order into \
+         results. Sort adjacently (same expression chain), or mark a \
+         genuinely commutative fold with [@lint.allow \"D3\"]." };
+    { id = "D4";
+      title = "module-level mutable state in lib/";
+      rationale =
+        "A toplevel ref/Hashtbl/Buffer/Queue/Stack/Array/Bytes is shared by \
+         every domain running under Parallel.Pool and turns library calls \
+         into data races; use Atomic, Domain.DLS, or pass state explicitly." };
+    { id = "D5";
+      title = "polymorphic compare/= on float operands";
+      rationale =
+        "Polymorphic compare and (=) on floats are order-fragile around NaN \
+         and allocate through the generic runtime path; use Float.compare / \
+         Float.equal at float-typed analysis call sites." } ]
+
+let find id = List.find_opt (fun m -> m.id = id) all
+
+let pp_catalog ppf () =
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%s  %s@.    %a@." m.id m.title
+        Format.pp_print_text m.rationale)
+    all

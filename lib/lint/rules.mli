@@ -1,0 +1,14 @@
+(** The rule catalog: stable ids and one-line rationales, shared by
+    [hydra_lint --list-rules] and doc/STATIC_ANALYSIS.md. *)
+
+type meta = {
+  id : string;
+  title : string;
+  rationale : string;
+}
+
+val all : meta list
+
+val find : string -> meta option
+
+val pp_catalog : Format.formatter -> unit -> unit

@@ -186,7 +186,7 @@ type span_view = {
   sv_max_ns : int;
 }
 
-let by_name f a b = compare (f a) (f b)
+let by_name f a b = String.compare (f a) (f b)
 
 let counters t =
   Mutex.protect t.mu (fun () ->
@@ -230,8 +230,11 @@ let counter_total t name =
 let events t =
   Atomic.get t.events
   |> List.sort (fun a b ->
-         match compare a.ev_start_ns b.ev_start_ns with
-         | 0 -> compare (a.ev_domain, a.ev_name) (b.ev_domain, b.ev_name)
+         match Int.compare a.ev_start_ns b.ev_start_ns with
+         | 0 -> (
+             match Int.compare a.ev_domain b.ev_domain with
+             | 0 -> String.compare a.ev_name b.ev_name
+             | c -> c)
          | c -> c)
 
 (* ------------------------------------------------------------------ *)
@@ -310,7 +313,7 @@ let chrome_trace t =
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"hydra\"}}";
   let tids =
-    List.sort_uniq compare (List.map (fun e -> e.ev_domain) evs)
+    List.sort_uniq Int.compare (List.map (fun e -> e.ev_domain) evs)
   in
   List.iter
     (fun tid ->

@@ -40,8 +40,12 @@ let partition_rt ?(heuristic = Best_fit) (ts : Task.taskset) =
     let a = Array.mapi (fun i t -> (i, t)) ts.rt in
     Array.sort
       (fun (_, a) (_, b) ->
-        match compare (Task.rt_utilization b) (Task.rt_utilization a) with
-        | 0 -> compare a.Task.rt_id b.Task.rt_id
+        (* Float.compare, not polymorphic compare: utilizations are
+           floats and the specialized comparator is total on NaN
+           (rule D5, doc/STATIC_ANALYSIS.md). *)
+        match Float.compare (Task.rt_utilization b) (Task.rt_utilization a)
+        with
+        | 0 -> Int.compare a.Task.rt_id b.Task.rt_id
         | c -> c)
       a;
     a

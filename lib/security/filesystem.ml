@@ -26,9 +26,11 @@ let remove t path =
 let mem t path = Hashtbl.mem t.files path
 let file_count t = Hashtbl.length t.files
 
+(* The fold visits buckets in unspecified hash order; the adjacent
+   sort keeps monitor output deterministic (rule D3). *)
 let list_paths t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.files []
-  |> List.sort compare
+  |> List.sort String.compare
 
 let total_bytes t =
   Hashtbl.fold (fun _ c acc -> acc + String.length c) t.files 0

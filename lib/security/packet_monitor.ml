@@ -152,11 +152,21 @@ let scan_alerts rules packets =
       if not (List.mem p.p_dport ports) then
         Hashtbl.replace by_src p.p_src (p.p_dport :: ports))
     packets;
+  (* [by_src] is folded in unspecified hash-bucket order; sort by
+     source address so monitor output is deterministic (rule D3,
+     doc/STATIC_ANALYSIS.md). *)
   Hashtbl.fold
     (fun src ports acc ->
       let n = List.length ports in
       if n >= rules.scan_threshold then Port_scan (src, n) :: acc else acc)
     by_src []
+  |> List.sort (fun a b ->
+         let src = function
+           | Port_scan (s, _) -> s
+           | Blacklisted_port p -> p.p_src
+           | Signature_match (p, _) -> p.p_src
+         in
+         String.compare (src a) (src b))
 
 let inspect_region t region =
   let packets = region_packets t region in

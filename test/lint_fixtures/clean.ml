@@ -1,0 +1,17 @@
+(* Fixture with representative idioms from the real tree that must
+   produce zero findings under the pretend path lib/clean.ml. *)
+
+let utilization w p = float_of_int w /. float_of_int p
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let ordered tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let pp ppf x = Format.fprintf ppf "x=%d@." x
+
+let by_prio a b = Int.compare (fst a) (fst b)
+
+let counter = Atomic.make 0
+
+let stamp obs = Option.map (fun _ -> Atomic.fetch_and_add counter 1) obs

@@ -1,0 +1,11 @@
+(* Fixture for rule D1: ambient wall-clock and global-state entropy.
+   Linted by test_lint under the pretend path lib/d1_wallclock.ml.
+   Expected findings: D1 at lines 4, 7 and 8. *)
+let elapsed () = Unix.gettimeofday ()
+
+let seeded_jitter () =
+  Random.self_init ();
+  Random.float 1.0
+
+(* Explicit-state randomness is fine: no finding expected here. *)
+let ok_jitter st = Random.State.float st 1.0

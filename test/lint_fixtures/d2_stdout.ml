@@ -1,0 +1,10 @@
+(* Fixture for rule D2: stdout writes inside library code.
+   Linted by test_lint under the pretend path lib/d2_stdout.ml.
+   Expected findings: D2 at lines 4 and 6. *)
+let report x = Printf.printf "x=%d\n" x
+
+let banner () = print_endline "hydra"
+
+(* Results flowing through a formatter argument are the sanctioned
+   form: no finding expected here. *)
+let pp ppf x = Format.fprintf ppf "x=%d@." x

@@ -1,0 +1,17 @@
+(* Fixture for rule D3: order-sensitive Hashtbl.fold/iter.
+   Linted by test_lint under the pretend path lib/d3_hash_order.ml.
+   Expected findings: D3 at lines 4 and 6. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let render tbl buf = Hashtbl.iter (fun k v -> Buffer.add_string buf (k ^ v)) tbl
+
+(* Adjacent sort: no finding expected. *)
+let keys_sorted tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+(* Commutative accumulator (no list/string construction): no finding. *)
+let cardinality tbl = Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+
+(* Suppressed: the attribute marks the fold as commutative. *)
+let keys_commutative tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@lint.allow "D3"])

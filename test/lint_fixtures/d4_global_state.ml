@@ -1,0 +1,13 @@
+(* Fixture for rule D4: module-level mutable state in libraries.
+   Linted by test_lint under the pretend path lib/d4_global_state.ml.
+   Expected findings: D4 at lines 4 and 6. *)
+let cache : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let hits = ref 0
+
+(* Atomics are the sanctioned module-level state: no finding. *)
+let next_id = Atomic.make 0
+
+(* Creation inside a function happens per call, not at module
+   initialisation: no finding. *)
+let fresh_table () = Hashtbl.create 8

@@ -1,0 +1,10 @@
+(* Fixture for rule D5: polymorphic compare/(=) on float operands.
+   Linted by test_lint under the pretend path lib/d5_float_compare.ml.
+   Expected findings: D5 at lines 4 and 6. *)
+let fully_utilized u = u = 1.0
+
+let rank a b = compare (a *. 2.0) b
+
+(* The specialized comparators are the fix: no findings here. *)
+let rank_ok a b = Float.compare (a *. 2.0) b
+let fully_utilized_ok u = Float.equal u 1.0

@@ -1,0 +1,205 @@
+(* Tests for the Lint static-analysis pass (doc/STATIC_ANALYSIS.md):
+   one seeded fixture per rule D1-D5 under lint_fixtures/, asserted
+   through the JSON report; scoping (lib-only rules, the lib/obs clock
+   exemption); suppression via [@lint.allow] attributes and the
+   allowlist; and the clean-tree gate over the repo's own lib/. *)
+
+open Test_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_findings = Alcotest.(check (list (pair string int)))
+
+let lint_str ~file source =
+  match Lint.Engine.lint_source ~file source with
+  | Ok fs -> fs
+  | Error m -> Alcotest.fail m
+
+let fixture_source name =
+  In_channel.with_open_bin
+    (Filename.concat "lint_fixtures" name)
+    In_channel.input_all
+
+(* Lint a fixture under a pretend lib/ path and report the (rule, line)
+   pairs as seen through the JSON report — the same bytes CI uploads. *)
+let fixture_findings name =
+  let findings = lint_str ~file:("lib/" ^ name) (fixture_source name) in
+  let result =
+    { Lint.Driver.findings; errors = []; files_scanned = 1 }
+  in
+  let j = parse_json (Lint.Driver.report_json result) in
+  check_int "count field" (List.length findings)
+    (int_of_float (as_num (member "count" j)));
+  member "findings" j |> as_list
+  |> List.map (fun f ->
+         ( as_str (member "rule" f),
+           int_of_float (as_num (member "line" f)) ))
+
+(* ------------------------------------------------------------------ *)
+(* One seeded fixture per rule *)
+
+let test_d1 () =
+  check_findings "d1" [ ("D1", 4); ("D1", 7); ("D1", 8) ]
+    (fixture_findings "d1_wallclock.ml")
+
+let test_d2 () =
+  check_findings "d2" [ ("D2", 4); ("D2", 6) ]
+    (fixture_findings "d2_stdout.ml")
+
+let test_d3 () =
+  check_findings "d3" [ ("D3", 4); ("D3", 6) ]
+    (fixture_findings "d3_hash_order.ml")
+
+let test_d4 () =
+  check_findings "d4" [ ("D4", 4); ("D4", 6) ]
+    (fixture_findings "d4_global_state.ml")
+
+let test_d5 () =
+  check_findings "d5" [ ("D5", 4); ("D5", 6) ]
+    (fixture_findings "d5_float_compare.ml")
+
+let test_clean_fixture () =
+  check_findings "clean fixture" [] (fixture_findings "clean.ml")
+
+(* ------------------------------------------------------------------ *)
+(* Positions and report formats *)
+
+let test_positions () =
+  match lint_str ~file:"lib/d1_wallclock.ml" (fixture_source "d1_wallclock.ml")
+  with
+  | first :: _ ->
+      check_int "line" 4 first.Lint.Finding.line;
+      (* let elapsed () = Unix.gettimeofday () — ident starts at col 17 *)
+      check_int "col" 17 first.Lint.Finding.col;
+      Alcotest.(check string)
+        "text line"
+        (Printf.sprintf "lib/d1_wallclock.ml:4:17 [D1] %s"
+           first.Lint.Finding.msg)
+        (Format.asprintf "%a" Lint.Finding.pp first)
+  | [] -> Alcotest.fail "expected a D1 finding"
+
+let test_json_fields () =
+  let findings = lint_str ~file:"lib/x.ml" "let t () = Sys.time ()" in
+  let result = { Lint.Driver.findings; errors = []; files_scanned = 1 } in
+  let j = parse_json (Lint.Driver.report_json result) in
+  check_int "version" 1 (int_of_float (as_num (member "version" j)));
+  check_int "files_scanned" 1
+    (int_of_float (as_num (member "files_scanned" j)));
+  match member "findings" j |> as_list with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "D1" (as_str (member "rule" f));
+      Alcotest.(check string) "file" "lib/x.ml" (as_str (member "file" f));
+      check_int "line" 1 (int_of_float (as_num (member "line" f)));
+      check_int "col" 11 (int_of_float (as_num (member "col" f)));
+      check_bool "message mentions Sys.time" true
+        (String.length (as_str (member "message" f)) > 0)
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+(* ------------------------------------------------------------------ *)
+(* Scoping *)
+
+let test_scoping () =
+  (* D2 and D4 are library-only: executables own their stdout. *)
+  check_int "stdout fine in bin" 0
+    (List.length (lint_str ~file:"bin/tool.ml" "let main () = print_endline \"ok\""));
+  check_int "toplevel ref fine in bin" 0
+    (List.length (lint_str ~file:"bin/tool.ml" "let verbose = ref false"));
+  (* lib/obs is the sanctioned clock: exempt from D1. *)
+  check_int "clock fine in lib/obs" 0
+    (List.length (lint_str ~file:"lib/obs/clock.ml" "let t () = Sys.time ()"));
+  check_int "clock flagged in lib" 1
+    (List.length (lint_str ~file:"lib/hydra/x.ml" "let t () = Sys.time ()"))
+
+(* ------------------------------------------------------------------ *)
+(* Suppression *)
+
+let test_inline_suppression () =
+  (* file-wide floating attribute *)
+  check_int "floating attribute" 0
+    (List.length
+       (lint_str ~file:"lib/x.ml"
+          "[@@@lint.allow \"D1\"]\nlet t () = Sys.time ()"));
+  (* binding-level attribute *)
+  check_int "binding attribute" 0
+    (List.length
+       (lint_str ~file:"lib/x.ml"
+          "let h = Hashtbl.create 3 [@@lint.allow \"D4\"]"));
+  (* a different rule id does not suppress *)
+  check_int "wrong rule id" 1
+    (List.length
+       (lint_str ~file:"lib/x.ml"
+          "let h = Hashtbl.create 3 [@@lint.allow \"D3\"]"));
+  (* "*" suppresses everything *)
+  check_int "star" 0
+    (List.length
+       (lint_str ~file:"lib/x.ml"
+          "let h = Hashtbl.create 3 [@@lint.allow \"*\"]"))
+
+let entry_exn line =
+  match Lint.Allowlist.parse_line line with
+  | Ok (Some e) -> e
+  | Ok None -> Alcotest.failf "no entry parsed from %S" line
+  | Error m -> Alcotest.fail m
+
+let test_allowlist () =
+  (match Lint.Allowlist.parse_line "  # comment " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment should parse to nothing");
+  (match Lint.Allowlist.parse_line "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed line should be rejected");
+  let f =
+    match lint_str ~file:"lib/foo.ml" "let t () = Sys.time ()" with
+    | [ f ] -> f
+    | _ -> Alcotest.fail "expected one finding"
+  in
+  let permits line = Lint.Allowlist.permits [ entry_exn line ] f in
+  check_bool "whole file" true (permits "D1 lib/foo.ml");
+  check_bool "exact line" true (permits "D1 lib/foo.ml:1");
+  check_bool "wrong line" false (permits "D1 lib/foo.ml:2");
+  check_bool "wrong rule" false (permits "D2 lib/foo.ml");
+  check_bool "star rule" true (permits "* lib/foo.ml");
+  check_bool "suffix path" true
+    (Lint.Allowlist.permits
+       [ entry_exn "D1 lib/foo.ml" ]
+       { f with Lint.Finding.file = "../lib/foo.ml" })
+
+let test_parse_error () =
+  match Lint.Engine.lint_source ~file:"lib/broken.ml" "let = in" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+(* ------------------------------------------------------------------ *)
+(* The clean-tree gate: the repo's own lib/ has zero findings even
+   without the checked-in allowlist (inline attributes suffice). *)
+
+let test_clean_tree () =
+  let r = Lint.Driver.run [ "../lib" ] in
+  check_int "no read/parse errors" 0 (List.length r.Lint.Driver.errors);
+  check_bool "scanned the whole library tree" true (r.files_scanned >= 40);
+  match r.findings with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "lib/ must lint clean, got: %s"
+        (Format.asprintf "%a" Lint.Finding.pp f)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "rules",
+        [ Alcotest.test_case "D1 wall clock" `Quick test_d1;
+          Alcotest.test_case "D2 stdout" `Quick test_d2;
+          Alcotest.test_case "D3 hash order" `Quick test_d3;
+          Alcotest.test_case "D4 global state" `Quick test_d4;
+          Alcotest.test_case "D5 float compare" `Quick test_d5;
+          Alcotest.test_case "clean fixture" `Quick test_clean_fixture ] );
+      ( "report",
+        [ Alcotest.test_case "positions" `Quick test_positions;
+          Alcotest.test_case "json fields" `Quick test_json_fields ] );
+      ( "scoping", [ Alcotest.test_case "path scopes" `Quick test_scoping ] );
+      ( "suppression",
+        [ Alcotest.test_case "inline attributes" `Quick
+            test_inline_suppression;
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "parse error" `Quick test_parse_error ] );
+      ( "tree",
+        [ Alcotest.test_case "lib/ lints clean" `Quick test_clean_tree ] ) ]
