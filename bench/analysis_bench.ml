@@ -1,0 +1,16 @@
+(* CI entry point for the naive-vs-fast analysis microbenchmark
+   (Analysis_record): runs it at the scale given by the
+   BENCH_ANALYSIS_* environment knobs, writes BENCH_analysis.json,
+   prints the summary, and exits 1 if the fast path disagrees with the
+   reference path (the wall-clock gate itself lives in the CI job,
+   .github/workflows/ci.yml, where jq inspects the JSON). *)
+
+let () =
+  let r = Analysis_record.run () in
+  Analysis_record.write r;
+  Analysis_record.pp_summary Format.std_formatter r;
+  Format.printf "wrote BENCH_analysis.json@.";
+  if not r.Analysis_record.br_results_match then begin
+    Format.printf "ERROR: fast path results differ from naive path@.";
+    exit 1
+  end

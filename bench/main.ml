@@ -36,7 +36,14 @@
        "counters": { "name": total, ... }
                                    -- Hydra_obs counters of the jobs=N run
                                       (catalog: doc/OBSERVABILITY.md)
-     } *)
+     }
+
+   It also writes BENCH_analysis.json (schema "hydra_c.bench_analysis/1";
+   knobs BENCH_ANALYSIS_TASKSETS / _CORES / _SEED) — the naive-vs-fast
+   comparison of the WCRT analysis fast path at both carry-in policies,
+   with a results_match bit and the cache/pruning counters; see
+   bench/analysis_record.ml and doc/PERFORMANCE.md.
+   bench/analysis_bench.exe emits just that file (the CI gate). *)
 
 open Bechamel
 open Toolkit
@@ -388,7 +395,19 @@ let emit_sweep_json () =
     (if seq_counters = par_counters then "stable across jobs"
      else "UNSTABLE across jobs")
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: BENCH_analysis.json — naive vs fast analysis paths
+   (bench/analysis_record.ml, doc/PERFORMANCE.md). *)
+
+let emit_analysis_json () =
+  let r = Analysis_record.run () in
+  Analysis_record.write r;
+  Format.printf "@.";
+  Analysis_record.pp_summary std r;
+  Format.printf "wrote BENCH_analysis.json@."
+
 let () =
   print_artifacts ();
   run_benchmarks ();
-  emit_sweep_json ()
+  emit_sweep_json ();
+  emit_analysis_json ()

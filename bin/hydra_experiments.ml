@@ -93,6 +93,18 @@ let policy_arg =
            ~doc:"Carry-in handling: top-delta (polynomial bound) or \
                  exhaustive (literal Eq. 8).")
 
+let fast_arg =
+  let naive =
+    Arg.(value & flag
+         & info [ "naive-analysis" ]
+             ~doc:"Use the reference (unoptimized) WCRT analysis and period \
+                   search instead of the bit-identical fast path. Results \
+                   are the same either way (doc/PERFORMANCE.md); this flag \
+                   exists for cross-checking and for timing the naive \
+                   path.")
+  in
+  Term.(const not $ naive)
+
 let run_tables () = Experiments.Tables.render_all std ()
 
 let deploy_arg =
@@ -126,30 +138,30 @@ let run_fig5 jobs seed trials horizon deployment dat_dir metrics trace_out =
   Experiments.Fig5.render std report;
   export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
 
-let sweeps ?obs jobs policy seed per_group cores =
+let sweeps ?obs ~fast jobs policy seed per_group cores =
   List.map
     (fun m ->
       Format.printf "[sweep] M=%d: %d tasksets x 10 groups...@." m per_group;
       timed ~jobs
         (Printf.sprintf "sweep M=%d" m)
         (fun () ->
-          Experiments.Sweep.run ~policy ?obs ~n_cores:m ~per_group ~seed ~jobs
-            ()))
+          Experiments.Sweep.run ~policy ~fast ?obs ~n_cores:m ~per_group ~seed
+            ~jobs ()))
     cores
 
-let run_fig6 jobs policy seed per_group cores dat_dir metrics trace_out =
+let run_fig6 jobs policy fast seed per_group cores dat_dir metrics trace_out =
   with_obs ~metrics ~trace_out @@ fun obs ->
-  sweeps ?obs jobs policy seed per_group cores
+  sweeps ?obs ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig;
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig6 ~dir fig));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
-let run_fig7 which jobs policy seed per_group cores dat_dir metrics trace_out
-    =
+let run_fig7 which jobs policy fast seed per_group cores dat_dir metrics
+    trace_out =
   with_obs ~metrics ~trace_out @@ fun obs ->
-  sweeps ?obs jobs policy seed per_group cores
+  sweeps ?obs ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig7.of_sweep sweep in
          (match which with
@@ -255,8 +267,8 @@ let run_validate jobs policy seed tasksets cores metrics trace_out =
       Experiments.Validation.render std result)
     cores
 
-let run_all jobs policy seed trials horizon per_group cores dat_dir metrics
-    trace_out =
+let run_all jobs policy fast seed trials horizon per_group cores dat_dir
+    metrics trace_out =
   with_obs ~metrics ~trace_out @@ fun obs ->
   let t0 = Hydra_obs.now_ns () in
   run_tables ();
@@ -271,7 +283,7 @@ let run_all jobs policy seed trials horizon per_group cores dat_dir metrics
   in
   fig5_under Experiments.Fig5.Tmax;
   fig5_under Experiments.Fig5.Adapted;
-  sweeps ?obs jobs policy seed per_group cores
+  sweeps ?obs ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig6 = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig6;
@@ -296,12 +308,13 @@ let run_all jobs policy seed trials horizon per_group cores dat_dir metrics
    [hydra-experiments --jobs 4 --metrics --trace-out t.json] exercises
    and exports every metric family while keeping stdout identical to a
    plain [hydra-experiments --jobs 1] run. *)
-let run_smoke jobs metrics trace_out =
+let run_smoke jobs fast metrics trace_out =
   with_obs ~metrics ~trace_out @@ fun obs ->
   Format.printf "[smoke] fixed-scale smoke workload (M=2, seed 42)@.";
   let sweep =
     timed ~jobs "smoke sweep" (fun () ->
-        Experiments.Sweep.run ?obs ~n_cores:2 ~per_group:8 ~seed:42 ~jobs ())
+        Experiments.Sweep.run ~fast ?obs ~n_cores:2 ~per_group:8 ~seed:42
+          ~jobs ())
   in
   Experiments.Fig7.render_a std (Experiments.Fig7.of_sweep sweep);
   let result =
@@ -322,18 +335,19 @@ let cmd_fig5 =
 
 let cmd_fig6 =
   Cmd.v (Cmd.info "fig6" ~doc:"Period-distance sweep (Fig. 6).")
-    Term.(const run_fig6 $ jobs_arg $ policy_arg $ seed_arg $ per_group_arg
-          $ cores_arg $ dat_dir_arg $ metrics_arg $ trace_out_arg)
+    Term.(const run_fig6 $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
+          $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
+          $ trace_out_arg)
 
 let cmd_fig7a =
   Cmd.v (Cmd.info "fig7a" ~doc:"Acceptance-ratio sweep (Fig. 7a).")
-    Term.(const (run_fig7 `A) $ jobs_arg $ policy_arg $ seed_arg
+    Term.(const (run_fig7 `A) $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
           $ trace_out_arg)
 
 let cmd_fig7b =
   Cmd.v (Cmd.info "fig7b" ~doc:"Period-difference sweep (Fig. 7b).")
-    Term.(const (run_fig7 `B) $ jobs_arg $ policy_arg $ seed_arg
+    Term.(const (run_fig7 `B) $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
           $ trace_out_arg)
 
@@ -381,12 +395,12 @@ let cmd_ablation =
 
 let cmd_all =
   Cmd.v (Cmd.info "all" ~doc:"Everything: tables, figures, ablations.")
-    Term.(const run_all $ jobs_arg $ policy_arg $ seed_arg $ trials_arg
-          $ horizon_arg $ per_group_arg $ cores_arg $ dat_dir_arg
+    Term.(const run_all $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
+          $ trials_arg $ horizon_arg $ per_group_arg $ cores_arg $ dat_dir_arg
           $ metrics_arg $ trace_out_arg)
 
 let smoke_term =
-  Term.(const run_smoke $ jobs_arg $ metrics_arg $ trace_out_arg)
+  Term.(const run_smoke $ jobs_arg $ fast_arg $ metrics_arg $ trace_out_arg)
 
 let () =
   let info =

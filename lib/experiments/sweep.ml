@@ -20,20 +20,20 @@ let bounds_of (ts : Task.taskset) =
   Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.sec;
   v
 
-let evaluate_one ?policy ?obs schemes (g : Generator.generated) ~group =
+let evaluate_one ?policy ?fast ?obs schemes (g : Generator.generated) ~group =
   let ts = g.Generator.taskset in
   let outcomes =
     List.map
       (fun scheme ->
         ( scheme,
-          Scheme.evaluate ?policy ?obs scheme ts
+          Scheme.evaluate ?policy ?fast ?obs scheme ts
             ~rt_assignment:g.Generator.rt_assignment ))
       schemes
   in
   { group; norm_util = Task.normalized_utilization ts;
     bounds = bounds_of ts; outcomes }
 
-let run ?policy ?config ?(schemes = Scheme.all) ?jobs ?obs ~n_cores
+let run ?policy ?fast ?config ?(schemes = Scheme.all) ?jobs ?obs ~n_cores
     ~per_group ~seed () =
   Hydra_obs.span obs "sweep.run" @@ fun () ->
   let config =
@@ -58,7 +58,7 @@ let run ?policy ?config ?(schemes = Scheme.all) ?jobs ?obs ~n_cores
             None
         | Some g ->
             Hydra_obs.incr obs "sweep.tasksets.generated";
-            Some (evaluate_one ?policy ?obs schemes g ~group))
+            Some (evaluate_one ?policy ?fast ?obs schemes g ~group))
       n
   in
   { n_cores; per_group;

@@ -18,11 +18,15 @@ type t = {
 }
 
 val run :
-  ?policy:Hydra.Analysis.carry_in_policy ->
+  ?policy:Hydra.Analysis.carry_in_policy -> ?fast:bool ->
   ?config:Taskgen.Generator.config -> ?schemes:Hydra.Scheme.t list ->
   ?jobs:int -> ?obs:Hydra_obs.t -> n_cores:int -> per_group:int ->
   seed:int -> unit -> t
-(** Runs the sweep. [config] defaults to
+(** Runs the sweep. [fast] (default [true]) selects the bit-identical
+    optimized analysis path for HYDRA-C ({!Hydra.Scheme.evaluate},
+    doc/PERFORMANCE.md); each worker builds its own
+    {!Hydra.Analysis.system} per taskset, so the per-system workload
+    cache is never shared across domains. [config] defaults to
     [Taskgen.Generator.default_config ~n_cores]; [schemes] defaults to
     all four. Each taskset gets its own RNG stream, pre-split in
     generation order ({!Taskgen.Rng.split_n}), so results are

@@ -3,9 +3,22 @@ module Workload = Rtsched.Workload
 
 type time = Task.time
 
+(* Per-system memo of the raw per-core RT workload vector at each
+   window x (doc/PERFORMANCE.md). Keyed on x only: the RT partition is
+   frozen for the lifetime of the system value, and
+   Workload.rt_core_workload depends on nothing else. The job_wcet
+   clamp of Eq. 3 is applied per query, on top of the cached vector.
+   The table is plain (not thread-safe) state: a system value must not
+   be shared across domains — the sweep builds one per taskset per
+   worker, see analysis.mli. *)
+type cache = { rt_wl : (int, int array) Hashtbl.t }
+
+let fresh_cache () = { rt_wl = Hashtbl.create 64 }
+
 type system = {
   n_cores : int;
   rt_cores : Task.rt_task list array;
+  cache : cache;
 }
 
 type hp_sec = {
@@ -18,12 +31,35 @@ type carry_in_policy = Top_delta | Exhaustive
 
 let make_system (ts : Task.taskset) ~assignment =
   { n_cores = ts.n_cores;
-    rt_cores = Rtsched.Partition.cores_of_assignment ts assignment }
+    rt_cores = Rtsched.Partition.cores_of_assignment ts assignment;
+    cache = fresh_cache () }
 
 let rt_interference sys ~job_wcet x =
   Array.fold_left
     (fun acc core -> acc + Workload.rt_core_interference ~job_wcet core x)
     0 sys.rt_cores
+
+(* Fast-path variant of [rt_interference]: memoized raw per-core
+   workloads, clamp applied per call. Bit-identical to the naive term
+   because interference = clamp(rt_core_workload core x) on both
+   paths. *)
+let rt_interference_cached obs sys ~job_wcet x =
+  let wl =
+    match Hashtbl.find_opt sys.cache.rt_wl x with
+    | Some wl ->
+        Hydra_obs.incr obs "analysis.cache.hit";
+        wl
+    | None ->
+        Hydra_obs.incr obs "analysis.cache.miss";
+        let wl = Workload.rt_workloads sys.rt_cores x in
+        Hashtbl.add sys.cache.rt_wl x wl;
+        wl
+  in
+  let acc = ref 0 in
+  for m = 0 to Array.length wl - 1 do
+    acc := !acc + Workload.interference ~job_wcet ~window:x wl.(m)
+  done;
+  !acc
 
 (* Non-carry-in and carry-in interference of one higher-priority
    security task on a window of length [x]. *)
@@ -37,7 +73,7 @@ let sec_interference_ci ~job_wcet h x =
        ~resp:h.hp_resp x)
 
 let top_k_sum k l =
-  let sorted = List.sort (fun a b -> compare b a) l in
+  let sorted = List.sort (fun a b -> Int.compare b a) l in
   let rec take n acc = function
     | [] -> acc
     | _ when n <= 0 -> acc
@@ -47,9 +83,10 @@ let top_k_sum k l =
 
 (* Eq. 6 with the Guan-style carry-in bound: every hp security task
    contributes its non-carry-in interference, and the M-1 largest
-   carry-in increments are added on top. *)
-let omega_top_delta sys ~hp ~job_wcet x =
-  let rt = rt_interference sys ~job_wcet x in
+   carry-in increments are added on top. [rt_at] abstracts over the
+   naive vs cached RT term so both paths share one definition. *)
+let omega_top_delta_with ~rt_at ~n_cores ~hp ~job_wcet x =
+  let rt = rt_at ~job_wcet x in
   let nc_total, deltas =
     List.fold_left
       (fun (nc_acc, deltas) h ->
@@ -58,7 +95,12 @@ let omega_top_delta sys ~hp ~job_wcet x =
         (nc_acc + nc, max 0 (ci - nc) :: deltas))
       (0, []) hp
   in
-  rt + nc_total + top_k_sum (sys.n_cores - 1) deltas
+  rt + nc_total + top_k_sum (n_cores - 1) deltas
+
+let omega_top_delta sys ~hp ~job_wcet x =
+  omega_top_delta_with
+    ~rt_at:(fun ~job_wcet x -> rt_interference sys ~job_wcet x)
+    ~n_cores:sys.n_cores ~hp ~job_wcet x
 
 (* Eq. 6 for one fixed carry-in set (tasks are compared by id). *)
 let omega_fixed_sets sys ~hp ~carry_in_ids ~job_wcet x =
@@ -73,10 +115,17 @@ let omega_fixed_sets sys ~hp ~carry_in_ids ~job_wcet x =
       acc + i)
     rt hp
 
-(* Eq. 7 fixed-point iteration from x = C_s for a monotone Omega.
-   [iters] accumulates the iteration count locally (an int ref costs
-   nothing measurable); the caller reports it to [obs] once. *)
-let fixpoint ~iters ~n_cores ~wcet ~limit omega =
+(* Eq. 7 fixed-point iteration for a monotone Omega, started at
+   [max wcet start]. [start = 0] (the default) is the textbook
+   iteration from x = C_s. Any start in [wcet, lfp] yields the same
+   least fixed point and the same convergence verdict: the iterates
+   x -> Omega(x)/M + C_s form a monotone chain that cannot cross lfp
+   from below without landing on it, and every fixed point reachable
+   from a start <= lfp is lfp itself (proof sketch in
+   doc/PERFORMANCE.md). [iters] accumulates the iteration count
+   locally (an int ref costs nothing measurable); the caller reports
+   it to [obs] once. *)
+let fixpoint ?(start = 0) ~iters ~n_cores ~wcet ~limit omega =
   let rec iter x =
     if x > limit then None
     else begin
@@ -85,7 +134,7 @@ let fixpoint ~iters ~n_cores ~wcet ~limit omega =
       if x' = x then Some x else iter x'
     end
   in
-  if wcet > limit then None else iter wcet
+  if wcet > limit then None else iter (max wcet start)
 
 let record_fixpoint obs iters r =
   Hydra_obs.add obs "analysis.fixpoint.iterations" !iters;
@@ -94,18 +143,24 @@ let record_fixpoint obs iters r =
   | None -> Hydra_obs.incr obs "analysis.fixpoint.diverged"
 
 let carry_in_subsets items ~max_size =
+  (* Sizes are threaded alongside each subset so extending costs O(1);
+     the historical version recomputed [List.length s] inside the
+     [filter_map], making generation O(n^2) in the subset count. The
+     construction (and hence the output order) is unchanged:
+     without @ with_x at every level. *)
   let rec go = function
-    | [] -> [ [] ]
+    | [] -> [ (0, []) ]
     | x :: rest ->
         let without = go rest in
         let with_x =
           List.filter_map
-            (fun s -> if List.length s < max_size then Some (x :: s) else None)
+            (fun (len, s) ->
+              if len < max_size then Some (len + 1, x :: s) else None)
             without
         in
         without @ with_x
   in
-  if max_size <= 0 then [ [] ] else go items
+  if max_size <= 0 then [ [] ] else List.map snd (go items)
 
 let response_time_top_delta ?obs sys ~hp ~wcet ~limit =
   Hydra_obs.observe obs "analysis.carry_in.set_size"
@@ -144,7 +199,157 @@ let response_time_exhaustive ?obs sys ~hp ~wcet ~limit =
   in
   List.fold_left step (Some wcet) subsets
 
-let response_time ?(policy = Top_delta) ?obs sys ~hp ~wcet ~limit =
-  match policy with
-  | Top_delta -> response_time_top_delta ?obs sys ~hp ~wcet ~limit
-  | Exhaustive -> response_time_exhaustive ?obs sys ~hp ~wcet ~limit
+(* Eq. 7 for one fixed carry-in set; exposed for the property test
+   that Top_delta upper-bounds every admissible subset. *)
+let response_time_fixed_subset ?obs sys ~hp ~carry_in_ids ~wcet ~limit =
+  let iters = ref 0 in
+  let r =
+    fixpoint ~iters ~n_cores:sys.n_cores ~wcet ~limit
+      (omega_fixed_sets sys ~hp ~carry_in_ids ~job_wcet:wcet)
+  in
+  record_fixpoint obs iters r;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Fast path (doc/PERFORMANCE.md). Bit-identical results to the naive
+   functions above; only the amount of work differs. *)
+
+let response_time_top_delta_fast ?(warm = 0) ?obs sys ~hp ~wcet ~limit =
+  Hydra_obs.observe obs "analysis.carry_in.set_size"
+    (min (sys.n_cores - 1) (List.length hp));
+  let iters = ref 0 in
+  let r =
+    fixpoint ~start:warm ~iters ~n_cores:sys.n_cores ~wcet ~limit
+      (omega_top_delta_with
+         ~rt_at:(fun ~job_wcet x -> rt_interference_cached obs sys ~job_wcet x)
+         ~n_cores:sys.n_cores ~hp ~job_wcet:wcet)
+  in
+  record_fixpoint obs iters r;
+  r
+
+(* Branch-and-bound Eq. 8.
+
+   Soundness (proofs in doc/PERFORMANCE.md):
+
+   - Drop criterion: a hp task h whose carry-in workload never exceeds
+     its non-carry-in workload (delta_h(x) <= 0 for all x, which holds
+     exactly when C_h = 1 or R_h <= C_h) cannot increase any subset's
+     fixed point, so it is removed from carry-in candidacy; the naive
+     enumeration visits subsets containing h but each is dominated by
+     the same subset without h, leaving the maximum unchanged.
+
+   - Upper-bound certificate: omega_top_delta >= omega_fixed_sets for
+     every admissible subset at every x (nc + max(0, ci - nc) =
+     max(nc, ci) per task, summed over the M-1 largest). Hence if the
+     top-delta fixed point converges to r_top, every subset converges
+     and the Eq. 8 maximum is <= r_top; if top-delta diverges we fall
+     back to the naive enumeration to reproduce its verdict exactly.
+
+   - Prefixed-point skip: for a subset S and the current best b >= wcet,
+     if omega_S(b)/M + wcet <= b then the iterates from wcet never
+     exceed b, so lfp(S) <= b and S cannot raise the maximum — skipped
+     without running the fixed point (counted in
+     analysis.prune.subsets_skipped).
+
+   - Warm floor: [warm] must be a caller-guaranteed lower bound on the
+     true Eq. 8 value (Period_selection passes the response under the
+     previous, larger, feasible candidate period — monotonicity proof
+     in doc/PERFORMANCE.md). It only seeds the running maximum, never
+     an individual subset's iteration. *)
+let response_time_exhaustive_fast ?(warm = 0) ?obs sys ~hp ~wcet ~limit =
+  match response_time_top_delta_fast ~warm ?obs sys ~hp ~wcet ~limit with
+  | None ->
+      (* Top-delta diverged: no convergence certificate for the
+         subsets, so reproduce the naive verdict literally. *)
+      response_time_exhaustive ?obs sys ~hp ~wcet ~limit
+  | Some r_top ->
+      let hp_arr = Array.of_list hp in
+      let n = Array.length hp_arr in
+      let max_size = sys.n_cores - 1 in
+      if max_size <= 0 || n = 0 then begin
+        (* Only the empty subset: its omega is omega_top_delta (no
+           deltas), so its fixed point is r_top itself. *)
+        Hydra_obs.add obs "analysis.carry_in.subsets" 1;
+        Hydra_obs.observe obs "analysis.carry_in.set_size" 0;
+        Some r_top
+      end
+      else if n > 60 then
+        (* Bitmask width guard; unreachable at paper scale. *)
+        response_time_exhaustive ?obs sys ~hp ~wcet ~limit
+      else begin
+        (* Carry-in candidates: tasks whose delta can be positive. *)
+        let kept_mask = ref 0 in
+        for i = 0 to n - 1 do
+          let h = hp_arr.(i) in
+          let c = h.hp_task.Task.sec_wcet in
+          if c = 1 || h.hp_resp <= c then
+            Hydra_obs.incr obs "analysis.prune.carry_in_dropped"
+          else kept_mask := !kept_mask lor (1 lsl i)
+        done;
+        let kept_mask = !kept_mask in
+        let omega_mask mask x =
+          let acc = ref (rt_interference_cached obs sys ~job_wcet:wcet x) in
+          for i = 0 to n - 1 do
+            let h = hp_arr.(i) in
+            acc :=
+              !acc
+              + (if mask land (1 lsl i) <> 0 then
+                   sec_interference_ci ~job_wcet:wcet h x
+                 else sec_interference_nc ~job_wcet:wcet h x)
+          done;
+          !acc
+        in
+        let best = ref (max wcet warm) in
+        let enumerated = ref 0 in
+        let skipped = ref 0 in
+        let popcount m =
+          let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+          go m 0
+        in
+        let consider mask =
+          let size = popcount mask in
+          if size <= max_size then begin
+            incr enumerated;
+            let b = !best in
+            (* r_top bounds every subset's fixed point; if it cannot
+               beat the floor, neither can this subset. *)
+            if r_top <= b || (omega_mask mask b / sys.n_cores) + wcet <= b
+            then incr skipped
+            else begin
+              Hydra_obs.observe obs "analysis.carry_in.set_size" size;
+              let iters = ref 0 in
+              let r =
+                fixpoint ~iters ~n_cores:sys.n_cores ~wcet ~limit
+                  (omega_mask mask)
+              in
+              record_fixpoint obs iters r;
+              match r with
+              | Some r -> if r > !best then best := r
+              | None ->
+                  (* Contradicts the convergence certificate; cannot
+                     happen for a monotone omega, but keep the naive
+                     verdict authoritative if it ever does. *)
+                  assert false
+            end
+          end
+        in
+        consider 0;
+        let s = ref kept_mask in
+        while !s <> 0 do
+          consider !s;
+          s := (!s - 1) land kept_mask
+        done;
+        Hydra_obs.add obs "analysis.carry_in.subsets" !enumerated;
+        Hydra_obs.add obs "analysis.prune.subsets_skipped" !skipped;
+        Some !best
+      end
+
+let response_time ?(policy = Top_delta) ?(fast = false) ?(warm = 0) ?obs sys
+    ~hp ~wcet ~limit =
+  match (policy, fast) with
+  | Top_delta, false -> response_time_top_delta ?obs sys ~hp ~wcet ~limit
+  | Exhaustive, false -> response_time_exhaustive ?obs sys ~hp ~wcet ~limit
+  | Top_delta, true ->
+      response_time_top_delta_fast ~warm ?obs sys ~hp ~wcet ~limit
+  | Exhaustive, true ->
+      response_time_exhaustive_fast ~warm ?obs sys ~hp ~wcet ~limit

@@ -22,14 +22,36 @@
     iterate, grants carry-in to the [M - 1] tasks with the largest
     interference increment. [Top_delta] dominates every individual
     carry-in choice, hence is a safe upper bound on the Eq. 8 value
-    (property-tested in [test/test_analysis.ml]). *)
+    (property-tested in [test/test_analysis.ml]).
+
+    Both policies also have a {b fast path} ([~fast:true]) that is
+    bit-identical to the reference implementation but avoids redundant
+    work: a per-system RT-workload cache, branch-and-bound carry-in
+    enumeration for [Exhaustive], and warm-started fixed points — the
+    design and soundness arguments live in doc/PERFORMANCE.md, the
+    equivalence gate in [test/test_analysis.ml]. *)
 
 type time = Rtsched.Task.time
+
+type cache
+(** Per-system memo of the raw per-core RT workload vector per window
+    (the [x -> W_m(x)] table behind [analysis.cache.{hit,miss}]).
+    Mutable but observationally pure: entries are a function of the
+    frozen RT partition and the window only. *)
+
+val fresh_cache : unit -> cache
+(** An empty cache — needed when building a {!system} literally rather
+    than through {!make_system}. *)
 
 type system = {
   n_cores : int;
   rt_cores : Rtsched.Task.rt_task list array;
       (** RT tasks pinned to each core, index = core *)
+  cache : cache;
+      (** RT-workload memo. {b Not} domain-safe: a [system] value must
+          not be shared across domains (the parallel sweep builds one
+          per taskset inside the worker, so this holds by
+          construction — doc/PARALLELISM.md). *)
 }
 (** The fixed, partitioned RT side of the platform. *)
 
@@ -48,25 +70,57 @@ type carry_in_policy =
 
 val make_system :
   Rtsched.Task.taskset -> assignment:int array -> system
-(** Builds the per-core RT view from a partitioning assignment. *)
+(** Builds the per-core RT view from a partitioning assignment (with a
+    fresh, empty workload cache). *)
 
 val rt_interference : system -> job_wcet:time -> time -> time
-(** Total RT interference term of Eq. 6 for a window of length [x]. *)
+(** Total RT interference term of Eq. 6 for a window of length [x]
+    (reference path; the fast path computes the same value through the
+    cache). *)
 
 val response_time :
-  ?policy:carry_in_policy -> ?obs:Hydra_obs.t -> system -> hp:hp_sec list ->
+  ?policy:carry_in_policy -> ?fast:bool -> ?warm:time ->
+  ?obs:Hydra_obs.t -> system -> hp:hp_sec list ->
   wcet:time -> limit:time -> time option
 (** [response_time sys ~hp ~wcet ~limit] is the WCRT of a security job
     of WCET [wcet] below the given higher-priority security tasks, or
     [None] if the fixed point exceeds [limit] (Sec. 4.4 stops at
     [T_s^max] since the task is then trivially unschedulable).
 
+    [fast] (default [false]) selects the optimized implementation:
+    cached RT workloads, and for [Exhaustive] a branch-and-bound
+    enumeration (delta-negative tasks dropped from carry-in candidacy,
+    dominated subsets skipped against the top-delta upper bound, id
+    bitmasks instead of list membership). The returned value — and the
+    [None] verdict — are {b bit-identical} to the reference path for
+    both policies (equivalence-gated in [test/test_analysis.ml];
+    design in doc/PERFORMANCE.md). Only the Hydra_obs work counters
+    differ, since less work is done.
+
+    [warm] (fast path only, default [0]) is a {b caller-guaranteed
+    lower bound} on the true response time — e.g. the response under a
+    previously analyzed, larger, period vector (interference is
+    monotone in hp periods). The fixed point starts there instead of
+    at [wcet]; passing a value above the true response is unsound.
+
     [obs] records the Eq. 7/8 instrumentation:
     [analysis.fixpoint.iterations] plus converged/diverged tallies,
-    [analysis.carry_in.subsets] (Exhaustive: subsets enumerated) and
-    the [analysis.carry_in.set_size] distribution
+    [analysis.carry_in.subsets] (Exhaustive: subsets enumerated),
+    the [analysis.carry_in.set_size] distribution, and on the fast
+    path [analysis.cache.{hit,miss}] and
+    [analysis.prune.{carry_in_dropped,subsets_skipped}]
     (doc/OBSERVABILITY.md). *)
+
+val response_time_fixed_subset :
+  ?obs:Hydra_obs.t -> system -> hp:hp_sec list ->
+  carry_in_ids:int list -> wcet:time -> limit:time -> time option
+(** Eq. 7 under one {b fixed} carry-in set (tasks named by [sec_id]):
+    one term of the Eq. 8 maximum. Exposed so tests can check that
+    [Top_delta] upper-bounds every admissible subset and that
+    [Exhaustive] equals the subset maximum. *)
 
 val carry_in_subsets : 'a list -> max_size:int -> 'a list list
 (** All sublists of size [<= max_size] (order-preserving); exposed for
-    the Eq. 8 tests and the X1 ablation. *)
+    the Eq. 8 tests and the X1 ablation. Generation is linear in the
+    output size (sizes are threaded, not recomputed — see
+    [test/test_analysis.ml] for the count law). *)

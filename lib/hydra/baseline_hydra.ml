@@ -111,14 +111,16 @@ let recompute_core obs sys allocs =
    list (priority order): binary search in [resp, bound], feasible when
    every lower-priority core-mate still meets its bound. *)
 let min_core_period obs sys allocs idx =
-  let a = List.nth allocs idx in
+  (* Mutate-and-restore on an array view instead of a List.mapi
+     rebuild per probe (recompute_core still takes the list it needs
+     anyway, but the candidate substitution itself is O(1)). *)
+  let arr = Array.of_list allocs in
+  let a = arr.(idx) in
   let feasible candidate =
-    let probed =
-      List.mapi
-        (fun i x -> if i = idx then { x with period = candidate } else x)
-        allocs
-    in
-    Option.is_some (recompute_core obs sys probed)
+    arr.(idx) <- { a with period = candidate };
+    let ok = Option.is_some (recompute_core obs sys (Array.to_list arr)) in
+    arr.(idx) <- a;
+    ok
   in
   let steps = ref 0 in
   let rec search lo hi best =
@@ -175,7 +177,7 @@ let allocate_coordinated ?(criterion = Max_utilization) ?obs sys secs =
       (* restore global priority order *)
       let ordered =
         List.sort
-          (fun a b -> compare a.sec.Task.sec_prio b.sec.Task.sec_prio)
+          (fun a b -> Int.compare a.sec.Task.sec_prio b.sec.Task.sec_prio)
           minimized
       in
       Schedulable ordered

@@ -77,7 +77,9 @@ let min_feasible_period_impl policy obs sys ~sorted ~periods ~resps ~index =
 let min_feasible_period ?policy ?obs sys ~sorted ~periods ~resps ~index =
   min_feasible_period_impl policy obs sys ~sorted ~periods ~resps ~index
 
-let select ?policy ?obs sys secs =
+(* Reference Algorithm 1: per-probe array copies, cold fixed points.
+   Kept verbatim as the equivalence oracle for [select_fast]. *)
+let select_naive policy obs sys secs =
   let sorted = Task.sort_sec_by_priority secs in
   let n = Array.length sorted in
   let periods = Array.map (fun s -> s.Task.sec_period_max) sorted in
@@ -119,6 +121,102 @@ let select ?policy ?obs sys secs =
             { sec = sorted.(j); period = periods.(j); resp = resps.(j) })
       in
       Schedulable assignments
+
+(* Fast Algorithm 1 (doc/PERFORMANCE.md): no per-probe copies, no
+   post-fix suffix refresh, warm-started fixed points.
+
+   Invariants:
+   - [periods] holds the committed vector (prefix fixed, suffix at the
+     bounds); a probe's candidate period is passed by value, never
+     written until the search for that position finishes.
+   - [resps] holds the responses of the {e last feasible} full vector
+     (initially all-bounds). Feasible candidates for a position are
+     strictly decreasing (the search recurses on [lo, c-1] after a
+     feasible [c]), and responses are monotone non-decreasing as any
+     hp period decreases, so [resps] is a valid warm floor for every
+     later probe of the same or deeper position.
+   - [scratch] receives the suffix responses of the probe in flight;
+     it is committed into [resps] only when the probe is feasible.
+     The final refresh of the naive path is subsumed: after the search
+     for [index] returns [t_star], [resps] already holds the suffix
+     responses under [t_star] (the last committed probe), or — when no
+     probe was feasible and [t_star = T_s^max] — the responses of the
+     incoming vector, which already had [index] at its bound. *)
+let select_fast policy obs sys secs =
+  let sorted = Task.sort_sec_by_priority secs in
+  let n = Array.length sorted in
+  let periods = Array.map (fun s -> s.Task.sec_period_max) sorted in
+  let resps = Array.make n 0 in
+  let scratch = Array.make n 0 in
+  Hydra_obs.add obs "period_selection.tasks" n;
+  (* Response of position [j] while probing [candidate] at [index]
+     ([index = -1]: no probe, plain evaluation of [periods]). hp
+     responses come from [resps] for the already-committed prefix and
+     from [scratch] for suffix positions recomputed by this probe. *)
+  let resp_probe ~index ~candidate j =
+    let s = sorted.(j) in
+    let hp =
+      List.init j (fun i ->
+          { Analysis.hp_task = sorted.(i);
+            hp_period = (if i = index then candidate else periods.(i));
+            hp_resp = (if i <= index then resps.(i) else scratch.(i)) })
+    in
+    let warm = if index < 0 then 0 else resps.(j) in
+    Analysis.response_time ?policy ~fast:true ~warm ?obs sys ~hp
+      ~wcet:s.Task.sec_wcet ~limit:s.Task.sec_period_max
+  in
+  let probe ~index ~candidate ~from =
+    let rec go j =
+      if j >= n then true
+      else
+        match resp_probe ~index ~candidate j with
+        | None -> false
+        | Some r ->
+            scratch.(j) <- r;
+            go (j + 1)
+    in
+    go from
+  in
+  let commit ~from = Array.blit scratch from resps from (n - from) in
+  (* Algorithm 1, lines 1-4: all periods at their bounds. *)
+  if not (probe ~index:(-1) ~candidate:0 ~from:0) then begin
+    Hydra_obs.incr obs "period_selection.unschedulable";
+    Unschedulable
+  end
+  else begin
+    commit ~from:0;
+    (* Lines 5-9: minimize periods from highest to lowest priority. *)
+    for index = 0 to n - 1 do
+      let tmax = sorted.(index).Task.sec_period_max in
+      let steps = ref 0 in
+      let rec search lo hi best =
+        if lo > hi then best
+        else begin
+          incr steps;
+          let c = (lo + hi) / 2 in
+          if probe ~index ~candidate:c ~from:(index + 1) then begin
+            commit ~from:(index + 1);
+            search lo (c - 1) (min best c)
+          end
+          else search (c + 1) hi best
+        end
+      in
+      let t_star = search resps.(index) tmax tmax in
+      Hydra_obs.add obs "period_selection.search.steps" !steps;
+      Hydra_obs.observe obs "period_selection.search.steps_per_task" !steps;
+      periods.(index) <- t_star
+    done;
+    Hydra_obs.incr obs "period_selection.schedulable";
+    let assignments =
+      List.init n (fun j ->
+          { sec = sorted.(j); period = periods.(j); resp = resps.(j) })
+    in
+    Schedulable assignments
+  end
+
+let select ?policy ?(fast = true) ?obs sys secs =
+  if fast then select_fast policy obs sys secs
+  else select_naive policy obs sys secs
 
 let vector_of field assignments ~n_sec =
   let v = Array.make n_sec 0 in

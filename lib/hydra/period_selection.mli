@@ -30,10 +30,23 @@ type result =
           at its bound (Algorithm 1, line 2) *)
 
 val select :
-  ?policy:Analysis.carry_in_policy -> ?obs:Hydra_obs.t -> Analysis.system ->
-  Rtsched.Task.sec_task array -> result
+  ?policy:Analysis.carry_in_policy -> ?fast:bool -> ?obs:Hydra_obs.t ->
+  Analysis.system -> Rtsched.Task.sec_task array -> result
 (** Runs Algorithm 1 on the security tasks (any order; they are sorted
-    by priority internally). [obs] counts the Algorithm 2 probes
+    by priority internally).
+
+    [fast] (default [true]) runs the copy-free incremental search: no
+    per-probe array copies (a scratch row committed only on feasible
+    probes), warm-started fixed points (the previous feasible probe's
+    responses are valid lower bounds — feasible candidates decrease
+    and interference is monotone in hp periods), and the fast
+    {!Analysis.response_time} underneath. [~fast:false] is the
+    reference implementation; both return {b bit-identical} results
+    (equivalence-gated in [test/test_analysis.ml]; design and proof
+    sketches in doc/PERFORMANCE.md). The Algorithm 2 probe sequence is
+    the same on both paths, so the search counters agree too.
+
+    [obs] counts the Algorithm 2 probes
     ([period_selection.search.steps], plus the per-task
     [period_selection.search.steps_per_task] distribution) and the
     schedulable/unschedulable outcome tallies (doc/OBSERVABILITY.md). *)

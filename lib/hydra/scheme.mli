@@ -25,9 +25,12 @@ type outcome = {
 }
 
 val evaluate :
-  ?policy:Analysis.carry_in_policy -> ?obs:Hydra_obs.t -> t ->
+  ?policy:Analysis.carry_in_policy -> ?fast:bool -> ?obs:Hydra_obs.t -> t ->
   Rtsched.Task.taskset -> rt_assignment:int array -> outcome
 (** Evaluates a scheme on a taskset whose RT part is already
     partitioned ([rt_assignment] is ignored by [Global_tmax]).
+    [fast] (default [true]) selects the optimized, bit-identical
+    {!Period_selection} path for [Hydra_c]; the other schemes ignore
+    it (doc/PERFORMANCE.md).
     [obs] forwards to the underlying analyses, which record their
     fixed-point and search metrics (doc/OBSERVABILITY.md). *)

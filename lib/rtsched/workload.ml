@@ -2,7 +2,11 @@ type time = Task.time
 
 let non_carry_in ~wcet ~period x =
   if x <= 0 then 0
-  else (x / period * wcet) + min (x mod period) wcet
+  else
+    (* single division: q = x / T, r = x mod T *)
+    let q = x / period in
+    let r = x - (q * period) in
+    (q * wcet) + min r wcet
 
 let carry_in ~wcet ~period ~resp x =
   if x <= 0 then 0
@@ -21,6 +25,9 @@ let rt_core_workload tasks x =
 
 let rt_core_interference ~job_wcet tasks x =
   interference ~job_wcet ~window:x (rt_core_workload tasks x)
+
+let rt_workloads cores x =
+  Array.map (fun core -> rt_core_workload core x) cores
 
 let request_bound ~wcet ~period x =
   if x <= 0 then 0 else (x + period - 1) / period * wcet

@@ -1,0 +1,246 @@
+(* Tests for the analysis fast path (doc/PERFORMANCE.md): the
+   carry-in subset combinatorics, the Top_delta-dominates-every-subset
+   soundness property, and the equivalence gate proving the optimized
+   path bit-identical to the reference implementation for both
+   carry-in policies — single queries, whole Algorithm 1 runs, and
+   full sweeps across jobs values. *)
+
+module Task = Rtsched.Task
+module Analysis = Hydra.Analysis
+module Period_selection = Hydra.Period_selection
+
+let check_int = Test_util.check_int
+let check_bool = Test_util.check_bool
+
+(* ------------------------------------------------------------------ *)
+(* carry_in_subsets: count law, sizes, order preservation. *)
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let expected_count n max_size =
+  if max_size <= 0 then 1
+  else begin
+    let acc = ref 0 in
+    for k = 0 to min n max_size do
+      acc := !acc + binomial n k
+    done;
+    !acc
+  end
+
+let test_subset_counts () =
+  for n = 0 to 12 do
+    let items = List.init n Fun.id in
+    List.iter
+      (fun max_size ->
+        let subsets = Analysis.carry_in_subsets items ~max_size in
+        check_int
+          (Printf.sprintf "count n=%d max_size=%d" n max_size)
+          (expected_count n max_size)
+          (List.length subsets))
+      [ 0; 1; 2; 3; n ]
+  done
+
+let test_subset_sizes_and_order () =
+  let items = List.init 9 Fun.id in
+  let subsets = Analysis.carry_in_subsets items ~max_size:3 in
+  check_bool "no oversized subset" true
+    (List.for_all (fun s -> List.length s <= 3) subsets);
+  (* Items were given in increasing order, so order preservation means
+     every subset is strictly increasing. *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  check_bool "order-preserving" true (List.for_all increasing subsets);
+  check_int "no duplicates" (List.length subsets)
+    (List.length (List.sort_uniq compare subsets))
+
+(* ------------------------------------------------------------------ *)
+(* Shared scaffolding for the property tests: build the system and a
+   consistent hp chain (periods at the bounds, responses computed
+   top-down by the analysis itself, exactly as Algorithm 1 would). *)
+
+let hp_chain ?policy ?fast sys (sorted : Task.sec_task array) upto =
+  let rec go i acc =
+    if i >= upto then Some (List.rev acc)
+    else
+      let s = sorted.(i) in
+      match
+        Analysis.response_time ?policy ?fast sys ~hp:(List.rev acc)
+          ~wcet:s.Task.sec_wcet ~limit:s.Task.sec_period_max
+      with
+      | None -> None
+      | Some r ->
+          go (i + 1)
+            ({ Analysis.hp_task = s; hp_period = s.Task.sec_period_max;
+               hp_resp = r }
+             :: acc)
+  in
+  go 0 []
+
+let with_taskset ts f =
+  let sys =
+    Analysis.make_system ts ~assignment:(Test_util.round_robin_assignment ts)
+  in
+  let sorted = Task.sort_sec_by_priority ts.Task.sec in
+  f sys sorted
+
+(* Top_delta upper-bounds the response under every admissible fixed
+   carry-in subset (the certificate the branch-and-bound path leans
+   on, doc/PERFORMANCE.md). *)
+let prop_top_delta_bounds_every_subset =
+  let arb = Test_util.arb_taskset ~n_cores:3 ~n_rt:4 ~n_sec:5 in
+  Test_util.qtest ~count:120 "Top_delta >= every fixed subset" arb (fun ts ->
+      with_taskset ts @@ fun sys sorted ->
+      let target = sorted.(Array.length sorted - 1) in
+      match hp_chain sys sorted (Array.length sorted - 1) with
+      | None -> true (* chain already unschedulable: nothing to compare *)
+      | Some hp -> (
+          let wcet = target.Task.sec_wcet in
+          let limit = target.Task.sec_period_max in
+          match Analysis.response_time ~policy:Analysis.Top_delta sys ~hp
+                  ~wcet ~limit
+          with
+          | None -> true (* no certificate; nothing claimed *)
+          | Some r_top ->
+              Analysis.carry_in_subsets
+                (List.map (fun h -> h.Analysis.hp_task.Task.sec_id) hp)
+                ~max_size:(sys.Analysis.n_cores - 1)
+              |> List.for_all (fun carry_in_ids ->
+                     match
+                       Analysis.response_time_fixed_subset sys ~hp
+                         ~carry_in_ids ~wcet ~limit
+                     with
+                     | Some r -> r <= r_top
+                     | None -> false (* must converge under the cert *))))
+
+(* Equivalence gate, single WCRT queries: fast = naive for both
+   policies, both the value and the None verdict. *)
+let prop_response_time_fast_equals_naive =
+  let arb = Test_util.arb_taskset ~n_cores:3 ~n_rt:4 ~n_sec:5 in
+  Test_util.qtest ~count:120 "response_time fast = naive" arb (fun ts ->
+      with_taskset ts @@ fun sys sorted ->
+      let n = Array.length sorted in
+      List.for_all
+        (fun policy ->
+          match hp_chain ~policy sys sorted (n - 1) with
+          | None -> true
+          | Some hp ->
+              let target = sorted.(n - 1) in
+              let wcet = target.Task.sec_wcet in
+              let limit = target.Task.sec_period_max in
+              let naive =
+                Analysis.response_time ~policy ~fast:false sys ~hp ~wcet
+                  ~limit
+              in
+              let fast =
+                Analysis.response_time ~policy ~fast:true sys ~hp ~wcet
+                  ~limit
+              in
+              naive = fast)
+        [ Analysis.Top_delta; Analysis.Exhaustive ])
+
+let same_select_result a b =
+  match (a, b) with
+  | Period_selection.Unschedulable, Period_selection.Unschedulable -> true
+  | Period_selection.Schedulable xs, Period_selection.Schedulable ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (x : Period_selection.assignment)
+                (y : Period_selection.assignment) ->
+             x.sec.Task.sec_id = y.sec.Task.sec_id
+             && x.period = y.period && x.resp = y.resp)
+           xs ys
+  | _ -> false
+
+(* Equivalence gate, whole Algorithm 1 runs (this also exercises the
+   warm-start floor and the commit/scratch bookkeeping). A fresh
+   system per run so the workload cache of one run cannot leak into
+   the timing of another (results would match anyway — the cache is
+   observationally pure). *)
+let prop_select_fast_equals_naive =
+  let arb = Test_util.arb_taskset ~n_cores:3 ~n_rt:4 ~n_sec:5 in
+  Test_util.qtest ~count:120 "select fast = naive" arb (fun ts ->
+      List.for_all
+        (fun policy ->
+          let run fast =
+            with_taskset ts @@ fun sys _ ->
+            Period_selection.select ~policy ~fast sys ts.Task.sec
+          in
+          same_select_result (run false) (run true))
+        [ Analysis.Top_delta; Analysis.Exhaustive ])
+
+(* ------------------------------------------------------------------ *)
+(* Sweep-level equivalence across jobs values: the fast path composes
+   with the parallel pool (one system per taskset per worker, so the
+   per-system cache is never shared across domains) and the records
+   stay bit-identical to the naive path for every jobs value. *)
+
+let test_sweep_fast_naive_across_jobs () =
+  let run ~fast ~jobs =
+    Experiments.Sweep.run ~policy:Hydra.Analysis.Exhaustive ~fast ~jobs
+      ~n_cores:2 ~per_group:2 ~seed:7 ()
+  in
+  let reference = run ~fast:false ~jobs:1 in
+  List.iter
+    (fun (fast, jobs) ->
+      let sweep = run ~fast ~jobs in
+      check_bool
+        (Printf.sprintf "records fast=%b jobs=%d" fast jobs)
+        true
+        (sweep.Experiments.Sweep.records
+        = reference.Experiments.Sweep.records))
+    [ (true, 1); (true, 4); (false, 4) ]
+
+(* The fast path's own counters exist and are consistent: hits only
+   ever follow misses on the same system, and the exhaustive pruning
+   counters appear once a multi-core exhaustive query ran. *)
+let test_fast_path_counters () =
+  let ts = Security.Rover.taskset () in
+  let obs = Hydra_obs.create () in
+  let sys =
+    Analysis.make_system ts ~assignment:(Security.Rover.rt_assignment ())
+  in
+  (match
+     Period_selection.select ~policy:Analysis.Exhaustive ~fast:true ~obs sys
+       ts.Task.sec
+   with
+  | Period_selection.Unschedulable -> Alcotest.fail "rover must schedule"
+  | Period_selection.Schedulable _ -> ());
+  let counters = Hydra_obs.counters obs in
+  let total name =
+    match
+      List.find_opt (fun c -> c.Hydra_obs.cv_name = name) counters
+    with
+    | Some c -> c.Hydra_obs.cv_total
+    | None -> 0
+  in
+  check_bool "cache misses recorded" true (total "analysis.cache.miss" > 0);
+  check_bool "cache hits recorded" true (total "analysis.cache.hit" > 0);
+  check_bool "subsets enumerated" true
+    (total "analysis.carry_in.subsets" > 0)
+
+let () =
+  Alcotest.run "analysis_fast_path"
+    [ ( "carry_in_subsets",
+        [ Alcotest.test_case "count law n<=12" `Quick test_subset_counts;
+          Alcotest.test_case "sizes and order" `Quick
+            test_subset_sizes_and_order ] );
+      ( "soundness",
+        [ prop_top_delta_bounds_every_subset ] );
+      ( "equivalence",
+        [ prop_response_time_fast_equals_naive;
+          prop_select_fast_equals_naive;
+          Alcotest.test_case "sweep across jobs" `Quick
+            test_sweep_fast_naive_across_jobs ] );
+      ( "counters",
+        [ Alcotest.test_case "fast-path counters" `Quick
+            test_fast_path_counters ] ) ]

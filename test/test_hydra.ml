@@ -18,7 +18,8 @@ let sec ?(prio = 0) ?(id = 0) wcet period_max =
   Task.make_sec ~id ~prio ~wcet ~period_max ()
 
 let empty_system n_cores =
-  { Analysis.n_cores; rt_cores = Array.make n_cores [] }
+  { Analysis.n_cores; rt_cores = Array.make n_cores [];
+    cache = Analysis.fresh_cache () }
 
 let rover_system () =
   let ts = Security.Rover.taskset () in
@@ -64,7 +65,10 @@ let test_analysis_limit_is_respected () =
 
 let test_analysis_rt_interference_term () =
   let rt0 = Task.make_rt ~id:0 ~prio:0 ~wcet:4 ~period:10 () in
-  let sys = { Analysis.n_cores = 2; rt_cores = [| [ rt0 ]; [] |] } in
+  let sys =
+    { Analysis.n_cores = 2; rt_cores = [| [ rt0 ]; [] |];
+      cache = Analysis.fresh_cache () }
+  in
   (* For a window of 10 and job wcet 2, RT interference is
      min(W_nc(10)=4, 10-2+1=9) = 4. *)
   check_int "rt interference" 4 (Analysis.rt_interference sys ~job_wcet:2 10)
