@@ -38,7 +38,10 @@
                                       (catalog: doc/OBSERVABILITY.md)
      }
 
-   It also writes BENCH_analysis.json (schema "hydra_c.bench_analysis/1";
+   It also writes BENCH_metrics.json — the full Hydra_obs snapshot of
+   the parallel comparison run (schema "hydra_c.metrics/1", the same
+   format as the CLI's --metrics-out; doc/OBSERVABILITY.md) — and
+   BENCH_analysis.json (schema "hydra_c.bench_analysis/1";
    knobs BENCH_ANALYSIS_TASKSETS / _CORES / _SEED) — the naive-vs-fast
    comparison of the WCRT analysis fast path at both carry-in policies,
    with a results_match bit and the cache/pruning counters; see
@@ -363,10 +366,14 @@ let emit_sweep_json () =
     let obs = Hydra_obs.create () in
     let t0 = Hydra_obs.now_ns () in
     let (_ : Experiments.Sweep.t) = comparison_sweep ~obs ~jobs () in
-    (Hydra_obs.now_ns () - t0, Hydra_obs.counters obs)
+    (Hydra_obs.now_ns () - t0, Hydra_obs.counters obs, obs)
   in
-  let seq_wall, seq_counters = timed_run ~jobs:1 in
-  let par_wall, par_counters = timed_run ~jobs in
+  let seq_wall, seq_counters, _ = timed_run ~jobs:1 in
+  let par_wall, par_counters, par_obs = timed_run ~jobs in
+  (* Full registry snapshot of the parallel run (counters, selected-
+     period histograms, span counts) — same schema as the CLI's
+     --metrics-out. *)
+  Hydra_obs.Snapshot.write par_obs ~path:"BENCH_metrics.json";
   let speedup =
     if par_wall > 0 then float_of_int seq_wall /. float_of_int par_wall
     else Float.nan
@@ -377,7 +384,9 @@ let emit_sweep_json () =
   Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
   Printf.bprintf buf "  \"seq_wall_ns\": %d,\n" seq_wall;
   Printf.bprintf buf "  \"par_wall_ns\": %d,\n" par_wall;
-  Printf.bprintf buf "  \"speedup\": %.4f,\n" speedup;
+  (* json_float: "null" rather than bare NaN when par_wall is 0. *)
+  Printf.bprintf buf "  \"speedup\": %s,\n"
+    (Hydra_obs.Snapshot.json_float speedup);
   Printf.bprintf buf "  \"counters_match_across_jobs\": %b,\n"
     (seq_counters = par_counters);
   Buffer.add_string buf "  \"counters\": {";
@@ -390,7 +399,9 @@ let emit_sweep_json () =
   Buffer.add_string buf "\n  }\n}\n";
   Out_channel.with_open_text "BENCH_sweep.json" (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
-  Format.printf "@.wrote BENCH_sweep.json (speedup %.2fx, counters %s)@."
+  Format.printf
+    "@.wrote BENCH_sweep.json (speedup %.2fx, counters %s) and \
+     BENCH_metrics.json@."
     speedup
     (if seq_counters = par_counters then "stable across jobs"
      else "UNSTABLE across jobs")

@@ -29,23 +29,41 @@ let metrics_arg =
 let trace_out_arg =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ] ~docv:"FILE"
-           ~doc:"Write the spans of the run as Chrome trace-event JSON to                  FILE (open in Perfetto or chrome://tracing). Implies                  collection; stdout is unaffected.")
+           ~doc:"Write the spans of the run (and, for fig5, the simulated                  per-core schedule) as Chrome trace-event JSON to FILE                  (open in Perfetto or chrome://tracing). Implies                  collection; stdout is unaffected.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable metrics snapshot (schema                  hydra_c.metrics/1: counters, distributions, latency                  histograms with quantiles, span counts) as JSON to FILE.                  Deterministic: byte-identical for every --jobs value.                  Implies collection; stdout is unaffected                  (doc/OBSERVABILITY.md).")
 
 (* One Hydra_obs registry per command invocation, created only when
-   --metrics or --trace-out asks for it: the [None] default keeps every
-   instrumented code path a no-op. The summary goes to stderr and the
-   trace to a file so stdout stays byte-identical to an uninstrumented
-   run (the determinism contract, doc/PARALLELISM.md). *)
-let with_obs ~metrics ~trace_out f =
-  if (not metrics) && trace_out = None then f None
+   --metrics, --trace-out or --metrics-out asks for it: the [None]
+   default keeps every instrumented code path a no-op. The summary goes
+   to stderr and the trace/snapshot to files so stdout stays
+   byte-identical to an uninstrumented run (the determinism contract,
+   doc/PARALLELISM.md). [sched_log], when given (fig5 + --trace-out),
+   contributes the simulated schedule as a second Perfetto process
+   (pid 1) in the same trace file. *)
+let with_obs ?sched_log ~metrics ~trace_out ~metrics_out f =
+  if (not metrics) && trace_out = None && metrics_out = None then f None
   else
     let obs = Hydra_obs.create () in
     Fun.protect
       ~finally:(fun () ->
         if metrics then Hydra_obs.pp_summary Format.err_formatter obs;
+        (match metrics_out with
+        | Some path ->
+            Hydra_obs.Snapshot.write obs ~path;
+            Format.eprintf "[obs] wrote metrics snapshot to %s@." path
+        | None -> ());
         match trace_out with
         | Some path ->
-            Hydra_obs.write_chrome_trace obs ~path;
+            let extra =
+              match sched_log with
+              | Some log -> Sim.Event_log.chrome_events log ~pid:1
+              | None -> []
+            in
+            Hydra_obs.write_chrome_trace ~extra obs ~path;
             Format.eprintf "[obs] wrote Chrome trace to %s@." path
         | None -> ())
       (fun () -> f (Some obs))
@@ -129,11 +147,22 @@ let export dat_dir f =
       let path = f ~dir in
       Format.printf "[export] wrote %s@." path
 
-let run_fig5 jobs seed trials horizon deployment dat_dir metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+let run_fig5 jobs seed trials horizon deployment dat_dir metrics trace_out
+    metrics_out =
+  (* The schedule log only exists when a trace file was requested; it
+     records trial 0's HYDRA-C run on the rover's cores. *)
+  let sched_log =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+        let ts = Security.Rover.taskset () in
+        Some (Sim.Event_log.create ~n_cores:ts.Rtsched.Task.n_cores)
+  in
+  with_obs ?sched_log ~metrics ~trace_out ~metrics_out @@ fun obs ->
   let report =
     timed ~jobs "fig5" (fun () ->
-        Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs ())
+        Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs
+          ?sched_log ())
   in
   Experiments.Fig5.render std report;
   export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
@@ -149,8 +178,9 @@ let sweeps ?obs ~fast jobs policy seed per_group cores =
             ~jobs ()))
     cores
 
-let run_fig6 jobs policy fast seed per_group cores dat_dir metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+let run_fig6 jobs policy fast seed per_group cores dat_dir metrics trace_out
+    metrics_out =
+  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   sweeps ?obs ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig6.of_sweep sweep in
@@ -159,8 +189,8 @@ let run_fig6 jobs policy fast seed per_group cores dat_dir metrics trace_out =
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
 let run_fig7 which jobs policy fast seed per_group cores dat_dir metrics
-    trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+    trace_out metrics_out =
+  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   sweeps ?obs ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig7.of_sweep sweep in
@@ -178,8 +208,8 @@ let run_fig7 which jobs policy fast seed per_group cores dat_dir metrics
              export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig)));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
-let run_ablation jobs seed per_group cores metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+let run_ablation jobs seed per_group cores metrics trace_out metrics_out =
+  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   timed ~jobs "ablation" (fun () ->
       Experiments.Ablation.run_all ~jobs ?obs std ~seed ~per_group ~cores)
 
@@ -241,8 +271,9 @@ let run_analyze policy file =
           Format.printf "@.%a@." Hydra.Sensitivity.render
             (Hydra.Sensitivity.analyze ~policy sys ts.Rtsched.Task.sec))
 
-let run_report jobs seed trials per_group cores out metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+let run_report jobs seed trials per_group cores out metrics trace_out
+    metrics_out =
+  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   let scale =
     { Experiments.Report.sc_seed = seed; sc_trials = trials;
       sc_per_group = per_group; sc_cores = cores;
@@ -252,8 +283,8 @@ let run_report jobs seed trials per_group cores out metrics trace_out =
       Experiments.Report.write ~jobs ?obs scale ~path:out);
   Format.printf "wrote %s@." out
 
-let run_validate jobs policy seed tasksets cores metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+let run_validate jobs policy seed tasksets cores metrics trace_out metrics_out =
+  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   List.iter
     (fun n_cores ->
       Format.printf "[validate] M=%d, %d tasksets...@." n_cores tasksets;
@@ -268,8 +299,8 @@ let run_validate jobs policy seed tasksets cores metrics trace_out =
     cores
 
 let run_all jobs policy fast seed trials horizon per_group cores dat_dir
-    metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+    metrics trace_out metrics_out =
+  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   let t0 = Hydra_obs.now_ns () in
   run_tables ();
   let fig5_under deployment =
@@ -308,8 +339,8 @@ let run_all jobs policy fast seed trials horizon per_group cores dat_dir
    [hydra-experiments --jobs 4 --metrics --trace-out t.json] exercises
    and exports every metric family while keeping stdout identical to a
    plain [hydra-experiments --jobs 1] run. *)
-let run_smoke jobs fast metrics trace_out =
-  with_obs ~metrics ~trace_out @@ fun obs ->
+let run_smoke jobs fast metrics trace_out metrics_out =
+  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   Format.printf "[smoke] fixed-scale smoke workload (M=2, seed 42)@.";
   let sweep =
     timed ~jobs "smoke sweep" (fun () ->
@@ -331,25 +362,26 @@ let cmd_tables =
 let cmd_fig5 =
   Cmd.v (Cmd.info "fig5" ~doc:"Rover detection-latency experiment (Fig. 5).")
     Term.(const run_fig5 $ jobs_arg $ seed_arg $ trials_arg $ horizon_arg
-          $ deploy_arg $ dat_dir_arg $ metrics_arg $ trace_out_arg)
+          $ deploy_arg $ dat_dir_arg $ metrics_arg $ trace_out_arg
+          $ metrics_out_arg)
 
 let cmd_fig6 =
   Cmd.v (Cmd.info "fig6" ~doc:"Period-distance sweep (Fig. 6).")
     Term.(const run_fig6 $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
-          $ trace_out_arg)
+          $ trace_out_arg $ metrics_out_arg)
 
 let cmd_fig7a =
   Cmd.v (Cmd.info "fig7a" ~doc:"Acceptance-ratio sweep (Fig. 7a).")
     Term.(const (run_fig7 `A) $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
-          $ trace_out_arg)
+          $ trace_out_arg $ metrics_out_arg)
 
 let cmd_fig7b =
   Cmd.v (Cmd.info "fig7b" ~doc:"Period-difference sweep (Fig. 7b).")
     Term.(const (run_fig7 `B) $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
-          $ trace_out_arg)
+          $ trace_out_arg $ metrics_out_arg)
 
 let tasksets_arg =
   Arg.(value & opt int 100 & info [ "tasksets" ] ~docv:"N"
@@ -375,7 +407,8 @@ let cmd_report =
     (Cmd.info "report"
        ~doc:"Regenerate every artifact and write a Markdown report.")
     Term.(const run_report $ jobs_arg $ seed_arg $ trials_arg $ per_group_arg
-          $ cores_arg $ out_arg $ metrics_arg $ trace_out_arg)
+          $ cores_arg $ out_arg $ metrics_arg $ trace_out_arg
+          $ metrics_out_arg)
 
 let cmd_validate =
   Cmd.v
@@ -383,7 +416,8 @@ let cmd_validate =
        ~doc:"Cross-validate the HYDRA-C analysis against the discrete-event \
              simulator (soundness + tightness).")
     Term.(const run_validate $ jobs_arg $ policy_arg $ seed_arg $ tasksets_arg
-          $ cores_arg $ metrics_arg $ trace_out_arg)
+          $ cores_arg $ metrics_arg $ trace_out_arg
+          $ metrics_out_arg)
 
 let cmd_ablation =
   Cmd.v
@@ -391,16 +425,19 @@ let cmd_ablation =
        ~doc:"Ablations: carry-in policy, partitioning heuristic, priority \
              order.")
     Term.(const run_ablation $ jobs_arg $ seed_arg $ per_group_arg
-          $ cores_arg $ metrics_arg $ trace_out_arg)
+          $ cores_arg $ metrics_arg $ trace_out_arg
+          $ metrics_out_arg)
 
 let cmd_all =
   Cmd.v (Cmd.info "all" ~doc:"Everything: tables, figures, ablations.")
     Term.(const run_all $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ trials_arg $ horizon_arg $ per_group_arg $ cores_arg $ dat_dir_arg
-          $ metrics_arg $ trace_out_arg)
+          $ metrics_arg $ trace_out_arg
+          $ metrics_out_arg)
 
 let smoke_term =
-  Term.(const run_smoke $ jobs_arg $ fast_arg $ metrics_arg $ trace_out_arg)
+  Term.(const run_smoke $ jobs_arg $ fast_arg $ metrics_arg $ trace_out_arg
+          $ metrics_out_arg)
 
 let () =
   let info =

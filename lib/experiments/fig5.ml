@@ -1,11 +1,15 @@
 module Task = Rtsched.Task
 module Rng = Taskgen.Rng
 
+type quantiles = { q50 : int; q95 : int; q99 : int; qmax : int }
+
 type scheme_report = {
   label : string;
   periods : int array;
   mean_detect_tripwire : float;
   mean_detect_kmod : float;
+  detect_tripwire_q : quantiles option;
+  detect_kmod_q : quantiles option;
   undetected : int;
   mean_context_switches : float;
   mean_migrations : float;
@@ -33,8 +37,9 @@ type trial_outcome = {
   stats : Sim.Engine.stats;
 }
 
-let run_one ?overheads ?obs ~ts ~rt_assignment ~policy ~periods ~sec_cores
-    ~horizon ~attack_tripwire ~attack_kmod ~target_image ~rogue_name () =
+let run_one ?overheads ?obs ?sched_log ~scheme ~ts ~rt_assignment ~policy
+    ~periods ~sec_cores ~horizon ~attack_tripwire ~attack_kmod ~target_image
+    ~rogue_name () =
   let built =
     Sim.Scenario.of_taskset ts ~rt_assignment ~policy ~sec_periods:periods
       ?sec_cores ()
@@ -76,18 +81,39 @@ let run_one ?overheads ?obs ~ts ~rt_assignment ~policy ~periods ~sec_cores
            ~n_regions:Security.Rover.kmod_regions ~injector:km_injector
            ~check:(Security.Kmod_checker.check_region km_checker))
   in
+  let tw_sim_id = built.Sim.Scenario.sec_sim_ids.(Security.Rover.tripwire_sec_id)
+  and km_sim_id = built.Sim.Scenario.sec_sim_ids.(Security.Rover.kmod_sec_id) in
   let on_execute =
     Security.Detection.combine_hooks
       [ Security.Detection.on_execute tw_monitor;
         Security.Detection.on_execute km_monitor ]
   in
+  (* Release-to-finish latency per scheme and monitor class (no-ops
+     without obs). *)
+  let on_finish =
+    Security.Detection.combine_finish_hooks
+      [ Security.Detection.on_finish_latency obs
+          ~monitor_class:(scheme ^ ".tripwire") ~sim_id:tw_sim_id;
+        Security.Detection.on_finish_latency obs
+          ~monitor_class:(scheme ^ ".kmod") ~sim_id:km_sim_id ]
+  in
   let hooks =
-    { Sim.Engine.no_hooks with Sim.Engine.on_execute = Some on_execute }
+    { Sim.Engine.no_hooks with Sim.Engine.on_execute = Some on_execute;
+      Sim.Engine.on_finish = Some on_finish }
+  in
+  let hooks =
+    match sched_log with
+    | None -> hooks
+    | Some log -> Sim.Event_log.hooks ~base:hooks log
   in
   let stats =
     Sim.Engine.run ?obs ~hooks ?overheads ~n_cores:ts.Task.n_cores ~horizon
       built.Sim.Scenario.tasks
   in
+  Security.Detection.record_detection obs
+    ~monitor_class:(scheme ^ ".tripwire") tw_monitor ~attack_at:attack_tripwire;
+  Security.Detection.record_detection obs ~monitor_class:(scheme ^ ".kmod")
+    km_monitor ~attack_at:attack_kmod;
   let latency monitor attack =
     match Security.Detection.detection_time monitor with
     | Some t -> Some (t - attack)
@@ -97,10 +123,27 @@ let run_one ?overheads ?obs ~ts ~rt_assignment ~policy ~periods ~sec_cores
     lat_kmod = latency km_monitor attack_kmod;
     stats }
 
+(* p50/p95/p99/max through the same log-bucketed histogram the
+   [--metrics-out] snapshot serializes, so both reports agree exactly;
+   computed from the outcome list, not from obs, so stdout is
+   identical with and without instrumentation. *)
+let quantiles_of = function
+  | [] -> None
+  | vs ->
+      let h = Hydra_obs.Histogram.of_list vs in
+      Some
+        { q50 = Hydra_obs.Histogram.quantile h 0.50;
+          q95 = Hydra_obs.Histogram.quantile h 0.95;
+          q99 = Hydra_obs.Histogram.quantile h 0.99;
+          qmax = (match Hydra_obs.Histogram.max_value h with
+                 | Some m -> m
+                 | None -> 0) }
+
 let summarize ~label ~periods ~horizon:_ outcomes ~rt_ids ~sec_ids =
   let latencies f =
     List.filter_map (fun o -> Option.map float_of_int (f o)) outcomes
   in
+  let int_latencies f = List.filter_map f outcomes in
   let tw = latencies (fun o -> o.lat_tripwire) in
   let km = latencies (fun o -> o.lat_kmod) in
   let undetected =
@@ -120,6 +163,8 @@ let summarize ~label ~periods ~horizon:_ outcomes ~rt_ids ~sec_ids =
   { label; periods;
     mean_detect_tripwire = Hydra.Metrics.mean tw;
     mean_detect_kmod = Hydra.Metrics.mean km;
+    detect_tripwire_q = quantiles_of (int_latencies (fun o -> o.lat_tripwire));
+    detect_kmod_q = quantiles_of (int_latencies (fun o -> o.lat_kmod));
     undetected;
     mean_context_switches =
       mean_of (fun s -> s.Sim.Engine.context_switches);
@@ -128,7 +173,7 @@ let summarize ~label ~periods ~horizon:_ outcomes ~rt_ids ~sec_ids =
     sec_deadline_misses = misses sec_ids }
 
 let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
-    ?overheads ?jobs ?obs () =
+    ?overheads ?jobs ?obs ?sched_log () =
   Hydra_obs.span obs "fig5.run" @@ fun () ->
   let ts = Security.Rover.taskset () in
   let rt_assignment = Security.Rover.rt_assignment () in
@@ -177,14 +222,20 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
     let rogue_name =
       Printf.sprintf "rk_hook_%04x" (Rng.int stream 0xFFFF)
     in
-    let common ~policy ~periods ~sec_cores =
-      run_one ?overheads ?obs ~ts ~rt_assignment ~policy ~periods ~sec_cores
-        ~horizon ~attack_tripwire ~attack_kmod ~target_image ~rogue_name ()
+    let common ?sched_log ~scheme ~policy ~periods ~sec_cores () =
+      run_one ?overheads ?obs ?sched_log ~scheme ~ts ~rt_assignment ~policy
+        ~periods ~sec_cores ~horizon ~attack_tripwire ~attack_kmod
+        ~target_image ~rogue_name ()
     in
-    ( common ~policy:Sim.Policy.Semi_partitioned ~periods:hc_periods
-        ~sec_cores:None,
-      common ~policy:Sim.Policy.Fully_partitioned ~periods:hy_periods
-        ~sec_cores:(Some hy_cores) )
+    (* The schedule log captures trial 0's HYDRA-C run only: one
+       deterministic writer no matter how trials are spread over
+       domains. *)
+    let sched_log = if i = 0 then sched_log else None in
+    ( common ?sched_log ~scheme:"hydra_c"
+        ~policy:Sim.Policy.Semi_partitioned ~periods:hc_periods
+        ~sec_cores:None (),
+      common ~scheme:"hydra" ~policy:Sim.Policy.Fully_partitioned
+        ~periods:hy_periods ~sec_cores:(Some hy_cores) () )
   in
   let results = Parallel.Pool.map ?jobs trial trials in
   (* Last trial first, matching the original accumulation order: the
@@ -246,6 +297,19 @@ let render ppf r =
       [ "scheme"; "periods(tw/km)"; "detect-tw(ms)"; "detect-km(ms)";
         "undet"; "ctx-switch"; "migrations"; "rt-miss"; "sec-miss" ]
     ~rows:[ row r.hydra_c; row r.hydra ];
+  let quantile_line (s : scheme_report) =
+    let cell = function
+      | None -> "-"
+      | Some q ->
+          Printf.sprintf "p50=%d p95=%d p99=%d max=%d" q.q50 q.q95 q.q99
+            q.qmax
+    in
+    Format.fprintf ppf
+      "detection latency quantiles (%s): tripwire %s | kmod %s@." s.label
+      (cell s.detect_tripwire_q) (cell s.detect_kmod_q)
+  in
+  quantile_line r.hydra_c;
+  quantile_line r.hydra;
   Format.fprintf ppf
     "detection speedup (HYDRA-C over HYDRA): %s   (paper: 19.05%%)@."
     (Table_render.pct r.detection_speedup_pct);

@@ -9,11 +9,19 @@
     Attack instants are shared between the two schemes within a trial
     (paired comparison). *)
 
+type quantiles = { q50 : int; q95 : int; q99 : int; qmax : int }
+(** p50/p95/p99/max of a latency sample, read from a
+    {!Hydra_obs.Histogram} built over the trials (so the printed
+    quantiles agree exactly with the [--metrics-out] snapshot's). *)
+
 type scheme_report = {
   label : string;
   periods : int array;  (** selected periods by [sec_id] *)
   mean_detect_tripwire : float;  (** mean detection latency, ticks (ms) *)
   mean_detect_kmod : float;
+  detect_tripwire_q : quantiles option;
+      (** over detected trials; [None] when none detected *)
+  detect_kmod_q : quantiles option;
   undetected : int;  (** attacks not detected within the horizon *)
   mean_context_switches : float;
   mean_migrations : float;
@@ -50,7 +58,7 @@ type report = {
 val run :
   ?seed:int -> ?trials:int -> ?horizon:int -> ?deployment:deployment ->
   ?overheads:Sim.Engine.overheads -> ?jobs:int -> ?obs:Hydra_obs.t ->
-  unit -> report
+  ?sched_log:Sim.Event_log.t -> unit -> report
 (** Defaults: seed 42, 35 trials (as the paper), horizon 45000 ticks
     (the paper's 45 s observation window), deployment {!Tmax}, zero
     overheads (the paper's assumption; non-zero values feed the X4
@@ -58,7 +66,13 @@ val run :
     simulates trials on that many domains; each trial owns a pre-split
     RNG stream, so the report is identical for any [jobs] value
     (doc/PARALLELISM.md). [obs] wraps the experiment in a [fig5.run]
-    span and each trial in a [fig5.trial] span, and forwards to the
-    simulator's schedule-event counters (doc/OBSERVABILITY.md). *)
+    span and each trial in a [fig5.trial] span, forwards to the
+    simulator's schedule-event counters, and samples per-scheme,
+    per-monitor-class latency histograms
+    ([security.latency.*], [security.detection_latency.*] — see
+    doc/OBSERVABILITY.md). [sched_log] records the complete per-job
+    schedule of {e trial 0's HYDRA-C run} (a single deterministic
+    writer regardless of [jobs]) for Chrome-trace export — the CLI's
+    [--trace-out] backend. *)
 
 val render : Format.formatter -> report -> unit

@@ -20,14 +20,28 @@ let bounds_of (ts : Task.taskset) =
   Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.sec;
   v
 
+(* Metric-name suffix for a scheme: lowercase, underscores for dashes
+   ("HYDRA-TMax" -> "hydra_tmax"), matching Fig5's hydra_c/hydra
+   labels. *)
+let metric_suffix scheme =
+  String.map (function '-' -> '_' | c -> Char.lowercase_ascii c)
+    (Scheme.name scheme)
+
 let evaluate_one ?policy ?fast ?obs schemes (g : Generator.generated) ~group =
   let ts = g.Generator.taskset in
   let outcomes =
     List.map
       (fun scheme ->
-        ( scheme,
+        let outcome =
           Scheme.evaluate ?policy ?fast ?obs scheme ts
-            ~rt_assignment:g.Generator.rt_assignment ))
+            ~rt_assignment:g.Generator.rt_assignment
+        in
+        (match outcome.Scheme.periods with
+        | Some ps ->
+            let metric = "sweep.selected_period." ^ metric_suffix scheme in
+            Array.iter (fun p -> Hydra_obs.sample obs metric p) ps
+        | None -> ());
+        (scheme, outcome))
       schemes
   in
   { group; norm_util = Task.normalized_utilization ts;

@@ -13,6 +13,7 @@ type result = {
   rt_misses : int;
   mean_tightness : float;
   min_tightness : float;
+  tightness_permil_q : (int * int * int * int) option;
   checks : int;
 }
 
@@ -84,20 +85,46 @@ let run ?policy ?config ?(horizon = 100_000) ?jobs ?obs ~n_cores ~tasksets
           all_checks := checks @ !all_checks)
     results;
   let checks = !all_checks in
-  let tightness =
+  let permil =
     List.filter_map
       (fun c ->
         (* jobs that never completed within the horizon contribute no
            tightness sample; bound 0 cannot happen (WCRT >= wcet >= 1) *)
         if c.tc_observed = 0 then None
+        else Some (c.tc_observed * 1000 / c.tc_bound))
+      checks
+  in
+  (* Integer permil samples feed both the report quantiles and (under
+     obs) the validation.tightness_permil histogram; sampling happens
+     here on the main domain, after the pool joined, in a fixed order. *)
+  List.iter (fun p -> Hydra_obs.sample obs "validation.tightness_permil" p)
+    permil;
+  let tightness =
+    List.filter_map
+      (fun c ->
+        if c.tc_observed = 0 then None
         else Some (float_of_int c.tc_observed /. float_of_int c.tc_bound))
       checks
+  in
+  let tightness_permil_q =
+    match permil with
+    | [] -> None
+    | _ ->
+        let h = Hydra_obs.Histogram.of_list permil in
+        Some
+          ( Hydra_obs.Histogram.quantile h 0.50,
+            Hydra_obs.Histogram.quantile h 0.95,
+            Hydra_obs.Histogram.quantile h 0.99,
+            match Hydra_obs.Histogram.max_value h with
+            | Some m -> m
+            | None -> 0 )
   in
   { tasksets_checked = !checked;
     violations = List.filter (fun c -> c.tc_observed > c.tc_bound) checks;
     rt_misses = !rt_misses;
     mean_tightness = Hydra.Metrics.mean tightness;
     min_tightness = List.fold_left min infinity tightness;
+    tightness_permil_q;
     checks = List.length checks }
 
 let render ppf r =
@@ -112,6 +139,12 @@ let render ppf r =
     (if r.violations = [] then " (analysis is sound on this sample)"
      else " (BUG: unsound analysis!)")
     r.rt_misses r.mean_tightness r.min_tightness;
+  (match r.tightness_permil_q with
+  | None -> ()
+  | Some (p50, p95, p99, mx) ->
+      Format.fprintf ppf
+        "tightness quantiles (permil): p50=%d p95=%d p99=%d max=%d@." p50 p95
+        p99 mx);
   List.iter
     (fun c ->
       Format.fprintf ppf "VIOLATION %s: observed %d > bound %d@." c.tc_name

@@ -24,6 +24,11 @@ type result = {
       (** mean of observed/bound over all checked security tasks;
           1.0 = exact analysis, lower = more pessimism *)
   min_tightness : float;
+  tightness_permil_q : (int * int * int * int) option;
+      (** (p50, p95, p99, max) of observed/bound in permil, read from a
+          {!Hydra_obs.Histogram} over the same integer samples the
+          [validation.tightness_permil] metric records; [None] when no
+          security job completed *)
   checks : int;  (** individual task checks performed *)
 }
 
@@ -37,7 +42,8 @@ val run :
     simulates tasksets on that many domains; the result is identical
     for every [jobs] value (doc/PARALLELISM.md). [obs] wraps the run in
     a [validation.run] span and each taskset in a [validation.item]
-    span, and forwards to the analysis and simulator underneath
-    (doc/OBSERVABILITY.md). *)
+    span, forwards to the analysis and simulator underneath, and
+    samples every observed/bound ratio into the
+    [validation.tightness_permil] histogram (doc/OBSERVABILITY.md). *)
 
 val render : Format.formatter -> result -> unit

@@ -59,6 +59,174 @@ let dist_read d =
   (count, sum, mn, mx)
 
 (* ------------------------------------------------------------------ *)
+(* Log-bucketed histograms.
+
+   HDR-histogram-style log-linear bucketing over non-negative ints:
+   values below [sub = 2^6] get singleton buckets (exact); a value with
+   most-significant bit k >= 6 lands in one of 64 equal sub-buckets of
+   the octave [2^k, 2^(k+1)), so the bucket upper bound overestimates
+   the value by at most 1/64 (~1.6%). The bucket index is a pure
+   function of the value and bucket counts are added commutatively, so
+   the merged histogram — and every quantile read from it — is
+   bit-identical regardless of how recording interleaved across
+   domains. [quantile] rank-selects over the cumulative bucket counts
+   and clamps the bucket upper bound to the exact tracked maximum, so
+   p100 (and any quantile landing in the top occupied bucket) is
+   exact. *)
+
+module Histogram = struct
+  let sub_bits = 6
+  let sub = 1 lsl sub_bits
+
+  (* position of the most significant set bit; [v > 0] *)
+  let msb v =
+    let k = ref 0 and v = ref v in
+    if !v lsr 32 <> 0 then (k := !k + 32; v := !v lsr 32);
+    if !v lsr 16 <> 0 then (k := !k + 16; v := !v lsr 16);
+    if !v lsr 8 <> 0 then (k := !k + 8; v := !v lsr 8);
+    if !v lsr 4 <> 0 then (k := !k + 4; v := !v lsr 4);
+    if !v lsr 2 <> 0 then (k := !k + 2; v := !v lsr 2);
+    if !v lsr 1 <> 0 then k := !k + 1;
+    !k
+
+  (* max_int has msb 61, so indices stop at (61-6+1)*64 + 63 = 3647. *)
+  let n_buckets = 3648
+
+  let bucket_of v =
+    let v = if v < 0 then 0 else v in
+    if v < sub then v
+    else
+      let k = msb v in
+      ((k - sub_bits + 1) lsl sub_bits)
+      lor ((v lsr (k - sub_bits)) land (sub - 1))
+
+  let bucket_bounds i =
+    if i < sub then (i, i)
+    else
+      let k = (i lsr sub_bits) + sub_bits - 1 in
+      let w = 1 lsl (k - sub_bits) in
+      let lo = (1 lsl k) + ((i land (sub - 1)) * w) in
+      (lo, lo + w - 1)
+
+  let round_up v = snd (bucket_bounds (bucket_of v))
+
+  type t = {
+    buckets : int array;
+    mutable h_count : int;
+    mutable h_sum : int;
+    mutable h_min : int;  (* max_int while empty *)
+    mutable h_max : int;  (* min_int while empty *)
+  }
+
+  let create () =
+    { buckets = Array.make n_buckets 0; h_count = 0; h_sum = 0;
+      h_min = max_int; h_max = min_int }
+
+  let record t v =
+    let v = if v < 0 then 0 else v in
+    t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+    t.h_count <- t.h_count + 1;
+    t.h_sum <- t.h_sum + v;
+    if v < t.h_min then t.h_min <- v;
+    if v > t.h_max then t.h_max <- v
+
+  let of_list vs =
+    let t = create () in
+    List.iter (record t) vs;
+    t
+
+  let merge_into ~into t =
+    Array.iteri
+      (fun i n -> if n <> 0 then into.buckets.(i) <- into.buckets.(i) + n)
+      t.buckets;
+    into.h_count <- into.h_count + t.h_count;
+    into.h_sum <- into.h_sum + t.h_sum;
+    if t.h_min < into.h_min then into.h_min <- t.h_min;
+    if t.h_max > into.h_max then into.h_max <- t.h_max
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+  let min_value t = if t.h_count = 0 then None else Some t.h_min
+  let max_value t = if t.h_count = 0 then None else Some t.h_max
+
+  let mean t =
+    if t.h_count = 0 then Float.nan
+    else float_of_int t.h_sum /. float_of_int t.h_count
+
+  let quantile t q =
+    if t.h_count = 0 then invalid_arg "Histogram.quantile: empty histogram";
+    if not (q > 0.0) || q > 1.0 then
+      invalid_arg "Histogram.quantile: q outside (0, 1]";
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.h_count)) in
+    let rank = if rank < 1 then 1 else if rank > t.h_count then t.h_count else rank in
+    let rec go i acc =
+      let acc = acc + t.buckets.(i) in
+      if acc >= rank then Stdlib.min (snd (bucket_bounds i)) t.h_max
+      else go (i + 1) acc
+    in
+    go 0 0
+
+  let nonzero_buckets t =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.buckets.(i) <> 0 then
+        acc := (snd (bucket_bounds i), t.buckets.(i)) :: !acc
+    done;
+    !acc
+end
+
+(* Striped histogram: the count/sum/min/max part reuses the striped
+   [dist]; bucket arrays are allocated lazily per stripe (3648 atomics
+   only for domains that actually record). A stripe collision (> 64
+   live domains) shares the atomics but never loses an update. *)
+
+type hist = {
+  h_dist : dist;
+  h_stripes : int Atomic.t array option Atomic.t array;
+}
+
+let make_hist () =
+  { h_dist = make_dist ();
+    h_stripes = Array.init stripes (fun _ -> Atomic.make None) }
+
+let hist_record h v =
+  let v = if v < 0 then 0 else v in
+  dist_record h.h_dist v;
+  let s = slot () in
+  let buckets =
+    match Atomic.get h.h_stripes.(s) with
+    | Some b -> b
+    | None ->
+        let b = Array.init Histogram.n_buckets (fun _ -> Atomic.make 0) in
+        if Atomic.compare_and_set h.h_stripes.(s) None (Some b) then b
+        else
+          (* another domain sharing the stripe won the race *)
+          Option.get (Atomic.get h.h_stripes.(s))
+  in
+  ignore (Atomic.fetch_and_add buckets.(Histogram.bucket_of v) 1)
+
+let hist_read h =
+  let out = Histogram.create () in
+  Array.iter
+    (fun stripe ->
+      match Atomic.get stripe with
+      | None -> ()
+      | Some b ->
+          Array.iteri
+            (fun i a ->
+              let n = Atomic.get a in
+              if n <> 0 then
+                out.Histogram.buckets.(i) <- out.Histogram.buckets.(i) + n)
+            b)
+    h.h_stripes;
+  let c, s, mn, mx = dist_read h.h_dist in
+  out.Histogram.h_count <- c;
+  out.Histogram.h_sum <- s;
+  out.Histogram.h_min <- mn;
+  out.Histogram.h_max <- mx;
+  out
+
+(* ------------------------------------------------------------------ *)
 (* Registry *)
 
 type event = {
@@ -74,6 +242,7 @@ type t = {
   mu : Mutex.t;
   counters : (string, counter) Hashtbl.t;
   dists : (string, dist) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
   spans : (string, dist) Hashtbl.t;
   events : event list Atomic.t;
 }
@@ -86,6 +255,7 @@ let create () =
     mu = Mutex.create ();
     counters = Hashtbl.create 32;
     dists = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
     spans = Hashtbl.create 16;
     events = Atomic.make [] }
 
@@ -99,6 +269,9 @@ let counter_cache : (int * string, counter) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
 let dist_cache : (int * string, dist) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let hist_cache : (int * string, hist) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
 let span_cache : (int * string, dist) Hashtbl.t Domain.DLS.key =
@@ -137,6 +310,12 @@ let observe obs name v =
   | None -> ()
   | Some t ->
       dist_record (resolve dist_cache t.dists t.mu ~make:make_dist t.id name) v
+
+let sample obs name v =
+  match obs with
+  | None -> ()
+  | Some t ->
+      hist_record (resolve hist_cache t.hists t.mu ~make:make_hist t.id name) v
 
 let push_event t ev =
   let rec go () =
@@ -208,6 +387,18 @@ let dists t =
         t.dists [])
   |> List.sort (by_name (fun v -> v.dv_name))
 
+type hist_view = { hv_name : string; hv_hist : Histogram.t }
+
+let hists t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold
+        (fun name h acc ->
+          let view = hist_read h in
+          if Histogram.count view = 0 then acc
+          else { hv_name = name; hv_hist = view } :: acc)
+        t.hists [])
+  |> List.sort (by_name (fun v -> v.hv_name))
+
 let span_stats t =
   Mutex.protect t.mu (fun () ->
       Hashtbl.fold
@@ -252,7 +443,7 @@ let pp_summary ppf t =
   Format.fprintf ppf "%s@." line;
   Format.fprintf ppf "Hydra_obs metrics summary@.";
   Format.fprintf ppf "%s@." line;
-  let cs = counters t and ds = dists t and ss = span_stats t in
+  let cs = counters t and ds = dists t and hs = hists t and ss = span_stats t in
   if cs <> [] then begin
     Format.fprintf ppf "%-44s %12s@." "counter" "total";
     List.iter
@@ -269,6 +460,20 @@ let pp_summary ppf t =
           v.dv_min v.dv_max)
       ds
   end;
+  if hs <> [] then begin
+    Format.fprintf ppf "%-36s %8s %8s %8s %8s %8s@." "histogram" "count"
+      "p50" "p95" "p99" "max";
+    List.iter
+      (fun v ->
+        let h = v.hv_hist in
+        Format.fprintf ppf "  %-34s %8d %8d %8d %8d %8d@." v.hv_name
+          (Histogram.count h)
+          (Histogram.quantile h 0.50)
+          (Histogram.quantile h 0.95)
+          (Histogram.quantile h 0.99)
+          (Option.value (Histogram.max_value h) ~default:0))
+      hs
+  end;
   if ss <> [] then begin
     Format.fprintf ppf "%-36s %8s %10s %10s %10s@." "span" "count" "total"
       "mean" "max";
@@ -281,7 +486,7 @@ let pp_summary ppf t =
           (ns v.sv_max_ns))
       ss
   end;
-  if cs = [] && ds = [] && ss = [] then
+  if cs = [] && ds = [] && hs = [] && ss = [] then
     Format.fprintf ppf "(no metrics recorded)@.";
   Format.fprintf ppf "%s@." line
 
@@ -306,7 +511,7 @@ let json_escape s =
    microsecond timestamps, tid = the recording domain's id, plus
    process/thread metadata events. Viewers reconstruct span nesting
    from containment of [ts, ts+dur] intervals on the same tid. *)
-let chrome_trace t =
+let chrome_trace ?(extra = []) t =
   let evs = events t in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -331,9 +536,98 @@ let chrome_trace t =
            (float_of_int e.ev_start_ns /. 1e3)
            (float_of_int e.ev_dur_ns /. 1e3)))
     evs;
+  (* Extra pre-rendered events (e.g. a simulated schedule from
+     Sim.Event_log, attributed to its own pid) share the file. *)
+  List.iter
+    (fun ev ->
+      Buffer.add_char b ',';
+      Buffer.add_string b ev)
+    extra;
   Buffer.add_string b "]}";
   Buffer.contents b
 
-let write_chrome_trace t ~path =
+let write_chrome_trace ?extra t ~path =
   Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (chrome_trace t))
+      Out_channel.output_string oc (chrome_trace ?extra t))
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable metrics snapshot (--metrics-out) *)
+
+module Snapshot = struct
+  let json_float f =
+    if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+  let schema = "hydra_c.metrics/1"
+
+  (* Stable schema, sorted keys, deterministic values only by default:
+     counters, distributions and histograms are pure functions of the
+     analytical work (identical for every --jobs value), while span
+     durations are wall-clock noise — those are included only with
+     [include_timings], so two snapshots of the same workload diff
+     clean across job counts. *)
+  let to_json ?(include_timings = false) t =
+    let b = Buffer.create 4096 in
+    let obj_of b render items =
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          render b item)
+        items;
+      Buffer.add_char b '}'
+    in
+    Buffer.add_string b "{\"schema\":\"";
+    Buffer.add_string b schema;
+    Buffer.add_string b "\",\"counters\":";
+    obj_of b
+      (fun b (c : counter_view) ->
+        Printf.bprintf b "\"%s\":%d" (json_escape c.cv_name) c.cv_total)
+      (counters t);
+    Buffer.add_string b ",\"dists\":";
+    obj_of b
+      (fun b (d : dist_view) ->
+        Printf.bprintf b
+          "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%s}"
+          (json_escape d.dv_name) d.dv_count d.dv_sum d.dv_min d.dv_max
+          (json_float (float_of_int d.dv_sum /. float_of_int d.dv_count)))
+      (dists t);
+    Buffer.add_string b ",\"histograms\":";
+    obj_of b
+      (fun b (v : hist_view) ->
+        let h = v.hv_hist in
+        Printf.bprintf b
+          "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%s,\
+           \"quantiles\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d},\
+           \"buckets\":["
+          (json_escape v.hv_name) (Histogram.count h) (Histogram.sum h)
+          (Option.value (Histogram.min_value h) ~default:0)
+          (Option.value (Histogram.max_value h) ~default:0)
+          (json_float (Histogram.mean h))
+          (Histogram.quantile h 0.50) (Histogram.quantile h 0.95)
+          (Histogram.quantile h 0.99)
+          (Option.value (Histogram.max_value h) ~default:0);
+        List.iteri
+          (fun i (le, count) ->
+            if i > 0 then Buffer.add_char b ',';
+            Printf.bprintf b "{\"le\":%d,\"count\":%d}" le count)
+          (Histogram.nonzero_buckets h);
+        Buffer.add_string b "]}")
+      (hists t);
+    Buffer.add_string b ",\"spans\":";
+    obj_of b
+      (fun b (s : span_view) ->
+        if include_timings then
+          Printf.bprintf b "\"%s\":{\"count\":%d,\"total_ns\":%d,\"max_ns\":%d}"
+            (json_escape s.sv_name) s.sv_count s.sv_total_ns s.sv_max_ns
+        else
+          Printf.bprintf b "\"%s\":{\"count\":%d}" (json_escape s.sv_name)
+            s.sv_count)
+      (span_stats t);
+    Buffer.add_string b "}";
+    Buffer.contents b
+
+  let write ?include_timings t ~path =
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_json ?include_timings t);
+        Out_channel.output_char oc '\n')
+end

@@ -32,6 +32,65 @@ type t
 
 val create : unit -> t
 
+(** {1 Log-bucketed histograms}
+
+    Deterministic latency histograms in the HDR-histogram family:
+    non-negative integer samples (negative samples are clamped to 0)
+    land in singleton buckets below 64 and in one of 64 equal
+    sub-buckets of their power-of-two octave above, so a bucket's
+    upper bound overestimates any value in it by at most 1/64. The
+    bucket index is a pure function of the value and counts add
+    commutatively, which makes the merged histogram — and every
+    quantile read from it — bit-identical no matter how recording was
+    interleaved across domains (the property behind byte-identical
+    [--metrics-out] snapshots for every [--jobs] value; see
+    doc/OBSERVABILITY.md for the full determinism argument). *)
+
+module Histogram : sig
+  type t
+  (** A single-writer accumulator (the registry handles striping for
+      concurrent recording — see {!sample}). *)
+
+  val create : unit -> t
+  val record : t -> int -> unit
+  val of_list : int list -> t
+  (** [of_list vs] is a histogram of all of [vs]. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Adds every bucket, count and sum of the second histogram into
+      [into]; order-independent. *)
+
+  val count : t -> int
+  val sum : t -> int
+
+  val min_value : t -> int option
+  (** [None] while empty; likewise {!max_value}. *)
+
+  val max_value : t -> int option
+
+  val mean : t -> float
+  (** [nan] while empty. *)
+
+  val quantile : t -> float -> int
+  (** [quantile h q] for [q] in [(0, 1]]: the value at rank
+      [ceil (q * count)] of the recorded multiset, rounded up to its
+      bucket's upper bound and clamped to the exact maximum — i.e.
+      exactly [min (round_up v) (max)] where [v] is the sorted-sample
+      quantile (property-tested against that oracle in
+      test/test_obs.ml). Exact for samples below 64 and for any rank
+      landing in the top occupied bucket; at most 1/64 above the true
+      value otherwise. @raise Invalid_argument on an empty histogram
+      or [q] outside [(0, 1]]. *)
+
+  val round_up : int -> int
+  (** Upper bound of the bucket a value lands in (identity below 64);
+      the rounding function referenced by the {!quantile} contract. *)
+
+  val nonzero_buckets : t -> (int * int) list
+  (** [(upper_bound, count)] of every occupied bucket, ascending — the
+      bucket array serialized by {!Snapshot}. *)
+end
+
 val now_ns : unit -> int
 (** Monotonic clock (CLOCK_MONOTONIC) in nanoseconds. Unboxed and
     allocation-free; the zero point is unspecified (time since boot),
@@ -53,6 +112,13 @@ val add : t option -> string -> int -> unit
 
 val observe : t option -> string -> int -> unit
 (** Record one sample of a distribution (count/sum/min/max). *)
+
+val sample : t option -> string -> int -> unit
+(** Record one sample into a log-bucketed {!Histogram} — use for
+    quantities whose {e distribution} matters (latencies, response
+    times). Striped like the counters: concurrent recorders never
+    contend, and the merged histogram is independent of interleaving.
+    Negative samples are clamped to 0. *)
 
 val span : t option -> string -> (unit -> 'a) -> 'a
 (** [span obs name f] runs [f ()], timing it with the monotonic clock.
@@ -79,6 +145,8 @@ type dist_view = {
   dv_max : int;
 }
 
+type hist_view = { hv_name : string; hv_hist : Histogram.t }
+
 type span_view = {
   sv_name : string;
   sv_count : int;
@@ -97,6 +165,11 @@ val counters : t -> counter_view list
 val dists : t -> dist_view list
 val span_stats : t -> span_view list
 
+val hists : t -> hist_view list
+(** Merged view of every histogram with at least one sample, sorted by
+    name. Each view is a fresh {!Histogram.t}; query it with
+    {!Histogram.quantile} and friends. *)
+
 val counter_total : t -> string -> int
 (** Total of one counter; [0] if it was never touched. *)
 
@@ -110,11 +183,52 @@ val pp_summary : Format.formatter -> t -> unit
     CLI prints this on {b stderr} under [--metrics] so stdout stays
     byte-identical to an uninstrumented run. *)
 
-val chrome_trace : t -> string
+val chrome_trace : ?extra:string list -> t -> string
 (** The span events as Chrome trace-event JSON
     ([{"traceEvents": [...]}], "X" complete events, microsecond
     timestamps, tid = recording domain) — open in
-    {{:https://ui.perfetto.dev}Perfetto} or chrome://tracing. *)
+    {{:https://ui.perfetto.dev}Perfetto} or chrome://tracing. [extra]
+    appends pre-rendered trace-event objects (one JSON object per
+    string, no separators) to the event array — how the simulated
+    schedule from {!Sim.Event_log} shares the file with the analysis
+    spans (it uses its own pid, so Perfetto shows two process
+    groups). *)
 
-val write_chrome_trace : t -> path:string -> unit
+val write_chrome_trace : ?extra:string list -> t -> path:string -> unit
 (** {!chrome_trace} to a file. @raise Sys_error on I/O failure. *)
+
+(** {1 Metrics snapshot}
+
+    Machine-readable export of the whole registry — the [--metrics-out]
+    backend, consumed by bench and CI (schema documented in
+    doc/OBSERVABILITY.md). *)
+
+module Snapshot : sig
+  val schema : string
+  (** The snapshot's self-identifying ["schema"] value,
+      ["hydra_c.metrics/1"]. *)
+
+  val json_float : float -> string
+  (** Renders a float as a JSON token, mapping non-finite values (nan,
+      infinities — e.g. {!Sim.Metrics.mean_response} of a task with no
+      finished job) to [null] instead of emitting bare [NaN], which is
+      not JSON. Every float serialized into a snapshot or bench record
+      goes through this. *)
+
+  val to_json : ?include_timings:bool -> t -> string
+  (** One JSON object: ["schema"], ["counters"] (name → total),
+      ["dists"] (name → count/sum/min/max/mean), ["histograms"] (name →
+      count/sum/min/max/mean, p50/p95/p99/max quantiles, and the
+      occupied bucket array as [{"le","count"}] pairs), ["spans"] (name
+      → count). Keys are sorted, and every value included by default is
+      deterministic — a pure function of the analytical work — so
+      snapshots of the same workload are byte-identical for every
+      [--jobs] value (tested in test/test_obs.ml, gated in CI).
+      [include_timings] (default [false]) adds wall-clock
+      [total_ns]/[max_ns] to the span entries, which breaks that
+      diffability. *)
+
+  val write : ?include_timings:bool -> t -> path:string -> unit
+  (** {!to_json} plus a trailing newline to a file.
+      @raise Sys_error on I/O failure. *)
+end

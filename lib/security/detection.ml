@@ -72,3 +72,24 @@ let checker_target ~n_regions ~injector ~check =
 
 let combine_hooks hooks job ~core ~start ~stop =
   List.iter (fun h -> h job ~core ~start ~stop) hooks
+
+let on_finish_latency obs ~monitor_class ~sim_id =
+  match obs with
+  | None -> fun _job ~finish:_ -> ()
+  | Some _ ->
+      (* Metric name built once, outside the per-finish path. *)
+      let metric = "security.latency." ^ monitor_class in
+      fun (job : Sim.Engine.job) ~finish ->
+        if job.Sim.Engine.j_task.Sim.Engine.st_id = sim_id then
+          Hydra_obs.sample obs metric (finish - job.Sim.Engine.j_release)
+
+let record_detection obs ~monitor_class t ~attack_at =
+  match t.detected with
+  | None -> ()
+  | Some at ->
+      Hydra_obs.sample obs
+        ("security.detection_latency." ^ monitor_class)
+        (at - attack_at)
+
+let combine_finish_hooks hooks (job : Sim.Engine.job) ~finish =
+  List.iter (fun h -> h job ~finish) hooks

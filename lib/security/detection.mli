@@ -53,3 +53,31 @@ val combine_hooks :
   (Sim.Engine.job -> core:int -> start:time -> stop:time -> unit) list ->
   Sim.Engine.job -> core:int -> start:time -> stop:time -> unit
 (** Fan a single engine hook out to several monitors. *)
+
+(** {1 Latency instrumentation}
+
+    Feeds the observability histograms behind [--metrics-out] (metric
+    catalog in doc/OBSERVABILITY.md). Both recorders are allocation-
+    free no-ops when [obs] is [None], preserving the determinism
+    contract: instrumented runs compute identical results. *)
+
+val on_finish_latency :
+  Hydra_obs.t option -> monitor_class:string -> sim_id:int ->
+  Sim.Engine.job -> finish:time -> unit
+(** An [on_finish] hook sampling the release-to-finish latency of
+    every job of the monitor task [sim_id] into the
+    [security.latency.<monitor_class>] histogram. Partially apply to
+    the first three arguments to build the hook once (the metric name
+    is precomputed; on [None] the returned hook does nothing). *)
+
+val record_detection :
+  Hydra_obs.t option -> monitor_class:string -> t -> attack_at:time -> unit
+(** If the monitor has detected a violation, samples
+    [detection_time - attack_at] into the
+    [security.detection_latency.<monitor_class>] histogram — the
+    quantity Fig. 5a plots. *)
+
+val combine_finish_hooks :
+  (Sim.Engine.job -> finish:time -> unit) list ->
+  Sim.Engine.job -> finish:time -> unit
+(** Fan a single [on_finish] hook out to several consumers. *)

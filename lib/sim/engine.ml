@@ -25,9 +25,13 @@ type hooks = {
   on_release : (job -> unit) option;
   on_execute : (job -> core:int -> start:time -> stop:time -> unit) option;
   on_finish : (job -> finish:time -> unit) option;
+  on_preempt : (job -> core:int -> time:time -> unit) option;
+  on_migrate : (job -> from_core:int -> to_core:int -> time:time -> unit) option;
 }
 
-let no_hooks = { on_release = None; on_execute = None; on_finish = None }
+let no_hooks =
+  { on_release = None; on_execute = None; on_finish = None; on_preempt = None;
+    on_migrate = None }
 
 type overheads = {
   dispatch_cost : time;
@@ -215,8 +219,12 @@ let run_unobserved ?(hooks = no_hooks) ?(collect_trace = false)
         (match old with
         | Some job ->
             emit_segment m job seg_start.(m) t;
-            if job.j_remaining > 0 && List.memq job !ready then
-              incr preemptions
+            if job.j_remaining > 0 && List.memq job !ready then begin
+              incr preemptions;
+              match hooks.on_preempt with
+              | Some f -> f job ~core:m ~time:t
+              | None -> ()
+            end
         | None -> ());
         (match next with
         | Some job ->
@@ -225,7 +233,10 @@ let run_unobserved ?(hooks = no_hooks) ?(collect_trace = false)
             job.j_remaining <- job.j_remaining + overheads.dispatch_cost;
             if job.j_last_core >= 0 && job.j_last_core <> m then begin
               incr migrations;
-              job.j_remaining <- job.j_remaining + overheads.migration_cost
+              job.j_remaining <- job.j_remaining + overheads.migration_cost;
+              match hooks.on_migrate with
+              | Some f -> f job ~from_core:job.j_last_core ~to_core:m ~time:t
+              | None -> ()
             end;
             job.j_last_core <- m;
             if job.j_started_at < 0 then job.j_started_at <- t;
@@ -309,6 +320,19 @@ let run_unobserved ?(hooks = no_hooks) ?(collect_trace = false)
     busy_ticks = !busy_ticks; idle_ticks = !idle_ticks; trace }
 
 let run ?obs ?hooks ?collect_trace ?overheads ~n_cores ~horizon tasks =
+  let hooks =
+    match obs with
+    | None -> hooks
+    | Some _ ->
+        (* Sample every job response into the sim.response histogram,
+           on top of whatever on_finish the caller installed. *)
+        let base = Option.value hooks ~default:no_hooks in
+        let on_finish job ~finish =
+          Hydra_obs.sample obs "sim.response" (finish - job.j_release);
+          match base.on_finish with Some f -> f job ~finish | None -> ()
+        in
+        Some { base with on_finish = Some on_finish }
+  in
   let stats =
     Hydra_obs.span obs "sim.run" (fun () ->
         run_unobserved ?hooks ?collect_trace ?overheads ~n_cores ~horizon

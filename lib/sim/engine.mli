@@ -45,7 +45,17 @@ type hooks = {
   on_execute : (job -> core:int -> start:time -> stop:time -> unit) option;
       (** called for every maximal execution segment of a job *)
   on_finish : (job -> finish:time -> unit) option;
+  on_preempt : (job -> core:int -> time:time -> unit) option;
+      (** called when an unfinished running job is displaced from
+          [core] while still ready — exactly the events counted in
+          [preemptions] *)
+  on_migrate : (job -> from_core:int -> to_core:int -> time:time -> unit) option;
+      (** called when a job is dispatched on a core different from the
+          one it last ran on — exactly the events counted in
+          [migrations] *)
 }
+(** All hooks default to [None] ({!no_hooks}); unset hooks cost
+    nothing on the scheduling paths. *)
 
 val no_hooks : hooks
 

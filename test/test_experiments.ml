@@ -287,6 +287,49 @@ let test_fig5_adapted_periods_differ () =
   check_bool "renders" true
     (String.length (render (fun ppf -> Fig5.render ppf r)) > 0)
 
+let test_fig5_latency_quantiles () =
+  (* Every attack is detected at this scale, so both schemes carry
+     quantiles, consistent with the means and ordered. *)
+  let r = tiny_fig5 Fig5.Tmax in
+  List.iter
+    (fun (s : Fig5.scheme_report) ->
+      match (s.Fig5.detect_tripwire_q, s.Fig5.detect_kmod_q) with
+      | Some tw, Some km ->
+          List.iter
+            (fun (q : Fig5.quantiles) ->
+              check_bool (s.Fig5.label ^ " quantiles ordered") true
+                (q.Fig5.q50 <= q.Fig5.q95 && q.Fig5.q95 <= q.Fig5.q99
+                && q.Fig5.q99 <= q.Fig5.qmax))
+            [ tw; km ];
+          check_bool (s.Fig5.label ^ " mean within [0, max]") true
+            (s.Fig5.mean_detect_tripwire <= float_of_int tw.Fig5.qmax
+            && s.Fig5.mean_detect_kmod <= float_of_int km.Fig5.qmax)
+      | _ -> Alcotest.failf "%s: expected quantiles" s.Fig5.label)
+    [ r.Fig5.hydra_c; r.Fig5.hydra ]
+
+let test_fig5_sched_log_covers_cores () =
+  (* With a schedule log attached, trial 0's HYDRA-C run is captured:
+     the rover has 2 cores and its semi-partitioned schedule executes
+     segments on both, so the Chrome export has slices on both rows. *)
+  let log = Sim.Event_log.create ~n_cores:2 in
+  let with_log = Fig5.run ~seed:3 ~trials:2 ~sched_log:log () in
+  check_bool "log non-empty" true (Sim.Event_log.length log > 0);
+  let json = Test_util.parse_json (Sim.Event_log.to_chrome log) in
+  let evs = Test_util.as_list (Test_util.member "traceEvents" json) in
+  let slice_tids =
+    List.filter_map
+      (fun e ->
+        if Test_util.as_str (Test_util.member "ph" e) = "X" then
+          Some (int_of_float (Test_util.as_num (Test_util.member "tid" e)))
+        else None)
+      evs
+  in
+  check_bool "slices on core 0" true (List.mem 0 slice_tids);
+  check_bool "slices on core 1" true (List.mem 1 slice_tids);
+  (* Recording must not perturb the experiment. *)
+  let plain = Fig5.run ~seed:3 ~trials:2 () in
+  check_bool "report unchanged by logging" true (with_log = plain)
+
 let () =
   Alcotest.run "experiments"
     [ ( "render",
@@ -329,4 +372,8 @@ let () =
           Alcotest.test_case "migration accounting" `Quick
             test_fig5_migrations_only_for_hydra_c;
           Alcotest.test_case "adapted deployment" `Quick
-            test_fig5_adapted_periods_differ ] ) ]
+            test_fig5_adapted_periods_differ;
+          Alcotest.test_case "latency quantiles" `Quick
+            test_fig5_latency_quantiles;
+          Alcotest.test_case "schedule log covers both cores" `Quick
+            test_fig5_sched_log_covers_cores ] ) ]

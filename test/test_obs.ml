@@ -176,6 +176,203 @@ let test_engine_run_with_obs () =
   | [ s ] -> Alcotest.(check string) "sim.run span" "sim.run" s.Hydra_obs.sv_name
   | l -> Alcotest.failf "expected 1 span stat, got %d" (List.length l)
 
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+module H = Hydra_obs.Histogram
+
+(* The documented oracle: quantile q of the recorded multiset is the
+   bucket-rounded rank-ceil(q*n) order statistic, clamped to the exact
+   maximum. *)
+let oracle vs q =
+  let sorted = List.sort Int.compare (List.map (fun v -> max v 0) vs) in
+  let n = List.length sorted in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  let rank = if rank < 1 then 1 else if rank > n then n else rank in
+  let v = List.nth sorted (rank - 1) in
+  let mx = List.fold_left max 0 sorted in
+  min (H.round_up v) mx
+
+let sample_list_arb =
+  (* Mixed magnitudes so samples straddle many octaves, plus negatives
+     to exercise the clamp-to-0 rule. *)
+  QCheck.make
+    ~print:QCheck.Print.(list int)
+    QCheck.Gen.(
+      list_size (int_range 1 300)
+        (oneof
+           [ int_range (-5) 70; int_range 0 10_000; int_range 0 10_000_000 ]))
+
+let prop_quantile_matches_oracle =
+  qtest ~count:300 "quantile = sorted-sample oracle" sample_list_arb (fun vs ->
+      let h = H.of_list vs in
+      List.for_all
+        (fun q -> H.quantile h q = oracle vs q)
+        [ 0.01; 0.25; 0.50; 0.90; 0.95; 0.99; 1.0 ])
+
+let prop_quantiles_monotone =
+  qtest ~count:300 "p50 <= p95 <= p99 <= max" sample_list_arb (fun vs ->
+      let h = H.of_list vs in
+      let p50 = H.quantile h 0.50 and p95 = H.quantile h 0.95 in
+      let p99 = H.quantile h 0.99 in
+      let mx = match H.max_value h with Some m -> m | None -> 0 in
+      p50 <= p95 && p95 <= p99 && p99 <= mx)
+
+let test_histogram_exact_below_64 () =
+  (* Every value below 64 sits in its own singleton bucket, so all
+     quantiles are exact order statistics there. *)
+  let vs = [ 5; 5; 9; 13; 21; 34; 55; 63; 0; 1 ] in
+  let h = H.of_list vs in
+  let sorted = List.sort Int.compare vs in
+  List.iteri
+    (fun i q ->
+      check_int
+        (Printf.sprintf "rank %d exact" (i + 1))
+        (List.nth sorted i) (H.quantile h q))
+    (List.init (List.length vs) (fun i ->
+         float_of_int (i + 1) /. float_of_int (List.length vs)))
+
+let test_histogram_basic_stats () =
+  let h = H.of_list [ 10; 20; 30 ] in
+  check_int "count" 3 (H.count h);
+  check_int "sum" 60 (H.sum h);
+  check_bool "min" true (H.min_value h = Some 10);
+  check_bool "max" true (H.max_value h = Some 30);
+  Alcotest.(check (float 1e-9)) "mean" 20.0 (H.mean h);
+  let e = H.create () in
+  check_bool "empty mean is nan" true (Float.is_nan (H.mean e));
+  check_bool "empty min" true (H.min_value e = None);
+  check_bool "empty quantile raises" true
+    (try ignore (H.quantile e 0.5); false with Invalid_argument _ -> true);
+  check_bool "q out of range raises" true
+    (try ignore (H.quantile h 1.5); false with Invalid_argument _ -> true)
+
+let test_histogram_merge_order_independent () =
+  let a = [ 1; 100; 3_000; 70_000 ] and b = [ 2; 64; 65; 1_000_000 ] in
+  let forward = H.of_list (a @ b) and backward = H.of_list (b @ a) in
+  let merged = H.of_list a in
+  H.merge_into ~into:merged (H.of_list b);
+  List.iter
+    (fun (name, h) ->
+      check_bool (name ^ ": same buckets") true
+        (H.nonzero_buckets h = H.nonzero_buckets forward);
+      check_int (name ^ ": same count") (H.count forward) (H.count h);
+      check_int (name ^ ": same sum") (H.sum forward) (H.sum h))
+    [ ("reversed", backward); ("merge_into", merged) ]
+
+let test_striped_recording_matches_sequential () =
+  (* The same multiset recorded concurrently from 4 domains must
+     aggregate to exactly the sequential histogram: bucket counts add
+     commutatively, so interleaving cannot matter. *)
+  let n = 2000 in
+  let value i = (i * 7919) mod 100_000 in
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  let (_ : unit array) =
+    Parallel.Pool.map ~jobs:4
+      (fun i -> Hydra_obs.sample obs "test.lat" (value i))
+      n
+  in
+  let reference = H.of_list (List.init n value) in
+  match Hydra_obs.hists obs_t with
+  | [ hv ] ->
+      Alcotest.(check string) "name" "test.lat" hv.Hydra_obs.hv_name;
+      let h = hv.Hydra_obs.hv_hist in
+      check_bool "buckets equal sequential" true
+        (H.nonzero_buckets h = H.nonzero_buckets reference);
+      check_int "count" (H.count reference) (H.count h);
+      check_int "sum" (H.sum reference) (H.sum h);
+      List.iter
+        (fun q ->
+          check_int
+            (Printf.sprintf "q%.2f" q)
+            (H.quantile reference q) (H.quantile h q))
+        [ 0.5; 0.95; 0.99; 1.0 ]
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot exporter *)
+
+let test_json_float_non_finite () =
+  Alcotest.(check string) "nan" "null" (Hydra_obs.Snapshot.json_float Float.nan);
+  Alcotest.(check string) "+inf" "null"
+    (Hydra_obs.Snapshot.json_float Float.infinity);
+  Alcotest.(check string) "-inf" "null"
+    (Hydra_obs.Snapshot.json_float Float.neg_infinity);
+  Alcotest.(check string) "finite" "1.5" (Hydra_obs.Snapshot.json_float 1.5)
+
+let test_mean_response_nan_snapshot_regression () =
+  (* A task whose first release lies past the horizon finishes no job:
+     mean_response is nan and must serialize as null, not bare NaN. *)
+  let t =
+    { Sim.Engine.st_id = 0; st_name = "late"; st_wcet = 1; st_period = 100;
+      st_deadline = 100; st_prio = 0; st_core = Some 0; st_offset = 1000 }
+  in
+  let stats = Sim.Engine.run ~n_cores:1 ~horizon:50 [ t ] in
+  let m = Sim.Metrics.mean_response stats ~sim_id:0 in
+  check_bool "mean_response is nan" true (Float.is_nan m);
+  Alcotest.(check string) "serializes as null" "null"
+    (Hydra_obs.Snapshot.json_float m)
+
+let test_snapshot_schema_and_quantiles () =
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  Hydra_obs.incr obs "test.runs";
+  Hydra_obs.observe obs "test.dist" 7;
+  List.iter (Hydra_obs.sample obs "test.lat") [ 3; 14; 159; 2653 ];
+  Hydra_obs.span obs "test.span" (fun () -> ());
+  let text = Hydra_obs.Snapshot.to_json obs_t in
+  let contains_nan =
+    let n = String.length text in
+    let rec scan i =
+      i + 3 <= n && (String.sub text i 3 = "NaN" || scan (i + 1))
+    in
+    scan 0
+  in
+  check_bool "no bare NaN anywhere" false contains_nan;
+  let json = parse_json text in
+  Alcotest.(check string) "schema" Hydra_obs.Snapshot.schema
+    (as_str (member "schema" json));
+  check_int "counter value" 1
+    (int_of_float (as_num (member "test.runs" (member "counters" json))));
+  let hist = member "test.lat" (member "histograms" json) in
+  check_int "hist count" 4 (int_of_float (as_num (member "count" hist)));
+  let q name = int_of_float (as_num (member name (member "quantiles" hist))) in
+  let reference = H.of_list [ 3; 14; 159; 2653 ] in
+  check_int "p50" (H.quantile reference 0.50) (q "p50");
+  check_int "p95" (H.quantile reference 0.95) (q "p95");
+  check_int "p99" (H.quantile reference 0.99) (q "p99");
+  check_int "max" 2653 (q "max");
+  check_bool "quantiles monotone" true
+    (q "p50" <= q "p95" && q "p95" <= q "p99" && q "p99" <= q "max");
+  let buckets = as_list (member "buckets" hist) in
+  check_bool "buckets present" true (buckets <> []);
+  let total =
+    List.fold_left
+      (fun acc b -> acc + int_of_float (as_num (member "count" b)))
+      0 buckets
+  in
+  check_int "bucket counts sum to count" 4 total;
+  check_int "span count" 1
+    (int_of_float (as_num (member "count" (member "test.span" (member "spans" json)))))
+
+let test_snapshot_byte_identical_across_jobs () =
+  (* The CI gate in miniature: the same workload instrumented at
+     jobs=1 and jobs=4 must serialize to the very same bytes. *)
+  let snapshot jobs =
+    let obs_t = Hydra_obs.create () in
+    let (_ : Experiments.Sweep.t) =
+      Experiments.Sweep.run ~jobs ~obs:obs_t ~n_cores:2 ~per_group:3 ~seed:11 ()
+    in
+    let (_ : Experiments.Validation.result) =
+      Experiments.Validation.run ~jobs ~obs:obs_t ~n_cores:2 ~tasksets:6
+        ~seed:11 ()
+    in
+    Hydra_obs.Snapshot.to_json obs_t
+  in
+  let s1 = snapshot 1 and s4 = snapshot 4 in
+  Alcotest.(check string) "snapshots byte-identical" s1 s4
+
 let () =
   Alcotest.run "obs"
     [ ( "counters",
@@ -199,4 +396,24 @@ let () =
         [ Alcotest.test_case "record surfaces engine counters" `Quick
             test_metrics_record;
           Alcotest.test_case "engine run with obs" `Quick
-            test_engine_run_with_obs ] ) ]
+            test_engine_run_with_obs ] );
+      ( "histograms",
+        [ prop_quantile_matches_oracle;
+          prop_quantiles_monotone;
+          Alcotest.test_case "exact below 64" `Quick
+            test_histogram_exact_below_64;
+          Alcotest.test_case "basic stats + errors" `Quick
+            test_histogram_basic_stats;
+          Alcotest.test_case "merge order-independent" `Quick
+            test_histogram_merge_order_independent;
+          Alcotest.test_case "striped = sequential" `Quick
+            test_striped_recording_matches_sequential ] );
+      ( "snapshot",
+        [ Alcotest.test_case "json_float maps non-finite to null" `Quick
+            test_json_float_non_finite;
+          Alcotest.test_case "mean_response nan regression" `Quick
+            test_mean_response_nan_snapshot_regression;
+          Alcotest.test_case "schema, quantiles, buckets" `Quick
+            test_snapshot_schema_and_quantiles;
+          Alcotest.test_case "byte-identical across jobs" `Quick
+            test_snapshot_byte_identical_across_jobs ] ) ]

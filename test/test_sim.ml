@@ -148,14 +148,121 @@ let test_on_execute_segments_sum_to_demand () =
 let test_on_release_and_finish_fire () =
   let releases = ref 0 and finishes = ref 0 in
   let hooks =
-    { Engine.on_release = Some (fun _ -> incr releases);
-      Engine.on_execute = None;
+    { Engine.no_hooks with
+      Engine.on_release = Some (fun _ -> incr releases);
       Engine.on_finish = Some (fun _ ~finish:_ -> incr finishes) }
   in
   let t = task ~id:0 ~prio:0 ~wcet:2 ~period:10 () in
   ignore (run ~hooks ~n_cores:1 ~horizon:50 [ t ]);
   check_int "releases" 5 !releases;
   check_int "finishes" 5 !finishes
+
+(* The migration-forcing scenario of test_migration_counted: two
+   alternating pinned hogs squeeze a migrating low-prio task between
+   the cores. *)
+let migration_scenario () =
+  [ task ~core:(Some 0) ~id:0 ~prio:0 ~wcet:3 ~period:6 ();
+    task ~core:(Some 1) ~offset:3 ~id:1 ~prio:1 ~wcet:3 ~period:6 ();
+    task ~id:2 ~prio:2 ~wcet:6 ~period:12 () ]
+
+let test_preempt_migrate_hooks_match_counters () =
+  let preempts = ref 0 and migrates = ref 0 in
+  let hooks =
+    { Engine.no_hooks with
+      Engine.on_preempt = Some (fun _ ~core:_ ~time:_ -> incr preempts);
+      Engine.on_migrate =
+        Some
+          (fun _ ~from_core ~to_core ~time:_ ->
+            check_bool "migration changes core" true (from_core <> to_core);
+            incr migrates) }
+  in
+  let stats = run ~hooks ~n_cores:2 ~horizon:48 (migration_scenario ()) in
+  check_bool "scenario migrates" true (stats.Engine.migrations > 0);
+  check_int "on_migrate fires once per counted migration"
+    stats.Engine.migrations !migrates;
+  check_int "on_preempt fires once per counted preemption"
+    stats.Engine.preemptions !preempts
+
+let test_event_log_records_schedule () =
+  let log = Sim.Event_log.create ~n_cores:2 in
+  let stats =
+    run ~hooks:(Sim.Event_log.hooks log) ~n_cores:2 ~horizon:48
+      (migration_scenario ())
+  in
+  let evs = Sim.Event_log.events log in
+  check_int "length agrees" (List.length evs) (Sim.Event_log.length log);
+  let count p = List.length (List.filter p evs) in
+  let released =
+    Array.fold_left (fun acc t -> acc + t.Engine.ts_released) 0
+      stats.Engine.per_task
+  and finished =
+    Array.fold_left (fun acc t -> acc + t.Engine.ts_finished) 0
+      stats.Engine.per_task
+  in
+  check_int "one Release per released job" released
+    (count (fun e -> e.Sim.Event_log.e_kind = Sim.Event_log.Release));
+  check_int "one Finish per finished job" finished
+    (count (fun e ->
+         match e.Sim.Event_log.e_kind with
+         | Sim.Event_log.Finish _ -> true
+         | _ -> false));
+  check_int "one Migrate per counted migration" stats.Engine.migrations
+    (count (fun e ->
+         match e.Sim.Event_log.e_kind with
+         | Sim.Event_log.Migrate _ -> true
+         | _ -> false));
+  check_int "one Preempt per counted preemption" stats.Engine.preemptions
+    (count (fun e ->
+         match e.Sim.Event_log.e_kind with
+         | Sim.Event_log.Preempt _ -> true
+         | _ -> false));
+  (* Segments cover exactly the busy ticks. *)
+  let seg_ticks =
+    List.fold_left
+      (fun acc e ->
+        match e.Sim.Event_log.e_kind with
+        | Sim.Event_log.Segment { stop; _ } ->
+            acc + stop - e.Sim.Event_log.e_time
+        | _ -> acc)
+      0 evs
+  in
+  check_int "segments cover busy ticks" stats.Engine.busy_ticks seg_ticks
+
+let test_event_log_chrome_trace () =
+  let log = Sim.Event_log.create ~n_cores:2 in
+  ignore
+    (run ~hooks:(Sim.Event_log.hooks log) ~n_cores:2 ~horizon:48
+       (migration_scenario ()));
+  let json = Test_util.parse_json (Sim.Event_log.to_chrome log) in
+  let evs = Test_util.as_list (Test_util.member "traceEvents" json) in
+  let of_ph ph =
+    List.filter
+      (fun e -> Test_util.as_str (Test_util.member "ph" e) = ph)
+      evs
+  in
+  (* One thread_name metadata row per core, under the expected names. *)
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if Test_util.as_str (Test_util.member "name" e) = "thread_name" then
+          Some
+            (Test_util.as_str
+               (Test_util.member "name" (Test_util.member "args" e)))
+        else None)
+      (of_ph "M")
+  in
+  check_bool "row for core 0" true (List.mem "core 0" thread_names);
+  check_bool "row for core 1" true (List.mem "core 1" thread_names);
+  check_bool "slices present" true (of_ph "X" <> []);
+  (* Flow events pair up: every start has exactly one finish with the
+     same id, and the scenario migrates so there is at least one. *)
+  let ids ph =
+    List.sort compare
+      (List.map (fun e -> Test_util.as_num (Test_util.member "id" e)) (of_ph ph))
+  in
+  let starts = ids "s" and finishes = ids "f" in
+  check_bool "at least one migration flow" true (starts <> []);
+  check_bool "flow starts and finishes pair by id" true (starts = finishes)
 
 let test_trace_no_overlap_and_busy_time () =
   let hp = task ~id:0 ~prio:0 ~wcet:2 ~period:5 () in
@@ -560,6 +667,12 @@ let () =
             test_on_execute_segments_sum_to_demand;
           Alcotest.test_case "release/finish hooks" `Quick
             test_on_release_and_finish_fire;
+          Alcotest.test_case "preempt/migrate hooks match counters" `Quick
+            test_preempt_migrate_hooks_match_counters;
+          Alcotest.test_case "event log records schedule" `Quick
+            test_event_log_records_schedule;
+          Alcotest.test_case "event log chrome trace" `Quick
+            test_event_log_chrome_trace;
           Alcotest.test_case "trace no-overlap + busy time" `Quick
             test_trace_no_overlap_and_busy_time;
           Alcotest.test_case "trace core utilization" `Quick
