@@ -46,7 +46,12 @@
    comparison of the WCRT analysis fast path at both carry-in policies,
    with a results_match bit and the cache/pruning counters; see
    bench/analysis_record.ml and doc/PERFORMANCE.md.
-   bench/analysis_bench.exe emits just that file (the CI gate). *)
+   bench/analysis_bench.exe emits just that file (the CI gate).
+   BENCH_sim.json (schema "hydra_c.bench_sim/1"; knobs BENCH_SIM_...)
+   is the simulator-side counterpart -- the naive-vs-fast engine comparison
+   over the rover, validation and campaign workloads with per-workload
+   results_match bits; see bench/sim_record.ml and doc/SIMULATOR.md.
+   bench/sim_bench.exe emits just that file (the CI gate). *)
 
 open Bechamel
 open Toolkit
@@ -417,8 +422,20 @@ let emit_analysis_json () =
   Analysis_record.pp_summary std r;
   Format.printf "wrote BENCH_analysis.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: BENCH_sim.json — naive vs fast simulation engines
+   (bench/sim_record.ml, doc/SIMULATOR.md). *)
+
+let emit_sim_json () =
+  let r = Sim_record.run () in
+  Sim_record.write r;
+  Format.printf "@.";
+  Sim_record.pp_summary std r;
+  Format.printf "wrote BENCH_sim.json@."
+
 let () =
   print_artifacts ();
   run_benchmarks ();
   emit_sweep_json ();
-  emit_analysis_json ()
+  emit_analysis_json ();
+  emit_sim_json ()

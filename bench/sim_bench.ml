@@ -1,0 +1,16 @@
+(* CI entry point for the naive-vs-fast simulator microbenchmark
+   (Sim_record): runs it at the scale given by the BENCH_SIM_*
+   environment knobs, writes BENCH_sim.json, prints the summary, and
+   exits 1 if the fast engine disagrees with the naive oracle (the
+   wall-clock gate itself lives in the CI job,
+   .github/workflows/ci.yml, where jq inspects the JSON). *)
+
+let () =
+  let r = Sim_record.run () in
+  Sim_record.write r;
+  Sim_record.pp_summary Format.std_formatter r;
+  Format.printf "wrote BENCH_sim.json@.";
+  if not r.Sim_record.sr_results_match then begin
+    Format.printf "ERROR: fast engine results differ from naive engine@.";
+    exit 1
+  end

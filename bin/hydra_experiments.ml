@@ -123,6 +123,18 @@ let fast_arg =
   in
   Term.(const not $ naive)
 
+let sim_fast_arg =
+  let naive =
+    Arg.(value & flag
+         & info [ "naive-sim" ]
+             ~doc:"Simulate with the reference stepper engine instead of the \
+                   event-driven skip-ahead engine. Schedules, counters and \
+                   detection latencies are bit-identical either way \
+                   (doc/SIMULATOR.md); this flag exists for cross-checking \
+                   and for timing the naive engine (bench/sim_bench.exe).")
+  in
+  Term.(const not $ naive)
+
 let run_tables () = Experiments.Tables.render_all std ()
 
 let deploy_arg =
@@ -147,8 +159,8 @@ let export dat_dir f =
       let path = f ~dir in
       Format.printf "[export] wrote %s@." path
 
-let run_fig5 jobs seed trials horizon deployment dat_dir metrics trace_out
-    metrics_out =
+let run_fig5 jobs sim_fast seed trials horizon deployment dat_dir metrics
+    trace_out metrics_out =
   (* The schedule log only exists when a trace file was requested; it
      records trial 0's HYDRA-C run on the rover's cores. *)
   let sched_log =
@@ -162,7 +174,7 @@ let run_fig5 jobs seed trials horizon deployment dat_dir metrics trace_out
   let report =
     timed ~jobs "fig5" (fun () ->
         Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs
-          ?sched_log ())
+          ?sched_log ~sim_fast ())
   in
   Experiments.Fig5.render std report;
   export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
@@ -283,7 +295,8 @@ let run_report jobs seed trials per_group cores out metrics trace_out
       Experiments.Report.write ~jobs ?obs scale ~path:out);
   Format.printf "wrote %s@." out
 
-let run_validate jobs policy seed tasksets cores metrics trace_out metrics_out =
+let run_validate jobs policy sim_fast seed tasksets cores metrics trace_out
+    metrics_out =
   with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   List.iter
     (fun n_cores ->
@@ -292,14 +305,14 @@ let run_validate jobs policy seed tasksets cores metrics trace_out metrics_out =
         timed ~jobs
           (Printf.sprintf "validate M=%d" n_cores)
           (fun () ->
-            Experiments.Validation.run ~policy ?obs ~n_cores ~tasksets ~seed
-              ~jobs ())
+            Experiments.Validation.run ~policy ?obs ~sim_fast ~n_cores
+              ~tasksets ~seed ~jobs ())
       in
       Experiments.Validation.render std result)
     cores
 
-let run_all jobs policy fast seed trials horizon per_group cores dat_dir
-    metrics trace_out metrics_out =
+let run_all jobs policy fast sim_fast seed trials horizon per_group cores
+    dat_dir metrics trace_out metrics_out =
   with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   let t0 = Hydra_obs.now_ns () in
   run_tables ();
@@ -307,7 +320,7 @@ let run_all jobs policy fast seed trials horizon per_group cores dat_dir
     let report =
       timed ~jobs "fig5" (fun () ->
           Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs
-            ())
+            ~sim_fast ())
     in
     Experiments.Fig5.render std report;
     export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
@@ -339,7 +352,7 @@ let run_all jobs policy fast seed trials horizon per_group cores dat_dir
    [hydra-experiments --jobs 4 --metrics --trace-out t.json] exercises
    and exports every metric family while keeping stdout identical to a
    plain [hydra-experiments --jobs 1] run. *)
-let run_smoke jobs fast metrics trace_out metrics_out =
+let run_smoke jobs fast sim_fast metrics trace_out metrics_out =
   with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
   Format.printf "[smoke] fixed-scale smoke workload (M=2, seed 42)@.";
   let sweep =
@@ -350,8 +363,8 @@ let run_smoke jobs fast metrics trace_out metrics_out =
   Experiments.Fig7.render_a std (Experiments.Fig7.of_sweep sweep);
   let result =
     timed ~jobs "smoke validate" (fun () ->
-        Experiments.Validation.run ?obs ~n_cores:2 ~tasksets:10 ~seed:42
-          ~jobs ())
+        Experiments.Validation.run ?obs ~sim_fast ~n_cores:2 ~tasksets:10
+          ~seed:42 ~jobs ())
   in
   Experiments.Validation.render std result
 
@@ -361,9 +374,9 @@ let cmd_tables =
 
 let cmd_fig5 =
   Cmd.v (Cmd.info "fig5" ~doc:"Rover detection-latency experiment (Fig. 5).")
-    Term.(const run_fig5 $ jobs_arg $ seed_arg $ trials_arg $ horizon_arg
-          $ deploy_arg $ dat_dir_arg $ metrics_arg $ trace_out_arg
-          $ metrics_out_arg)
+    Term.(const run_fig5 $ jobs_arg $ sim_fast_arg $ seed_arg $ trials_arg
+          $ horizon_arg $ deploy_arg $ dat_dir_arg $ metrics_arg
+          $ trace_out_arg $ metrics_out_arg)
 
 let cmd_fig6 =
   Cmd.v (Cmd.info "fig6" ~doc:"Period-distance sweep (Fig. 6).")
@@ -415,8 +428,8 @@ let cmd_validate =
     (Cmd.info "validate"
        ~doc:"Cross-validate the HYDRA-C analysis against the discrete-event \
              simulator (soundness + tightness).")
-    Term.(const run_validate $ jobs_arg $ policy_arg $ seed_arg $ tasksets_arg
-          $ cores_arg $ metrics_arg $ trace_out_arg
+    Term.(const run_validate $ jobs_arg $ policy_arg $ sim_fast_arg $ seed_arg
+          $ tasksets_arg $ cores_arg $ metrics_arg $ trace_out_arg
           $ metrics_out_arg)
 
 let cmd_ablation =
@@ -430,14 +443,14 @@ let cmd_ablation =
 
 let cmd_all =
   Cmd.v (Cmd.info "all" ~doc:"Everything: tables, figures, ablations.")
-    Term.(const run_all $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
-          $ trials_arg $ horizon_arg $ per_group_arg $ cores_arg $ dat_dir_arg
-          $ metrics_arg $ trace_out_arg
+    Term.(const run_all $ jobs_arg $ policy_arg $ fast_arg $ sim_fast_arg
+          $ seed_arg $ trials_arg $ horizon_arg $ per_group_arg $ cores_arg
+          $ dat_dir_arg $ metrics_arg $ trace_out_arg
           $ metrics_out_arg)
 
 let smoke_term =
-  Term.(const run_smoke $ jobs_arg $ fast_arg $ metrics_arg $ trace_out_arg
-          $ metrics_out_arg)
+  Term.(const run_smoke $ jobs_arg $ fast_arg $ sim_fast_arg $ metrics_arg
+          $ trace_out_arg $ metrics_out_arg)
 
 let () =
   let info =

@@ -37,9 +37,9 @@ type trial_outcome = {
   stats : Sim.Engine.stats;
 }
 
-let run_one ?overheads ?obs ?sched_log ~scheme ~ts ~rt_assignment ~policy
-    ~periods ~sec_cores ~horizon ~attack_tripwire ~attack_kmod ~target_image
-    ~rogue_name () =
+let run_one ?overheads ?obs ?sched_log ?sim_fast ~scheme ~ts ~rt_assignment
+    ~policy ~periods ~sec_cores ~horizon ~attack_tripwire ~attack_kmod
+    ~target_image ~rogue_name () =
   let built =
     Sim.Scenario.of_taskset ts ~rt_assignment ~policy ~sec_periods:periods
       ?sec_cores ()
@@ -107,8 +107,8 @@ let run_one ?overheads ?obs ?sched_log ~scheme ~ts ~rt_assignment ~policy
     | Some log -> Sim.Event_log.hooks ~base:hooks log
   in
   let stats =
-    Sim.Engine.run ?obs ~hooks ?overheads ~n_cores:ts.Task.n_cores ~horizon
-      built.Sim.Scenario.tasks
+    Sim.Engine.run ?obs ?fast:sim_fast ~hooks ?overheads
+      ~n_cores:ts.Task.n_cores ~horizon built.Sim.Scenario.tasks
   in
   Security.Detection.record_detection obs
     ~monitor_class:(scheme ^ ".tripwire") tw_monitor ~attack_at:attack_tripwire;
@@ -173,7 +173,7 @@ let summarize ~label ~periods ~horizon:_ outcomes ~rt_ids ~sec_ids =
     sec_deadline_misses = misses sec_ids }
 
 let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
-    ?overheads ?jobs ?obs ?sched_log () =
+    ?overheads ?jobs ?obs ?sched_log ?sim_fast () =
   Hydra_obs.span obs "fig5.run" @@ fun () ->
   let ts = Security.Rover.taskset () in
   let rt_assignment = Security.Rover.rt_assignment () in
@@ -223,8 +223,8 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
       Printf.sprintf "rk_hook_%04x" (Rng.int stream 0xFFFF)
     in
     let common ?sched_log ~scheme ~policy ~periods ~sec_cores () =
-      run_one ?overheads ?obs ?sched_log ~scheme ~ts ~rt_assignment ~policy
-        ~periods ~sec_cores ~horizon ~attack_tripwire ~attack_kmod
+      run_one ?overheads ?obs ?sched_log ?sim_fast ~scheme ~ts ~rt_assignment
+        ~policy ~periods ~sec_cores ~horizon ~attack_tripwire ~attack_kmod
         ~target_image ~rogue_name ()
     in
     (* The schedule log captures trial 0's HYDRA-C run only: one

@@ -110,6 +110,30 @@ let d4_creator = function
   | [ "Bytes"; ("create" | "make") as f ] -> Some ("Bytes." ^ f)
   | _ -> None
 
+(* D6: syntactic heap-allocation sites, for bodies of [@lint.hot]
+   bindings. Constant constructors ([None], [[]]) and pattern matches
+   are free; [raise]d exception constructors still count — a hot path
+   should validate before it gets hot. *)
+let d6_marker e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> Some "a closure"
+  | Pexp_tuple _ -> Some "a tuple"
+  | Pexp_record _ -> Some "a record"
+  | Pexp_array _ -> Some "an array literal"
+  | Pexp_lazy _ -> Some "a lazy block"
+  | Pexp_construct ({ txt; _ }, Some _) -> (
+      match Longident.flatten txt with
+      | parts -> Some ("constructor " ^ String.concat "." parts)
+      | exception _ -> Some "a constructor application")
+  | Pexp_variant (tag, Some _) -> Some ("variant `" ^ tag)
+  | Pexp_apply (f, _) -> (
+      match flatten_ident f with
+      | Some ([ "ref" ] | [ "Stdlib"; "ref" ]) -> Some "a ref cell"
+      | _ -> None)
+  | _ -> None
+
+let is_hot_attr (attr : attribute) = attr.attr_name.txt = "lint.hot"
+
 (* D5: syntactic evidence that an operand is a float. *)
 let float_evidence e =
   exists_in_expr
@@ -189,9 +213,44 @@ let run_pass ctx ast =
                    name)
           | None -> ()
   in
+  (* D6 scans the body of a [@lint.hot] binding; the outermost
+     parameter funs are the function being defined, not captures. *)
+  let d6_scan vb =
+    let rec peel e =
+      match e.pexp_desc with
+      | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) -> peel body
+      | _ -> e
+    in
+    let it =
+      { Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match d6_marker e with
+            | Some what ->
+                add "D6" e.pexp_loc
+                  (Printf.sprintf
+                     "[@lint.hot] promises an allocation-free path, but \
+                      this expression heap-allocates (%s); hoist the \
+                      allocation into setup code or drop the annotation"
+                     what)
+            | None -> ());
+            Ast_iterator.default_iterator.expr it e) }
+    in
+    it.expr it (peel vb.pvb_expr)
+  in
+  let scan_bindings vbs =
+    List.iter
+      (fun vb ->
+        List.iter (fun a -> record_allow_loc a vb.pvb_loc) vb.pvb_attributes;
+        if List.exists is_hot_attr vb.pvb_attributes then d6_scan vb)
+      vbs
+  in
   let expr_h it e =
     List.iter (fun a -> record_allow_loc a e.pexp_loc) e.pexp_attributes;
     check_ident e;
+    (match e.pexp_desc with
+    | Pexp_let (_, vbs, _) -> scan_bindings vbs
+    | _ -> ());
     match e.pexp_desc with
     | Pexp_apply (fn, args) ->
         let fnp = flatten_ident fn in
@@ -270,12 +329,9 @@ let run_pass ctx ast =
         (* floating [@@@lint.allow "..."]: the whole file *)
         record_allow attr ~first:0 ~last:max_int
     | Pstr_value (_, vbs) ->
+        scan_bindings vbs;
         List.iter
-          (fun vb ->
-            List.iter
-              (fun a -> record_allow_loc a vb.pvb_loc)
-              vb.pvb_attributes;
-            if ctx.scope.in_lib then d4_scan vb.pvb_expr)
+          (fun vb -> if ctx.scope.in_lib then d4_scan vb.pvb_expr)
           vbs
     | _ -> ());
     Ast_iterator.default_iterator.structure_item it si

@@ -38,7 +38,17 @@ let all =
       rationale =
         "Polymorphic compare and (=) on floats are order-fragile around NaN \
          and allocate through the generic runtime path; use Float.compare / \
-         Float.equal at float-typed analysis call sites." } ]
+         Float.equal at float-typed analysis call sites." };
+    { id = "D6";
+      title = "heap allocation in [@lint.hot] code";
+      rationale =
+        "A binding marked [@lint.hot] (the simulator's per-event dispatch \
+         path — lib/sim/engine.ml, lib/sim/calendar.ml) promises to run \
+         allocation-free: closures, tuples, records, boxed constructors, \
+         polymorphic variants with arguments, array literals, lazy blocks \
+         and ref cells in its body break the promise and become GC \
+         pressure multiplied by the event count (doc/SIMULATOR.md); hoist \
+         the allocation into setup code or drop the annotation." } ]
 
 let find id = List.find_opt (fun m -> m.id = id) all
 

@@ -1,0 +1,112 @@
+(* Bucketed calendar queue over preallocated int arrays; see the .mli
+   for the contract. Bucket lists are intrusive sorted singly-linked
+   lists threaded through [next]; the (key, slot) sort order inside a
+   bucket makes ties pop in ascending slot order. Recursive helpers
+   live at top level so the [@lint.hot] paths construct no closures
+   (hydra_lint rule D6). *)
+
+type t = {
+  mask : int;  (* n_buckets - 1; n_buckets is a power of two *)
+  shift : int;  (* log2 of the bucket width — bucket math is shifts *)
+  head : int array;  (* bucket -> first slot of its list, -1 if empty *)
+  next : int array;  (* slot -> successor in its bucket list, -1 at end *)
+  key : int array;  (* slot -> enqueued key; valid while member *)
+  member : bool array;  (* slot -> currently enqueued? *)
+  mutable size : int;
+  mutable now : int;  (* all enqueued keys are >= now (monotone queue) *)
+  mutable cached_min : int;  (* slot holding the minimum, -1 = unknown *)
+}
+
+let create ~slots ~width =
+  if slots < 1 then invalid_arg "Calendar.create: slots < 1";
+  let width = if width < 1 then 1 else width in
+  (* Width rounds up to a power of two so the per-event bucket math is
+     a shift and a mask, never a division (width is only a tuning
+     knob: any value preserves the ordering contract). *)
+  let rec log2 s = if 1 lsl s >= width then s else log2 (s + 1) in
+  let shift = log2 0 in
+  let rec pow2 v = if v >= slots then v else pow2 (v * 2) in
+  let n_buckets = pow2 4 in
+  { mask = n_buckets - 1; shift;
+    head = Array.make n_buckets (-1);
+    next = Array.make slots (-1);
+    key = Array.make slots 0;
+    member = Array.make slots false;
+    size = 0; now = 0; cached_min = -1 }
+
+let size q = q.size
+let mem q i = q.member.(i)
+let key q i = q.key.(i)
+
+let bucket_of q k = (k lsr q.shift) land q.mask [@@lint.hot]
+
+(* (key, slot) strict order — the bucket-list and tie-break order. *)
+let precedes q i j = q.key.(i) < q.key.(j) || (q.key.(i) = q.key.(j) && i < j)
+  [@@lint.hot]
+
+let rec insert_sorted q b i prev cur =
+  if cur < 0 || precedes q i cur then begin
+    q.next.(i) <- cur;
+    if prev < 0 then q.head.(b) <- i else q.next.(prev) <- i
+  end
+  else insert_sorted q b i cur q.next.(cur)
+  [@@lint.hot]
+
+let add q i ~key:k =
+  if i < 0 || i >= Array.length q.next then
+    invalid_arg "Calendar.add: slot out of range";
+  if q.member.(i) then invalid_arg "Calendar.add: slot already enqueued";
+  if k < q.now then invalid_arg "Calendar.add: key precedes last pop_min";
+  q.key.(i) <- k;
+  q.member.(i) <- true;
+  insert_sorted q (bucket_of q k) i (-1) q.head.(bucket_of q k);
+  q.size <- q.size + 1;
+  if q.cached_min >= 0 && precedes q i q.cached_min then q.cached_min <- i
+  [@@lint.hot]
+
+(* Fallback when a whole bucket-year holds nothing: the minimum is the
+   smallest bucket head (same-key entries share a bucket, so comparing
+   heads preserves the tie order). O(n_buckets), rare. *)
+let rec direct_min q b best =
+  if b > q.mask then best
+  else
+    let h = q.head.(b) in
+    let best = if h >= 0 && (best < 0 || precedes q h best) then h else best in
+    direct_min q (b + 1) best
+  [@@lint.hot]
+
+(* Year scan from the bucket containing [now]: the first bucket whose
+   head key falls inside its current-year window holds the minimum
+   (earlier windows cannot contain keys >= now, later windows and
+   later years only larger keys). *)
+let rec year_scan q start j =
+  if j > q.mask then direct_min q 0 (-1)
+  else
+    let b = (start + j) land q.mask in
+    let top = (start + j + 1) lsl q.shift in
+    let h = q.head.(b) in
+    if h >= 0 && q.key.(h) < top then h else year_scan q start (j + 1)
+  [@@lint.hot]
+
+let find_min q = if q.size = 0 then -1 else year_scan q (q.now lsr q.shift) 0
+  [@@lint.hot]
+
+let peek_min q =
+  if q.cached_min < 0 then q.cached_min <- find_min q;
+  if q.cached_min < 0 then max_int else q.key.(q.cached_min)
+  [@@lint.hot]
+
+let pop_min q =
+  if q.cached_min < 0 then q.cached_min <- find_min q;
+  let i = q.cached_min in
+  if i < 0 then invalid_arg "Calendar.pop_min: empty queue";
+  (* The minimum is always the head of its bucket. *)
+  let b = bucket_of q q.key.(i) in
+  q.head.(b) <- q.next.(i);
+  q.next.(i) <- -1;
+  q.member.(i) <- false;
+  q.size <- q.size - 1;
+  q.now <- q.key.(i);
+  q.cached_min <- -1;
+  i
+  [@@lint.hot]

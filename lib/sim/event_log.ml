@@ -63,6 +63,30 @@ let compare_events a b =
 
 let events t = List.sort compare_events (List.rev t.rev_events)
 
+let pp_kind ppf = function
+  | Release -> Format.pp_print_string ppf "release"
+  | Segment { core; stop } -> Format.fprintf ppf "segment[core %d, stop %d]" core stop
+  | Preempt { core } -> Format.fprintf ppf "preempt[core %d]" core
+  | Migrate { from_core; to_core } ->
+      Format.fprintf ppf "migrate[%d -> %d]" from_core to_core
+  | Finish { response } -> Format.fprintf ppf "finish[response %d]" response
+  | Deadline_miss -> Format.pp_print_string ppf "deadline-miss"
+
+let pp_event ppf e =
+  Format.fprintf ppf "t=%d %s#%d %a" e.e_time e.e_task_name e.e_job_seq pp_kind
+    e.e_kind
+
+let first_divergence xs ys =
+  let rec go i xs ys =
+    match (xs, ys) with
+    | [], [] -> None
+    | x :: xs, y :: ys ->
+        if x = y then go (i + 1) xs ys else Some (i, Some x, Some y)
+    | x :: _, [] -> Some (i, Some x, None)
+    | [], y :: _ -> Some (i, None, Some y)
+  in
+  go 0 xs ys
+
 let hooks ?(base = Engine.no_hooks) t =
   let on_release job = push t job.Engine.j_release job Release;
     match base.Engine.on_release with Some f -> f job | None -> ()

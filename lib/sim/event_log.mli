@@ -58,6 +58,19 @@ val events : t -> event list
 (** All events sorted by (time, kind rank, task id, job seq) — a total
     order independent of hook firing order. *)
 
+val pp_event : Format.formatter -> event -> unit
+(** One-line rendering ["t=12 scan#3 segment[core 1, stop 15]"] (times
+    in ticks) — for test failures and the differential harness. *)
+
+val first_divergence :
+  event list -> event list -> (int * event option * event option) option
+(** [first_divergence xs ys] is [None] when the two streams are equal,
+    otherwise [Some (i, x, y)]: the first position where they differ,
+    with the event each side has there ([None] = that stream ended).
+    The workhorse of the fast-vs-naive differential tests
+    (doc/SIMULATOR.md): compare {!events} of two runs and report the
+    exact first mismatching schedule event. *)
+
 val chrome_events : t -> pid:int -> string list
 (** The schedule as pre-rendered Chrome trace-event JSON objects (one
     per string) under process id [pid]: process/thread metadata naming

@@ -180,6 +180,32 @@ let test_validation_sound_and_tight () =
     (r.Experiments.Validation.mean_tightness > 0.0
     && r.Experiments.Validation.mean_tightness <= 1.0 +. 1e-9)
 
+(* The two simulation engines through the full experiment drivers:
+   --naive-sim must not move a single byte of output. The rendered
+   fig5 report and the validation metrics snapshot are compared
+   across engines AND across jobs in one shot — the strongest form
+   of the equivalence contract (doc/SIMULATOR.md). *)
+let test_sim_engines_identical_reports () =
+  let fig5_render sim_fast =
+    let r = Fig5.run ~trials:4 ~horizon:20000 ~sim_fast () in
+    render (fun ppf -> Fig5.render ppf r)
+  in
+  Alcotest.(check string) "fig5: naive-sim = fast" (fig5_render true)
+    (fig5_render false)
+
+let test_sim_engines_identical_snapshots () =
+  let snapshot ~sim_fast ~jobs =
+    let obs = Hydra_obs.create () in
+    let (_ : Experiments.Validation.result) =
+      Experiments.Validation.run ~jobs ~obs ~sim_fast ~n_cores:2 ~tasksets:8
+        ~seed:11 ~horizon:30000 ()
+    in
+    Hydra_obs.Snapshot.to_json obs
+  in
+  Alcotest.(check string) "snapshot: fast jobs=1 = naive jobs=4"
+    (snapshot ~sim_fast:true ~jobs:1)
+    (snapshot ~sim_fast:false ~jobs:4)
+
 let test_validation_render () =
   let r =
     Experiments.Validation.run ~n_cores:2 ~tasksets:5 ~seed:6 ~horizon:20000 ()
@@ -356,6 +382,10 @@ let () =
       ( "validation",
         [ Alcotest.test_case "sound and tight" `Quick
             test_validation_sound_and_tight;
+          Alcotest.test_case "naive-sim report identical" `Quick
+            test_sim_engines_identical_reports;
+          Alcotest.test_case "naive-sim snapshot identical" `Quick
+            test_sim_engines_identical_snapshots;
           Alcotest.test_case "renders" `Quick test_validation_render ] );
       ( "report",
         [ Alcotest.test_case "generates sections" `Slow test_report_generates ]

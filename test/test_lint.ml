@@ -58,6 +58,25 @@ let test_d5 () =
   check_findings "d5" [ ("D5", 4); ("D5", 6) ]
     (fixture_findings "d5_float_compare.ml")
 
+let test_d6 () =
+  check_findings "d6" [ ("D6", 4); ("D6", 6); ("D6", 8); ("D6", 15) ]
+    (fixture_findings "d6_hot_alloc.ml")
+
+let test_d6_suppression () =
+  (* binding-level [@lint.allow] silences D6 like any other rule *)
+  check_int "allowed hot alloc" 0
+    (List.length
+       (lint_str ~file:"lib/x.ml"
+          "let[@lint.hot] f x = Some x [@@lint.allow \"D6\"]"));
+  (* parameters of the hot function itself are not closures *)
+  check_int "parameters are free" 0
+    (List.length
+       (lint_str ~file:"lib/x.ml" "let[@lint.hot] f x y = x land y"));
+  (* constant constructors do not allocate *)
+  check_int "constant constructor" 0
+    (List.length
+       (lint_str ~file:"lib/x.ml" "let[@lint.hot] f () = None"))
+
 let test_clean_fixture () =
   check_findings "clean fixture" [] (fixture_findings "clean.ml")
 
@@ -191,6 +210,8 @@ let () =
           Alcotest.test_case "D3 hash order" `Quick test_d3;
           Alcotest.test_case "D4 global state" `Quick test_d4;
           Alcotest.test_case "D5 float compare" `Quick test_d5;
+          Alcotest.test_case "D6 hot alloc" `Quick test_d6;
+          Alcotest.test_case "D6 suppression" `Quick test_d6_suppression;
           Alcotest.test_case "clean fixture" `Quick test_clean_fixture ] );
       ( "report",
         [ Alcotest.test_case "positions" `Quick test_positions;

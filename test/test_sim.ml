@@ -639,6 +639,254 @@ let prop_rt_isolated_from_security =
       let stats = run ~n_cores:2 ~horizon:4000 built.Scenario.tasks in
       Sim.Metrics.deadline_misses stats ~sim_ids:built.Scenario.rt_sim_ids = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Calendar queue: the bucketed event queue behind the fast engine. *)
+
+let test_calendar_orders_and_ties () =
+  let q = Sim.Calendar.create ~slots:8 ~width:5 in
+  (* Same key 20 on slots 5, 1, 3: ties must pop in slot order. *)
+  List.iter
+    (fun (i, k) -> Sim.Calendar.add q i ~key:k)
+    [ (5, 20); (0, 7); (1, 20); (6, 3); (3, 20); (2, 41) ];
+  check_int "size" 6 (Sim.Calendar.size q);
+  check_bool "mem" true (Sim.Calendar.mem q 6);
+  check_bool "not mem" false (Sim.Calendar.mem q 7);
+  check_int "key" 41 (Sim.Calendar.key q 2);
+  check_int "peek" 3 (Sim.Calendar.peek_min q);
+  let popped = List.init 6 (fun _ -> Sim.Calendar.pop_min q) in
+  Alcotest.(check (list int)) "pop order" [ 6; 0; 1; 3; 5; 2 ] popped;
+  check_int "empty peek" max_int (Sim.Calendar.peek_min q)
+
+let test_calendar_wraparound_years () =
+  (* Keys far beyond n_buckets * width force year wraparound and the
+     direct-search fallback. *)
+  let q = Sim.Calendar.create ~slots:4 ~width:3 in
+  List.iter
+    (fun (i, k) -> Sim.Calendar.add q i ~key:k)
+    [ (0, 1000); (1, 13); (2, 2000); (3, 500) ];
+  check_int "min across years" 13 (Sim.Calendar.peek_min q);
+  check_int "pop 1" 1 (Sim.Calendar.pop_min q);
+  check_int "pop 3" 3 (Sim.Calendar.pop_min q);
+  (* Re-add after popping: monotone keys are fine. *)
+  Sim.Calendar.add q 1 ~key:750;
+  check_int "pop re-added" 1 (Sim.Calendar.pop_min q);
+  check_int "pop 0" 0 (Sim.Calendar.pop_min q);
+  check_int "pop 2" 2 (Sim.Calendar.pop_min q);
+  check_int "size" 0 (Sim.Calendar.size q)
+
+let test_calendar_rejects_misuse () =
+  let expect_invalid name f =
+    let raised = try f (); false with Invalid_argument _ -> true in
+    check_bool name true raised
+  in
+  expect_invalid "slots < 1" (fun () ->
+      ignore (Sim.Calendar.create ~slots:0 ~width:1));
+  let q = Sim.Calendar.create ~slots:2 ~width:1 in
+  expect_invalid "pop empty" (fun () -> ignore (Sim.Calendar.pop_min q));
+  expect_invalid "slot range" (fun () -> Sim.Calendar.add q 2 ~key:0);
+  Sim.Calendar.add q 0 ~key:5;
+  expect_invalid "double add" (fun () -> Sim.Calendar.add q 0 ~key:9);
+  check_int "pop" 0 (Sim.Calendar.pop_min q);
+  expect_invalid "non-monotone key" (fun () -> Sim.Calendar.add q 1 ~key:4)
+
+let prop_calendar_matches_sorted_reference =
+  let arb =
+    QCheck.(
+      make
+        ~print:Print.(list (pair int int))
+        Gen.(
+          list_size (int_range 1 30)
+            (pair (int_range 0 29) (int_range 0 200))))
+  in
+  Test_util.qtest ~count:100 "calendar pops (key, slot)-sorted" arb (fun adds ->
+      let slots = 30 in
+      let q = Sim.Calendar.create ~slots ~width:7 in
+      (* Deduplicate slots (each may be enqueued once). *)
+      let seen = Hashtbl.create 8 in
+      let adds =
+        List.filter
+          (fun (s, _) ->
+            if Hashtbl.mem seen s then false else (Hashtbl.add seen s (); true))
+          adds
+      in
+      List.iter (fun (s, k) -> Sim.Calendar.add q s ~key:k) adds;
+      let expected =
+        List.sort
+          (fun (s1, k1) (s2, k2) ->
+            if k1 <> k2 then compare k1 k2 else compare s1 s2)
+          adds
+        |> List.map fst
+      in
+      let popped = List.map (fun _ -> Sim.Calendar.pop_min q) adds in
+      popped = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Fast engine vs. naive oracle: the differential tests behind the
+   skip-ahead engine (doc/SIMULATOR.md). Both engines must produce
+   bit-identical event streams and stats on every input. *)
+
+let capture_run ~fast ?overheads ~n_cores ~horizon tasks =
+  let log = Sim.Event_log.create ~n_cores in
+  let stats =
+    Engine.run ~fast ~hooks:(Sim.Event_log.hooks log) ~collect_trace:true
+      ?overheads ~n_cores ~horizon tasks
+  in
+  (stats, Sim.Event_log.events log)
+
+let engines_agree ?overheads ~n_cores ~horizon tasks =
+  let fast_stats, fast_events =
+    capture_run ~fast:true ?overheads ~n_cores ~horizon tasks
+  in
+  let naive_stats, naive_events =
+    capture_run ~fast:false ?overheads ~n_cores ~horizon tasks
+  in
+  (match Sim.Event_log.first_divergence fast_events naive_events with
+  | None -> ()
+  | Some (i, f, n) ->
+      let pp = function
+        | Some e -> Format.asprintf "%a" Sim.Event_log.pp_event e
+        | None -> "<end of stream>"
+      in
+      Alcotest.failf "schedule event %d diverges: fast has %s, naive has %s" i
+        (pp f) (pp n));
+  check_bool "stats bit-identical" true
+    (Sim.Metrics.equal_stats fast_stats naive_stats)
+
+(* Raw scenarios: pins, offsets, overloads (forcing aborts), non-zero
+   overheads — broader than what Scenario.of_taskset can build. *)
+let arb_raw_scenario =
+  let print (n_cores, specs, dc, mc) =
+    Format.asprintf "n_cores=%d dispatch=%d migration=%d tasks=%a" n_cores dc
+      mc
+      (Format.pp_print_list (fun ppf (w, s, o, p) ->
+           Format.fprintf ppf " (wcet %d, slack %d, offset %d, pin %d)" w s o p))
+      specs
+  in
+  QCheck.make ~print
+    QCheck.Gen.(
+      int_range 1 3 >>= fun n_cores ->
+      int_range 1 8 >>= fun n ->
+      list_repeat n
+        (quad (int_range 1 6) (int_range 0 18) (int_range 0 12)
+           (int_range 0 n_cores))
+      >>= fun specs ->
+      pair (int_range 0 2) (int_range 0 3) >>= fun (dc, mc) ->
+      return (n_cores, specs, dc, mc))
+
+let tasks_of_specs n_cores specs =
+  List.mapi
+    (fun i (wcet, slack, offset, pin) ->
+      let period = wcet + slack in
+      { Engine.st_id = i; st_name = Printf.sprintf "t%d" i; st_wcet = wcet;
+        st_period = period;
+        st_deadline = max wcet (period - (slack / 2));
+        st_prio = i;
+        st_core = (if pin = n_cores then None else Some pin);
+        st_offset = offset })
+    specs
+
+let prop_differential_raw =
+  Test_util.qtest ~count:120 "fast = naive on raw scenarios" arb_raw_scenario
+    (fun (n_cores, specs, dc, mc) ->
+      let tasks = tasks_of_specs n_cores specs in
+      engines_agree
+        ~overheads:{ Engine.dispatch_cost = dc; migration_cost = mc }
+        ~n_cores ~horizon:2500 tasks;
+      true)
+
+(* Scheme-shaped scenarios: every simulator policy (the pinning
+   patterns of HYDRA / HYDRA-C / GLOBAL-TMax), security periods at
+   both bounds. *)
+let prop_differential_policies =
+  let arb =
+    QCheck.pair
+      (Test_util.arb_taskset ~n_cores:2 ~n_rt:4 ~n_sec:3)
+      (QCheck.oneofl
+         [ (Policy.Fully_partitioned, true); (Policy.Fully_partitioned, false);
+           (Policy.Semi_partitioned, true); (Policy.Semi_partitioned, false);
+           (Policy.Global_all, true); (Policy.Global_all, false) ])
+  in
+  Test_util.qtest ~count:60 "fast = naive under every policy" arb
+    (fun (ts, (policy, tight)) ->
+      let assignment = Test_util.round_robin_assignment ts in
+      let n_sec = Array.length ts.Task.sec in
+      let bounds = Array.make n_sec 0 in
+      Array.iter
+        (fun s ->
+          bounds.(s.Task.sec_id) <-
+            (if tight then max 1 (s.Task.sec_period_max / 2)
+             else s.Task.sec_period_max))
+        ts.Task.sec;
+      let sec_cores =
+        if policy = Policy.Fully_partitioned then
+          Some (Array.init n_sec (fun j -> j mod 2))
+        else None
+      in
+      let built =
+        Scenario.of_taskset ts ~rt_assignment:assignment ~policy
+          ~sec_periods:bounds ?sec_cores ()
+      in
+      engines_agree ~n_cores:2 ~horizon:5000 built.Scenario.tasks;
+      true)
+
+(* Regression fixtures: deterministic scenarios concentrating the
+   corner cases the QCheck search space visits only occasionally —
+   same-tick release + completion + abort, abort of a running job
+   (segment closed, no preempt event), migration chains under
+   non-zero overheads, utilization-1 back-to-back execution. *)
+let test_differential_abort_of_running_job () =
+  (* Overloaded migrating task is aborted while running on its core. *)
+  let hog0 = task ~core:(Some 0) ~id:0 ~prio:0 ~wcet:4 ~period:8 () in
+  let hog1 = task ~core:(Some 1) ~offset:2 ~id:1 ~prio:1 ~wcet:5 ~period:10 () in
+  let over = task ~id:2 ~prio:2 ~wcet:7 ~period:7 () in
+  let spare = task ~id:3 ~prio:3 ~wcet:2 ~period:9 ~offset:1 () in
+  engines_agree ~n_cores:2 ~horizon:600 [ hog0; hog1; over; spare ]
+
+let test_differential_simultaneous_everything () =
+  (* Harmonic periods align releases, completions and aborts on the
+     same ticks across cores. *)
+  let tasks =
+    [ task ~core:(Some 0) ~id:0 ~prio:0 ~wcet:2 ~period:4 ();
+      task ~core:(Some 1) ~id:1 ~prio:1 ~wcet:4 ~period:4 ();
+      task ~id:2 ~prio:2 ~wcet:4 ~period:8 ();
+      task ~id:3 ~prio:3 ~wcet:8 ~period:8 ();
+      task ~id:4 ~prio:4 ~wcet:2 ~period:16 () ]
+  in
+  engines_agree ~n_cores:2 ~horizon:800 tasks
+
+let test_differential_overheads_thrash () =
+  (* Dispatch + migration costs under heavy preemption and migration:
+     overhead-inflated jobs cross their own release boundaries. *)
+  let tasks =
+    [ task ~core:(Some 0) ~id:0 ~prio:0 ~wcet:1 ~period:3 ();
+      task ~core:(Some 1) ~id:1 ~prio:1 ~wcet:1 ~period:3 ~offset:1 ();
+      task ~id:2 ~prio:2 ~wcet:2 ~period:5 ();
+      task ~id:3 ~prio:3 ~wcet:3 ~period:7 () ]
+  in
+  engines_agree
+    ~overheads:{ Engine.dispatch_cost = 1; migration_cost = 2 }
+    ~n_cores:2 ~horizon:700 tasks
+
+let test_differential_util_one_chain () =
+  let tasks =
+    [ task ~id:0 ~prio:0 ~wcet:10 ~period:10 ();
+      task ~id:1 ~prio:1 ~wcet:5 ~period:50 () ]
+  in
+  engines_agree ~n_cores:1 ~horizon:1000 tasks
+
+let test_decision_events_counted () =
+  (* One task, wcet 2, period 10, horizon 100: decision points are
+     t=0 and then each completion/release boundary; both engines must
+     agree and the count must be positive. *)
+  let t = task ~id:0 ~prio:0 ~wcet:2 ~period:10 () in
+  let fast = Engine.run ~fast:true ~n_cores:1 ~horizon:100 [ t ] in
+  let naive = Engine.run ~fast:false ~n_cores:1 ~horizon:100 [ t ] in
+  check_int "equal decision counts" naive.Engine.decision_events
+    fast.Engine.decision_events;
+  (* 10 releases + 10 completions, release and completion never
+     coincide (wcet < period): 20 decision points. *)
+  check_int "exact decision count" 20 fast.Engine.decision_events
+
 let () =
   Alcotest.run "sim"
     [ ( "engine",
@@ -727,4 +975,25 @@ let () =
             test_scenario_requires_sec_cores;
           Alcotest.test_case "rover RT never misses" `Quick
             test_scenario_rt_no_misses_on_rover;
-          prop_rt_isolated_from_security ] ) ]
+          prop_rt_isolated_from_security ] );
+      ( "calendar",
+        [ Alcotest.test_case "orders and ties" `Quick
+            test_calendar_orders_and_ties;
+          Alcotest.test_case "wraparound years" `Quick
+            test_calendar_wraparound_years;
+          Alcotest.test_case "rejects misuse" `Quick
+            test_calendar_rejects_misuse;
+          prop_calendar_matches_sorted_reference ] );
+      ( "differential",
+        [ prop_differential_raw;
+          prop_differential_policies;
+          Alcotest.test_case "abort of running job" `Quick
+            test_differential_abort_of_running_job;
+          Alcotest.test_case "simultaneous everything" `Quick
+            test_differential_simultaneous_everything;
+          Alcotest.test_case "overheads thrash" `Quick
+            test_differential_overheads_thrash;
+          Alcotest.test_case "util-1 chain" `Quick
+            test_differential_util_one_chain;
+          Alcotest.test_case "decision events counted" `Quick
+            test_decision_events_counted ] ) ]
