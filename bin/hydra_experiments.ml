@@ -8,17 +8,61 @@ open Cmdliner
 
 let std = Format.std_formatter
 
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile-runtime" ]
+           ~doc:"Profile the OCaml runtime and the worker pool: subscribe to                  the runtime's event rings (GC pause histograms                  gc.minor_pause_ns / gc.major_pause_ns, per-domain pause                  counters, domain lifecycle) and record per-worker pool                  scheduling metrics (busy/idle time, queue waits). Implies                  collection; adds per-domain 'ocaml runtime' rows to                  --trace-out. Profiling metrics are wall-clock and vary                  across --jobs, so a snapshot taken with this flag is                  outside the byte-identical determinism contract                  (doc/OBSERVABILITY.md). Stdout is still unaffected.")
+
+let stream_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-stream" ] ~docv:"FILE"
+           ~doc:"Append a time series of metrics deltas (JSONL, one                  hydra_c.metrics_delta/1 object per line) to FILE: one line                  per phase boundary, plus one every --stream-period-ms if                  set, plus a final line. Folding the whole stream                  reconstructs the full snapshot exactly ('hydra_c obs-report                  FILE' does). Implies collection; stdout is unaffected.")
+
+let stream_period_arg =
+  Arg.(value & opt int 0 & info [ "stream-period-ms" ] ~docv:"MS"
+         ~doc:"With --metrics-stream, also tick the stream every MS                milliseconds from a background domain (0, the default,                disables periodic ticks — phase boundaries still tick).")
+
+(* The observability context of one command invocation: the registry
+   (if any collection was requested) plus the open JSONL metrics
+   stream (--metrics-stream). Phase boundaries tick the stream, so a
+   stream without --stream-period-ms still gets one delta line per
+   phase. *)
+type obs_ctx = {
+  oc_obs : Hydra_obs.t option;
+  oc_stream : Hydra_obs.Snapshot.Stream.stream option;
+}
+
+let no_ctx = { oc_obs = None; oc_stream = None }
+
+(* "sweep M=2" -> "sweep_m_2": phase labels double as span metric
+   names (phase.<slug>), which keeps to the dot-separated lowercase
+   catalog convention. *)
+let slug label =
+  String.map
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c -> c
+      | _ -> '_')
+    label
+
 (* Phase timings go to stderr: stdout must stay byte-identical across
    --jobs values (the determinism contract, doc/PARALLELISM.md). The
    monotonic clock (Hydra_obs.now_ns) rather than wall-clock time, so
    durations survive clock steps — and rule D1 of [dune build @lint]
-   stays clean (doc/STATIC_ANALYSIS.md). *)
-let timed ~jobs label f =
+   stays clean (doc/STATIC_ANALYSIS.md). Each phase is also a real
+   [phase.<slug>] span in the registry (span {e counts} are
+   deterministic, so snapshots stay byte-identical; durations are only
+   exported under --trace-out / include_timings) and a tick of the
+   metrics stream, labelled with the phase. *)
+let timed ?(ctx = no_ctx) ~jobs label f =
   let t0 = Hydra_obs.now_ns () in
-  let r = f () in
+  let r = Hydra_obs.span ctx.oc_obs ("phase." ^ slug label) f in
   Format.eprintf "[time] %-24s %8.2f s  (jobs=%d)@." label
     (float_of_int (Hydra_obs.now_ns () - t0) /. 1e9)
     jobs;
+  (match ctx.oc_stream with
+  | Some st -> Hydra_obs.Snapshot.Stream.tick ~label:(slug label) st
+  | None -> ());
   r
 
 let metrics_arg =
@@ -37,19 +81,66 @@ let metrics_out_arg =
            ~doc:"Write a machine-readable metrics snapshot (schema                  hydra_c.metrics/1: counters, distributions, latency                  histograms with quantiles, span counts) as JSON to FILE.                  Deterministic: byte-identical for every --jobs value.                  Implies collection; stdout is unaffected                  (doc/OBSERVABILITY.md).")
 
 (* One Hydra_obs registry per command invocation, created only when
-   --metrics, --trace-out or --metrics-out asks for it: the [None]
-   default keeps every instrumented code path a no-op. The summary goes
-   to stderr and the trace/snapshot to files so stdout stays
-   byte-identical to an uninstrumented run (the determinism contract,
-   doc/PARALLELISM.md). [sched_log], when given (fig5 + --trace-out),
-   contributes the simulated schedule as a second Perfetto process
-   (pid 1) in the same trace file. *)
-let with_obs ?sched_log ~metrics ~trace_out ~metrics_out f =
-  if (not metrics) && trace_out = None && metrics_out = None then f None
-  else
+   --metrics, --trace-out, --metrics-out, --metrics-stream or
+   --profile-runtime asks for it: the [None] default keeps every
+   instrumented code path a no-op. The summary goes to stderr and the
+   trace/snapshot/stream to files so stdout stays byte-identical to an
+   uninstrumented run (the determinism contract, doc/PARALLELISM.md).
+   [sched_log], when given (fig5 + --trace-out), contributes the
+   simulated schedule as a second Perfetto process (pid 1) in the same
+   trace file; --profile-runtime contributes the OCaml runtime's GC
+   rows as a third (pid 2) and flips the registry into profiling mode
+   (pool scheduling metrics, GC histograms — nondeterministic, outside
+   the snapshot contract; doc/OBSERVABILITY.md). *)
+let with_obs ?sched_log ~metrics ~trace_out ~metrics_out ~profile ~stream
+    ~stream_period f =
+  if
+    (not metrics) && (not profile) && trace_out = None && metrics_out = None
+    && stream = None
+  then f no_ctx
+  else begin
     let obs = Hydra_obs.create () in
+    if profile then Hydra_obs.enable_profiling obs;
+    let profiler =
+      if not profile then None
+      else
+        match Hydra_obs.Runtime.start obs with
+        | Some _ as p -> p
+        | None ->
+            Format.eprintf
+              "[obs] Runtime_events unavailable; GC/domain profiling \
+               disabled@.";
+            None
+    in
+    let st =
+      Option.map (fun path -> Hydra_obs.Snapshot.Stream.create obs ~path)
+        stream
+    in
+    let ticker =
+      match st with
+      | Some s when stream_period > 0 ->
+          Some
+            (Hydra_obs.Ticker.start ~period_ms:stream_period (fun () ->
+                 Hydra_obs.Snapshot.Stream.tick s))
+      | _ -> None
+    in
     Fun.protect
       ~finally:(fun () ->
+        (match ticker with
+        | Some tk -> Hydra_obs.Ticker.stop tk
+        | None -> ());
+        (* stop the profiler before the final stream tick / snapshot so
+           the last drained GC events are included *)
+        (match profiler with
+        | Some p -> Hydra_obs.Runtime.stop p
+        | None -> ());
+        (match st with
+        | Some s ->
+            Hydra_obs.Snapshot.Stream.tick ~label:"final" s;
+            Hydra_obs.Snapshot.Stream.close s;
+            Format.eprintf "[obs] wrote metrics stream to %s@."
+              (Option.get stream)
+        | None -> ());
         if metrics then Hydra_obs.pp_summary Format.err_formatter obs;
         (match metrics_out with
         | Some path ->
@@ -59,14 +150,19 @@ let with_obs ?sched_log ~metrics ~trace_out ~metrics_out f =
         match trace_out with
         | Some path ->
             let extra =
-              match sched_log with
+              (match sched_log with
               | Some log -> Sim.Event_log.chrome_events log ~pid:1
+              | None -> [])
+              @
+              match profiler with
+              | Some p -> Hydra_obs.Runtime.chrome_events p ~pid:2
               | None -> []
             in
             Hydra_obs.write_chrome_trace ~extra obs ~path;
             Format.eprintf "[obs] wrote Chrome trace to %s@." path
         | None -> ())
-      (fun () -> f (Some obs))
+      (fun () -> f { oc_obs = Some obs; oc_stream = st })
+  end
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
@@ -160,7 +256,7 @@ let export dat_dir f =
       Format.printf "[export] wrote %s@." path
 
 let run_fig5 jobs sim_fast seed trials horizon deployment dat_dir metrics
-    trace_out metrics_out =
+    trace_out metrics_out profile stream stream_period =
   (* The schedule log only exists when a trace file was requested; it
      records trial 0's HYDRA-C run on the rover's cores. *)
   let sched_log =
@@ -170,20 +266,24 @@ let run_fig5 jobs sim_fast seed trials horizon deployment dat_dir metrics
         let ts = Security.Rover.taskset () in
         Some (Sim.Event_log.create ~n_cores:ts.Rtsched.Task.n_cores)
   in
-  with_obs ?sched_log ~metrics ~trace_out ~metrics_out @@ fun obs ->
+  with_obs ?sched_log ~metrics ~trace_out ~metrics_out ~profile ~stream
+    ~stream_period
+  @@ fun ctx ->
+  let obs = ctx.oc_obs in
   let report =
-    timed ~jobs "fig5" (fun () ->
+    timed ~ctx ~jobs "fig5" (fun () ->
         Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs
           ?sched_log ~sim_fast ())
   in
   Experiments.Fig5.render std report;
   export dat_dir (fun ~dir -> Experiments.Dat_export.fig5 ~dir report)
 
-let sweeps ?obs ~fast jobs policy seed per_group cores =
+let sweeps ~ctx ~fast jobs policy seed per_group cores =
+  let obs = ctx.oc_obs in
   List.map
     (fun m ->
       Format.printf "[sweep] M=%d: %d tasksets x 10 groups...@." m per_group;
-      timed ~jobs
+      timed ~ctx ~jobs
         (Printf.sprintf "sweep M=%d" m)
         (fun () ->
           Experiments.Sweep.run ~policy ~fast ?obs ~n_cores:m ~per_group ~seed
@@ -191,9 +291,10 @@ let sweeps ?obs ~fast jobs policy seed per_group cores =
     cores
 
 let run_fig6 jobs policy fast seed per_group cores dat_dir metrics trace_out
-    metrics_out =
-  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
-  sweeps ?obs ~fast jobs policy seed per_group cores
+    metrics_out profile stream stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+  @@ fun ctx ->
+  sweeps ~ctx ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig;
@@ -201,9 +302,10 @@ let run_fig6 jobs policy fast seed per_group cores dat_dir metrics trace_out
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
 let run_fig7 which jobs policy fast seed per_group cores dat_dir metrics
-    trace_out metrics_out =
-  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
-  sweeps ?obs ~fast jobs policy seed per_group cores
+    trace_out metrics_out profile stream stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+  @@ fun ctx ->
+  sweeps ~ctx ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig = Experiments.Fig7.of_sweep sweep in
          (match which with
@@ -220,9 +322,12 @@ let run_fig7 which jobs policy fast seed per_group cores dat_dir metrics
              export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig)));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores)
 
-let run_ablation jobs seed per_group cores metrics trace_out metrics_out =
-  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
-  timed ~jobs "ablation" (fun () ->
+let run_ablation jobs seed per_group cores metrics trace_out metrics_out
+    profile stream stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+  @@ fun ctx ->
+  let obs = ctx.oc_obs in
+  timed ~ctx ~jobs "ablation" (fun () ->
       Experiments.Ablation.run_all ~jobs ?obs std ~seed ~per_group ~cores)
 
 let run_analyze policy file =
@@ -284,25 +389,29 @@ let run_analyze policy file =
             (Hydra.Sensitivity.analyze ~policy sys ts.Rtsched.Task.sec))
 
 let run_report jobs seed trials per_group cores out metrics trace_out
-    metrics_out =
-  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
+    metrics_out profile stream stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+  @@ fun ctx ->
+  let obs = ctx.oc_obs in
   let scale =
     { Experiments.Report.sc_seed = seed; sc_trials = trials;
       sc_per_group = per_group; sc_cores = cores;
       sc_validate_tasksets = 50 }
   in
-  timed ~jobs "report" (fun () ->
+  timed ~ctx ~jobs "report" (fun () ->
       Experiments.Report.write ~jobs ?obs scale ~path:out);
   Format.printf "wrote %s@." out
 
 let run_validate jobs policy sim_fast seed tasksets cores metrics trace_out
-    metrics_out =
-  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
+    metrics_out profile stream stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+  @@ fun ctx ->
+  let obs = ctx.oc_obs in
   List.iter
     (fun n_cores ->
       Format.printf "[validate] M=%d, %d tasksets...@." n_cores tasksets;
       let result =
-        timed ~jobs
+        timed ~ctx ~jobs
           (Printf.sprintf "validate M=%d" n_cores)
           (fun () ->
             Experiments.Validation.run ~policy ?obs ~sim_fast ~n_cores
@@ -312,13 +421,15 @@ let run_validate jobs policy sim_fast seed tasksets cores metrics trace_out
     cores
 
 let run_all jobs policy fast sim_fast seed trials horizon per_group cores
-    dat_dir metrics trace_out metrics_out =
-  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
+    dat_dir metrics trace_out metrics_out profile stream stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+  @@ fun ctx ->
+  let obs = ctx.oc_obs in
   let t0 = Hydra_obs.now_ns () in
   run_tables ();
   let fig5_under deployment =
     let report =
-      timed ~jobs "fig5" (fun () ->
+      timed ~ctx ~jobs "fig5" (fun () ->
           Experiments.Fig5.run ~seed ~trials ~horizon ~deployment ~jobs ?obs
             ~sim_fast ())
     in
@@ -327,7 +438,7 @@ let run_all jobs policy fast sim_fast seed trials horizon per_group cores
   in
   fig5_under Experiments.Fig5.Tmax;
   fig5_under Experiments.Fig5.Adapted;
-  sweeps ?obs ~fast jobs policy seed per_group cores
+  sweeps ~ctx ~fast jobs policy seed per_group cores
   |> List.iter (fun sweep ->
          let fig6 = Experiments.Fig6.of_sweep sweep in
          Experiments.Fig6.render std fig6;
@@ -338,7 +449,7 @@ let run_all jobs policy fast sim_fast seed trials horizon per_group cores
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig7a ~dir fig);
          export dat_dir (fun ~dir -> Experiments.Dat_export.fig7b ~dir fig));
   export dat_dir (fun ~dir -> Experiments.Dat_export.gnuplot_script ~dir ~cores);
-  timed ~jobs "ablation" (fun () ->
+  timed ~ctx ~jobs "ablation" (fun () ->
       Experiments.Ablation.run_all ~jobs ?obs std ~seed
         ~per_group:(max 1 (per_group / 5))
         ~cores);
@@ -352,17 +463,20 @@ let run_all jobs policy fast sim_fast seed trials horizon per_group cores
    [hydra-experiments --jobs 4 --metrics --trace-out t.json] exercises
    and exports every metric family while keeping stdout identical to a
    plain [hydra-experiments --jobs 1] run. *)
-let run_smoke jobs fast sim_fast metrics trace_out metrics_out =
-  with_obs ~metrics ~trace_out ~metrics_out @@ fun obs ->
+let run_smoke jobs fast sim_fast metrics trace_out metrics_out profile stream
+    stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+  @@ fun ctx ->
+  let obs = ctx.oc_obs in
   Format.printf "[smoke] fixed-scale smoke workload (M=2, seed 42)@.";
   let sweep =
-    timed ~jobs "smoke sweep" (fun () ->
+    timed ~ctx ~jobs "smoke sweep" (fun () ->
         Experiments.Sweep.run ~fast ?obs ~n_cores:2 ~per_group:8 ~seed:42
           ~jobs ())
   in
   Experiments.Fig7.render_a std (Experiments.Fig7.of_sweep sweep);
   let result =
-    timed ~jobs "smoke validate" (fun () ->
+    timed ~ctx ~jobs "smoke validate" (fun () ->
         Experiments.Validation.run ?obs ~sim_fast ~n_cores:2 ~tasksets:10
           ~seed:42 ~jobs ())
   in
@@ -376,25 +490,25 @@ let cmd_fig5 =
   Cmd.v (Cmd.info "fig5" ~doc:"Rover detection-latency experiment (Fig. 5).")
     Term.(const run_fig5 $ jobs_arg $ sim_fast_arg $ seed_arg $ trials_arg
           $ horizon_arg $ deploy_arg $ dat_dir_arg $ metrics_arg
-          $ trace_out_arg $ metrics_out_arg)
+          $ trace_out_arg $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let cmd_fig6 =
   Cmd.v (Cmd.info "fig6" ~doc:"Period-distance sweep (Fig. 6).")
     Term.(const run_fig6 $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
-          $ trace_out_arg $ metrics_out_arg)
+          $ trace_out_arg $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let cmd_fig7a =
   Cmd.v (Cmd.info "fig7a" ~doc:"Acceptance-ratio sweep (Fig. 7a).")
     Term.(const (run_fig7 `A) $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
-          $ trace_out_arg $ metrics_out_arg)
+          $ trace_out_arg $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let cmd_fig7b =
   Cmd.v (Cmd.info "fig7b" ~doc:"Period-difference sweep (Fig. 7b).")
     Term.(const (run_fig7 `B) $ jobs_arg $ policy_arg $ fast_arg $ seed_arg
           $ per_group_arg $ cores_arg $ dat_dir_arg $ metrics_arg
-          $ trace_out_arg $ metrics_out_arg)
+          $ trace_out_arg $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let tasksets_arg =
   Arg.(value & opt int 100 & info [ "tasksets" ] ~docv:"N"
@@ -421,7 +535,7 @@ let cmd_report =
        ~doc:"Regenerate every artifact and write a Markdown report.")
     Term.(const run_report $ jobs_arg $ seed_arg $ trials_arg $ per_group_arg
           $ cores_arg $ out_arg $ metrics_arg $ trace_out_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let cmd_validate =
   Cmd.v
@@ -430,7 +544,7 @@ let cmd_validate =
              simulator (soundness + tightness).")
     Term.(const run_validate $ jobs_arg $ policy_arg $ sim_fast_arg $ seed_arg
           $ tasksets_arg $ cores_arg $ metrics_arg $ trace_out_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let cmd_ablation =
   Cmd.v
@@ -439,18 +553,100 @@ let cmd_ablation =
              order.")
     Term.(const run_ablation $ jobs_arg $ seed_arg $ per_group_arg
           $ cores_arg $ metrics_arg $ trace_out_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let cmd_all =
   Cmd.v (Cmd.info "all" ~doc:"Everything: tables, figures, ablations.")
     Term.(const run_all $ jobs_arg $ policy_arg $ fast_arg $ sim_fast_arg
           $ seed_arg $ trials_arg $ horizon_arg $ per_group_arg $ cores_arg
           $ dat_dir_arg $ metrics_arg $ trace_out_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
+
+(* --------------------------------------------------------------- *)
+(* obs-report: offline consumer of the snapshot artifacts.
+
+   Exit codes: 0 = ok, 1 = a watched metric regressed past
+   --max-regression, 2 = unreadable/malformed input (cmdliner itself
+   uses 124/125 for CLI errors). Output is deterministic (sorted keys,
+   fixed columns), so CI can diff it. *)
+
+let run_obs_report files max_regression watch all_rows =
+  let load path =
+    match Hydra_obs.Report.load path with
+    | Ok snap -> snap
+    | Error msg ->
+        Format.eprintf "obs-report: %s@." msg;
+        exit 2
+  in
+  let watch_pred key =
+    watch = [] || List.exists (fun p -> String.starts_with ~prefix:p key) watch
+  in
+  match files with
+  | [ path ] ->
+      Format.printf "%a" Hydra_obs.Report.pp_summary (load path)
+  | [ before_path; after_path ] -> (
+      let changes =
+        Hydra_obs.Report.diff (load before_path) (load after_path)
+      in
+      Format.printf "%a" (Hydra_obs.Report.pp_diff ~only_changed:(not all_rows))
+        changes;
+      match max_regression with
+      | None -> ()
+      | Some threshold_pct ->
+          let bad =
+            Hydra_obs.Report.regressions ~watch:watch_pred ~threshold_pct
+              changes
+          in
+          if bad <> [] then begin
+            Format.printf "@.%d metric(s) regressed more than %+.1f%%:@."
+              (List.length bad) threshold_pct;
+            List.iter
+              (fun (c : Hydra_obs.Report.change) ->
+                let pct =
+                  match Hydra_obs.Report.pct_change c with
+                  | Some p when Float.is_finite p ->
+                      Format.asprintf "%+.1f%%" p
+                  | _ -> "+inf"
+                in
+                Format.printf "  %-42s %9s@." c.key pct)
+              bad;
+            exit 1
+          end)
+  | _ ->
+      Format.eprintf
+        "obs-report: expected one snapshot file (summary) or two (diff)@.";
+      exit 2
+
+let report_files_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"FILE"
+           ~doc:"Metrics artifacts: a full hydra_c.metrics/1 snapshot                  (--metrics-out) or a hydra_c.metrics_delta/1 JSONL stream                  (--metrics-stream; deltas are folded). One file renders a                  summary; two render the diff (first = before, second =                  after).")
+
+let max_regression_arg =
+  Arg.(value & opt (some float) None
+       & info [ "max-regression" ] ~docv:"PCT"
+           ~doc:"With two files: exit 1 if any watched metric increased by                  more than PCT percent (a metric appearing out of nowhere                  counts as an infinite increase). Without this option the                  diff is informational only.")
+
+let watch_arg =
+  Arg.(value & opt_all string []
+       & info [ "watch" ] ~docv:"PREFIX"
+           ~doc:"Restrict the --max-regression gate to metrics whose                  flattened key starts with PREFIX (repeatable; default: all                  metrics). E.g. --watch analysis. --watch sim.events.")
+
+let all_rows_arg =
+  Arg.(value & flag
+       & info [ "all" ]
+           ~doc:"In a diff, also print rows whose value did not change.")
+
+let cmd_obs_report =
+  Cmd.v
+    (Cmd.info "obs-report"
+       ~doc:"Summarize or diff metrics snapshots (--metrics-out JSON or                --metrics-stream JSONL): deterministic tables, plus a                threshold-gated exit code for CI regression checks.")
+    Term.(const run_obs_report $ report_files_arg $ max_regression_arg
+          $ watch_arg $ all_rows_arg)
 
 let smoke_term =
   Term.(const run_smoke $ jobs_arg $ fast_arg $ sim_fast_arg $ metrics_arg
-          $ trace_out_arg $ metrics_out_arg)
+          $ trace_out_arg $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let () =
   let info =
@@ -464,4 +660,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:smoke_term info
           [ cmd_tables; cmd_fig5; cmd_fig6; cmd_fig7a; cmd_fig7b;
-            cmd_ablation; cmd_validate; cmd_analyze; cmd_report; cmd_all ]))
+            cmd_ablation; cmd_validate; cmd_analyze; cmd_report;
+            cmd_obs_report; cmd_all ]))

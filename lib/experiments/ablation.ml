@@ -8,11 +8,11 @@ let groups = List.init 10 (fun g -> g)
 (* Generate one batch of tasksets per group with a private stream per
    taskset, pre-split in group-major order (same convention as Sweep)
    so the batch is identical for any [jobs]. *)
-let generate_batch ?jobs config ~seed ~per_group =
+let generate_batch ?jobs ?obs config ~seed ~per_group =
   let rng = Rng.create seed in
   let n = List.length groups * per_group in
   let streams = Rng.split_n rng n in
-  Parallel.Pool.map ?jobs
+  Parallel.Pool.map ?obs ?jobs
     (fun i ->
       let group = i / per_group in
       Option.map
@@ -43,9 +43,9 @@ let run_carry_in ?jobs ?obs ppf ~seed ~per_group ~n_cores =
     { (Generator.default_config ~n_cores) with
       Generator.sec_count = (2, 2 * n_cores) }
   in
-  let batch = generate_batch ?jobs config ~seed ~per_group in
+  let batch = generate_batch ?jobs ?obs config ~seed ~per_group in
   let evaluate policy =
-    Parallel.Pool.map_list ?jobs
+    Parallel.Pool.map_list ?obs ?jobs
       (fun (_, g) -> hydra_c_outcome ~policy ?obs g)
       batch
   in
@@ -93,9 +93,9 @@ let run_partition ?jobs ?obs ppf ~seed ~per_group ~n_cores =
           { (Generator.default_config ~n_cores) with
             Generator.partition_heuristic = h }
         in
-        let batch = generate_batch ?jobs config ~seed ~per_group in
+        let batch = generate_batch ?jobs ?obs config ~seed ~per_group in
         let outcomes =
-          Parallel.Pool.map_list ?jobs
+          Parallel.Pool.map_list ?obs ?jobs
             (fun (_, g) -> hydra_c_outcome ?obs g)
             batch
         in
@@ -119,12 +119,12 @@ let run_partition ?jobs ?obs ppf ~seed ~per_group ~n_cores =
 let run_priority_order ?jobs ?obs ppf ~seed ~per_group ~n_cores =
   Hydra_obs.span obs "ablation.priority_order" @@ fun () ->
   let config = Generator.default_config ~n_cores in
-  let batch = generate_batch ?jobs config ~seed ~per_group in
+  let batch = generate_batch ?jobs ?obs config ~seed ~per_group in
   let rows =
     List.map
       (fun ordering ->
         let outcomes =
-          Parallel.Pool.map_list ?jobs
+          Parallel.Pool.map_list ?obs ?jobs
             (fun (_, (g : Generator.generated)) ->
               let ts = g.Generator.taskset in
               let sec' = Hydra.Priority_assignment.apply ordering ts.Task.sec in
@@ -159,7 +159,7 @@ let run_priority_order ?jobs ?obs ppf ~seed ~per_group ~n_cores =
 let run_hydra_variants ?jobs ?obs ppf ~seed ~per_group ~n_cores =
   Hydra_obs.span obs "ablation.hydra_variants" @@ fun () ->
   let config = Generator.default_config ~n_cores in
-  let batch = generate_batch ?jobs config ~seed ~per_group in
+  let batch = generate_batch ?jobs ?obs config ~seed ~per_group in
   let bounds_of (ts : Task.taskset) =
     let v = Array.make (Array.length ts.Task.sec) 0 in
     Array.iter (fun s -> v.(s.Task.sec_id) <- s.Task.sec_period_max) ts.Task.sec;
@@ -168,7 +168,7 @@ let run_hydra_variants ?jobs ?obs ppf ~seed ~per_group ~n_cores =
   (* Evaluate one variant: (accepted, mean distance of the accepted). *)
   let evaluate label run =
     let results =
-      Parallel.Pool.map_list ?jobs
+      Parallel.Pool.map_list ?obs ?jobs
         (fun (_, (g : Generator.generated)) ->
           let ts = g.Generator.taskset in
           let n_sec = Array.length ts.Task.sec in
@@ -232,7 +232,7 @@ let run_hydra_variants ?jobs ?obs ppf ~seed ~per_group ~n_cores =
   (* Paired comparison on the tasksets both HYDRA-C and the
      coordinated variant schedule (the honest Fig. 7b-style number). *)
   let paired =
-    Parallel.Pool.map_list ?jobs
+    Parallel.Pool.map_list ?obs ?jobs
       (fun (_, (g : Generator.generated)) ->
         match (hydra_c g, hydra_coordinated g) with
         | Some ours, Some other ->

@@ -237,7 +237,7 @@ let run ?(seed = 42) ?(trials = 35) ?(horizon = 45000) ?(deployment = Tmax)
       common ~scheme:"hydra" ~policy:Sim.Policy.Fully_partitioned
         ~periods:hy_periods ~sec_cores:(Some hy_cores) () )
   in
-  let results = Parallel.Pool.map ?jobs trial trials in
+  let results = Parallel.Pool.map ?obs ?jobs trial trials in
   (* Last trial first, matching the original accumulation order: the
      float means must not move with [jobs]. *)
   let outcomes_c = List.rev_map fst (Array.to_list results)

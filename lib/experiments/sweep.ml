@@ -60,7 +60,7 @@ let run ?policy ?fast ?config ?(schemes = Scheme.all) ?jobs ?obs ~n_cores
   let n = config.Generator.util_groups * per_group in
   let streams = Taskgen.Rng.split_n rng n in
   let records =
-    Parallel.Pool.map ?jobs
+    Parallel.Pool.map ?obs ?jobs
       (fun i ->
         (* The span runs on the worker domain; the exporter attributes
            it to that domain's trace row. *)

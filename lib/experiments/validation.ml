@@ -62,7 +62,7 @@ let run ?policy ?config ?(horizon = 100_000) ?jobs ?obs ?sim_fast ~n_cores
      generation + simulation parallelize without changing any number. *)
   let streams = Taskgen.Rng.split_n rng tasksets in
   let results =
-    Parallel.Pool.map ?jobs
+    Parallel.Pool.map ?obs ?jobs
       (fun i ->
         Hydra_obs.span obs "validation.item" @@ fun () ->
         let group = i mod config.Generator.util_groups in

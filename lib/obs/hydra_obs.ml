@@ -1,5 +1,43 @@
 external now_ns : unit -> int = "hydra_obs_monotonic_ns" [@@noalloc]
 
+(* Blocking nanosleep that releases the runtime lock (so a sleeping
+   ticker domain never stalls a stop-the-world collection of the
+   workers it is observing). Not [@@noalloc]: the stub enters a
+   blocking section. *)
+external sleep_ns : int -> unit = "hydra_obs_sleep_ns"
+
+(* ------------------------------------------------------------------ *)
+(* Ticker: a background domain calling [f] every [period_ms].
+
+   Used for the periodic halves of the profiling layer — draining the
+   Runtime_events rings before they overflow, and appending JSONL
+   snapshot deltas for long-running commands. The callback runs on the
+   ticker's own domain, so everything it touches must be domain-safe
+   (registry recording and [Snapshot.Stream.tick] both are). [stop]
+   joins the domain: it returns only after the last tick has finished,
+   and re-raises any exception the callback escaped with. *)
+
+module Ticker = struct
+  type ticker = { tk_stop : bool Atomic.t; tk_domain : unit Domain.t }
+
+  let start ~period_ms f =
+    if period_ms < 1 then invalid_arg "Ticker.start: period_ms < 1";
+    let tk_stop = Atomic.make false in
+    let period_ns = period_ms * 1_000_000 in
+    let tk_domain =
+      Domain.spawn (fun () ->
+          while not (Atomic.get tk_stop) do
+            sleep_ns period_ns;
+            if not (Atomic.get tk_stop) then f ()
+          done)
+    in
+    { tk_stop; tk_domain }
+
+  let stop tk =
+    Atomic.set tk.tk_stop true;
+    Domain.join tk.tk_domain
+end
+
 (* ------------------------------------------------------------------ *)
 (* Striped atomic cells.
 
@@ -245,6 +283,7 @@ type t = {
   hists : (string, hist) Hashtbl.t;
   spans : (string, dist) Hashtbl.t;
   events : event list Atomic.t;
+  profiling : bool Atomic.t;
 }
 
 let next_id = Atomic.make 0
@@ -257,7 +296,22 @@ let create () =
     dists = Hashtbl.create 16;
     hists = Hashtbl.create 16;
     spans = Hashtbl.create 16;
-    events = Atomic.make [] }
+    events = Atomic.make [];
+    profiling = Atomic.make false }
+
+(* Profiling is an opt-in sub-capability of a registry: metrics that
+   are inherently nondeterministic — wall-clock pool scheduling
+   numbers, GC pauses — are recorded only when the registry has it
+   enabled, so a plain --metrics/--metrics-out run keeps the
+   byte-identical-across---jobs snapshot contract and a
+   --profile-runtime run knowingly trades it away
+   (doc/OBSERVABILITY.md). *)
+
+let enable_profiling t = Atomic.set t.profiling true
+
+let profiling_enabled = function
+  | None -> false
+  | Some t -> Atomic.get t.profiling
 
 (* Per-domain handle caches: name resolution takes the registry mutex
    only on a domain's first use of a metric; afterwards the lookup is a
@@ -630,4 +684,399 @@ module Snapshot = struct
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (to_json ?include_timings t);
         Out_channel.output_char oc '\n')
+
+  (* ---------------------------------------------------------------- *)
+  (* Time-series snapshots: one hydra_c.metrics_delta/1 JSON object
+     per tick, appended as JSONL. Each line carries only what moved
+     since the previous tick — counter deltas, dist/histogram
+     count/sum/bucket deltas (minima and maxima are cumulative: they
+     are not invertible, so each line carries the current value) —
+     which keeps lines small for long-running commands and makes the
+     fold over a stream reproduce the full snapshot exactly
+     (Obs_report.of_string; round-trip tested in
+     test/test_obs_report.ml). Ticks may come from any domain (the
+     phase boundaries of the CLI, or a Ticker): a mutex serializes
+     them, and the registry reads they perform are the same
+     stripe-summing reads every exporter uses. *)
+
+  module Stream = struct
+    let schema = "hydra_c.metrics_delta/1"
+
+    type stream = {
+      st_reg : t;
+      st_oc : Out_channel.t;
+      st_mu : Mutex.t;
+      mutable st_seq : int;
+      mutable st_closed : bool;
+      prev_counters : (string, int) Hashtbl.t;
+      prev_dists : (string, int * int) Hashtbl.t;  (* count, sum *)
+      prev_hists : (string, int * int * (int * int) list) Hashtbl.t;
+          (* count, sum, occupied buckets *)
+      prev_spans : (string, int) Hashtbl.t;
+    }
+
+    let create reg ~path =
+      { st_reg = reg; st_oc = Out_channel.open_text path;
+        st_mu = Mutex.create (); st_seq = 0; st_closed = false;
+        prev_counters = Hashtbl.create 32; prev_dists = Hashtbl.create 16;
+        prev_hists = Hashtbl.create 16; prev_spans = Hashtbl.create 16 }
+
+    (* [cur] and [prev] are both ascending by bucket upper bound, and
+       bucket counts never decrease, so [prev] is a sub-multiset of
+       [cur]. *)
+    let rec bucket_delta cur prev =
+      match (cur, prev) with
+      | rest, [] -> List.filter (fun (_, c) -> c <> 0) rest
+      | [], _ -> []
+      | (le_c, cc) :: tc, (le_p, cp) :: tp ->
+          if le_c = le_p then
+            let d = cc - cp in
+            if d <> 0 then (le_c, d) :: bucket_delta tc tp
+            else bucket_delta tc tp
+          else if le_c < le_p then (le_c, cc) :: bucket_delta tc prev
+          else bucket_delta cur tp
+
+    (* Emit an object section: [render] returns [true] when it wrote a
+       member (so separators stay correct with entries skipped). *)
+    let section b name render items =
+      Printf.bprintf b ",\"%s\":{" name;
+      let first = ref true in
+      List.iter
+        (fun item ->
+          let wrote = render ~sep:(not !first) item in
+          if wrote then first := false)
+        items;
+      Buffer.add_char b '}'
+
+    let tick ?label st =
+      Mutex.protect st.st_mu @@ fun () ->
+      if not st.st_closed then begin
+        let b = Buffer.create 512 in
+        Printf.bprintf b "{\"schema\":\"%s\",\"seq\":%d" schema st.st_seq;
+        (match label with
+        | Some l -> Printf.bprintf b ",\"label\":\"%s\"" (json_escape l)
+        | None -> ());
+        section b "counters"
+          (fun ~sep (c : counter_view) ->
+            let prev =
+              Option.value
+                (Hashtbl.find_opt st.prev_counters c.cv_name)
+                ~default:0
+            in
+            let d = c.cv_total - prev in
+            if d = 0 then false
+            else begin
+              Hashtbl.replace st.prev_counters c.cv_name c.cv_total;
+              if sep then Buffer.add_char b ',';
+              Printf.bprintf b "\"%s\":%d" (json_escape c.cv_name) d;
+              true
+            end)
+          (counters st.st_reg);
+        section b "dists"
+          (fun ~sep (d : dist_view) ->
+            let pc, ps =
+              Option.value
+                (Hashtbl.find_opt st.prev_dists d.dv_name)
+                ~default:(0, 0)
+            in
+            if d.dv_count = pc && d.dv_sum = ps then false
+            else begin
+              Hashtbl.replace st.prev_dists d.dv_name (d.dv_count, d.dv_sum);
+              if sep then Buffer.add_char b ',';
+              Printf.bprintf b
+                "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d}"
+                (json_escape d.dv_name) (d.dv_count - pc) (d.dv_sum - ps)
+                d.dv_min d.dv_max;
+              true
+            end)
+          (dists st.st_reg);
+        section b "histograms"
+          (fun ~sep (v : hist_view) ->
+            let h = v.hv_hist in
+            let count = Histogram.count h and sum = Histogram.sum h in
+            let pc, ps, pb =
+              Option.value
+                (Hashtbl.find_opt st.prev_hists v.hv_name)
+                ~default:(0, 0, [])
+            in
+            if count = pc && sum = ps then false
+            else begin
+              let buckets = Histogram.nonzero_buckets h in
+              Hashtbl.replace st.prev_hists v.hv_name (count, sum, buckets);
+              if sep then Buffer.add_char b ',';
+              Printf.bprintf b
+                "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":["
+                (json_escape v.hv_name) (count - pc) (sum - ps)
+                (Option.value (Histogram.min_value h) ~default:0)
+                (Option.value (Histogram.max_value h) ~default:0);
+              List.iteri
+                (fun i (le, c) ->
+                  if i > 0 then Buffer.add_char b ',';
+                  Printf.bprintf b "{\"le\":%d,\"count\":%d}" le c)
+                (bucket_delta buckets pb);
+              Buffer.add_string b "]}";
+              true
+            end)
+          (hists st.st_reg);
+        section b "spans"
+          (fun ~sep (s : span_view) ->
+            let prev =
+              Option.value (Hashtbl.find_opt st.prev_spans s.sv_name) ~default:0
+            in
+            let d = s.sv_count - prev in
+            if d = 0 then false
+            else begin
+              Hashtbl.replace st.prev_spans s.sv_name s.sv_count;
+              if sep then Buffer.add_char b ',';
+              Printf.bprintf b "\"%s\":{\"count\":%d}" (json_escape s.sv_name) d;
+              true
+            end)
+          (span_stats st.st_reg);
+        Buffer.add_string b "}\n";
+        Out_channel.output_string st.st_oc (Buffer.contents b);
+        Out_channel.flush st.st_oc;
+        st.st_seq <- st.st_seq + 1
+      end
+
+    let close st =
+      Mutex.protect st.st_mu @@ fun () ->
+      if not st.st_closed then begin
+        st.st_closed <- true;
+        Out_channel.close st.st_oc
+      end
+  end
 end
+
+(* ------------------------------------------------------------------ *)
+(* Runtime profiling: OCaml 5 Runtime_events -> the registry + trace.
+
+   [Runtime.start] turns on the runtime's per-domain event rings and
+   attaches a self cursor. A Ticker domain drains the rings every
+   [poll_ms] (so bursts of GC activity don't overflow a ring between
+   phase boundaries; overflows that happen anyway surface as the
+   [runtime.events.lost] counter). Each top-level GC phase folds into
+   the registry — [gc.minor_pause_ns]/[gc.major_pause_ns] histograms
+   plus per-ring [gc.{minor,major}.d<ring>] counters — and every phase
+   becomes a slice for the Chrome trace, one row per runtime ring
+   (= domain) under its own pid, so GC pauses line up with the
+   application spans above them. All of it is gated behind
+   --profile-runtime in the CLI: the determinism contract only covers
+   runs without profiling (doc/OBSERVABILITY.md). *)
+
+module Runtime = struct
+  module RE = Runtime_events
+
+  type slice = {
+    sl_ring : int;
+    sl_name : string;
+    sl_start_ns : int;  (* absolute monotonic ns *)
+    sl_dur_ns : int;
+  }
+
+  type instant = { in_ring : int; in_name : string; in_ts_ns : int }
+
+  (* Keep at most this many trace slices (the histograms and counters
+     keep accumulating regardless); beyond it, slices are dropped and
+     counted in [runtime.trace.dropped]. *)
+  let max_slices = 500_000
+
+  type profiler = {
+    p_reg : t;
+    p_obs : t option;
+    p_cursor : RE.cursor;
+    p_mu : Mutex.t;
+    p_stacks : (int, (RE.runtime_phase * int) list ref) Hashtbl.t;
+    mutable p_slices : slice list;
+    mutable p_n_slices : int;
+    mutable p_instants : instant list;
+    mutable p_callbacks : RE.Callbacks.t;
+    mutable p_ticker : Ticker.ticker option;
+    mutable p_stopped : bool;
+  }
+
+  type gc_family = Gc_minor | Gc_major | Gc_other
+
+  let family : RE.runtime_phase -> gc_family = function
+    | RE.EV_MINOR | RE.EV_EXPLICIT_GC_MINOR -> Gc_minor
+    | RE.EV_MAJOR | RE.EV_MAJOR_SLICE | RE.EV_MAJOR_GC_STW
+    | RE.EV_EXPLICIT_GC_MAJOR | RE.EV_EXPLICIT_GC_FULL_MAJOR
+    | RE.EV_EXPLICIT_GC_MAJOR_SLICE | RE.EV_EXPLICIT_GC_COMPACT ->
+        Gc_major
+    | _ -> Gc_other
+
+  let ts_ns ts = Int64.to_int (RE.Timestamp.to_int64 ts)
+
+  let stack_of p ring =
+    match Hashtbl.find_opt p.p_stacks ring with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add p.p_stacks ring s;
+        s
+
+  let push_slice p ring name start dur =
+    if p.p_n_slices < max_slices then begin
+      p.p_slices <-
+        { sl_ring = ring; sl_name = name; sl_start_ns = start;
+          sl_dur_ns = dur }
+        :: p.p_slices;
+      p.p_n_slices <- p.p_n_slices + 1
+    end
+    else incr p.p_obs "runtime.trace.dropped"
+
+  (* Callbacks run inside [read_poll], which only ever executes under
+     [p_mu] (see [poll]), so the stacks and slice lists need no further
+     synchronization. *)
+  let make_callbacks p =
+    let runtime_begin ring ts phase =
+      let stack = stack_of p ring in
+      stack := (phase, ts_ns ts) :: !stack
+    in
+    let runtime_end ring ts phase =
+      let stack = stack_of p ring in
+      match !stack with
+      | (ph, t0) :: rest when ph = phase ->
+          stack := rest;
+          let dur = ts_ns ts - t0 in
+          push_slice p ring (RE.runtime_phase_name phase) t0 dur;
+          (* Only top-level phases feed the pause metrics: EV_MINOR
+             contains EV_MINOR_* sub-phases (and a major slice nests
+             its own), so sampling at depth 0 counts each pause once. *)
+          if rest = [] then (
+            match family phase with
+            | Gc_minor ->
+                sample p.p_obs "gc.minor_pause_ns" dur;
+                incr p.p_obs (Printf.sprintf "gc.minor.d%d" ring)
+            | Gc_major ->
+                sample p.p_obs "gc.major_pause_ns" dur;
+                incr p.p_obs (Printf.sprintf "gc.major.d%d" ring)
+            | Gc_other -> ())
+      | _ ->
+          (* an end without its begin: the cursor attached mid-phase or
+             the ring wrapped — drop it *)
+          ()
+    in
+    let runtime_counter ring ts ctr v =
+      ignore ring;
+      ignore ts;
+      observe p.p_obs ("runtime.ctr." ^ RE.runtime_counter_name ctr) v
+    in
+    let lifecycle ring ts lc _arg =
+      p.p_instants <-
+        { in_ring = ring; in_name = RE.lifecycle_name lc; in_ts_ns = ts_ns ts }
+        :: p.p_instants;
+      match lc with
+      | RE.EV_DOMAIN_SPAWN -> incr p.p_obs "runtime.domain.spawn"
+      | RE.EV_DOMAIN_TERMINATE -> incr p.p_obs "runtime.domain.terminate"
+      | _ -> ()
+    in
+    let lost_events ring n =
+      ignore ring;
+      add p.p_obs "runtime.events.lost" n
+    in
+    RE.Callbacks.create ~runtime_begin ~runtime_end ~runtime_counter
+      ~lifecycle ~lost_events ()
+
+  let poll p =
+    Mutex.protect p.p_mu (fun () ->
+        if not p.p_stopped then
+          ignore (RE.read_poll p.p_cursor p.p_callbacks None))
+
+  let start ?(poll_ms = 10) reg =
+    match
+      RE.start ();
+      RE.create_cursor None
+    with
+    | exception _ -> None  (* Runtime_events unavailable: degrade *)
+    | cursor ->
+        let p =
+          { p_reg = reg; p_obs = Some reg; p_cursor = cursor;
+            p_mu = Mutex.create (); p_stacks = Hashtbl.create 8;
+            p_slices = []; p_n_slices = 0; p_instants = [];
+            p_callbacks = RE.Callbacks.create (); p_ticker = None;
+            p_stopped = false }
+        in
+        p.p_callbacks <- make_callbacks p;
+        p.p_ticker <- Some (Ticker.start ~period_ms:(max 1 poll_ms) (fun () -> poll p));
+        Some p
+
+  let stop p =
+    (match p.p_ticker with
+    | Some tk ->
+        p.p_ticker <- None;
+        Ticker.stop tk
+    | None -> ());
+    poll p;
+    Mutex.protect p.p_mu (fun () ->
+        if not p.p_stopped then begin
+          p.p_stopped <- true;
+          RE.free_cursor p.p_cursor;
+          (* stop producing into the rings; a later [start] resumes *)
+          try RE.pause () with _ -> ()
+        end)
+
+  let slice_count p = Mutex.protect p.p_mu (fun () -> p.p_n_slices)
+
+  let chrome_events p ~pid =
+    let slices, instants =
+      Mutex.protect p.p_mu (fun () -> (p.p_slices, p.p_instants))
+    in
+    let epoch = p.p_reg.epoch_ns in
+    let rel ns = if ns < epoch then 0 else ns - epoch in
+    let us ns = float_of_int (rel ns) /. 1e3 in
+    let rings =
+      List.sort_uniq Int.compare
+        (List.map (fun s -> s.sl_ring) slices
+        @ List.map (fun i -> i.in_ring) instants)
+    in
+    let out = ref [] in
+    let emit s = out := s :: !out in
+    emit
+      (Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"ocaml runtime\"}}"
+         pid);
+    emit
+      (Printf.sprintf
+         "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"sort_index\":%d}}"
+         pid pid);
+    List.iter
+      (fun ring ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"runtime domain %d\"}}"
+             pid ring ring))
+      rings;
+    let sorted_slices =
+      List.sort
+        (fun a b ->
+          match Int.compare a.sl_start_ns b.sl_start_ns with
+          | 0 -> (
+              (* longer (outer) slice first at equal start *)
+              match Int.compare b.sl_dur_ns a.sl_dur_ns with
+              | 0 -> Int.compare a.sl_ring b.sl_ring
+              | c -> c)
+          | c -> c)
+        slices
+    in
+    List.iter
+      (fun s ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"gc\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+             (json_escape s.sl_name) pid s.sl_ring (us s.sl_start_ns)
+             (float_of_int s.sl_dur_ns /. 1e3)))
+      sorted_slices;
+    List.iter
+      (fun i ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}"
+             (json_escape i.in_name) pid i.in_ring (us i.in_ts_ns)))
+      (List.rev instants);
+    List.rev !out
+end
+
+(* Offline snapshot tooling, re-exported so consumers reach everything
+   through the one [Hydra_obs] entry point. *)
+module Json = Obs_json
+module Report = Obs_report

@@ -32,6 +32,24 @@ type t
 
 val create : unit -> t
 
+(** {1 Profiling opt-in}
+
+    Some metrics are inherently nondeterministic — wall-clock pool
+    scheduling numbers ({!Parallel.Pool}), GC pause histograms
+    ({!Runtime}). Those are recorded only on a registry with profiling
+    enabled, so a default run keeps the byte-identical-across-[--jobs]
+    snapshot contract and [--profile-runtime] knowingly trades it away
+    (doc/OBSERVABILITY.md). *)
+
+val enable_profiling : t -> unit
+(** Irreversibly mark this registry as accepting nondeterministic
+    (profiling-class) metrics. *)
+
+val profiling_enabled : t option -> bool
+(** [false] on [None] and on registries without {!enable_profiling} —
+    the guard instrumentation sites check before recording a
+    profiling-class metric. *)
+
 (** {1 Log-bucketed histograms}
 
     Deterministic latency histograms in the HDR-histogram family:
@@ -95,6 +113,28 @@ val now_ns : unit -> int
 (** Monotonic clock (CLOCK_MONOTONIC) in nanoseconds. Unboxed and
     allocation-free; the zero point is unspecified (time since boot),
     so only differences are meaningful. *)
+
+(** {1 Periodic callbacks} *)
+
+(** A background domain invoking a callback at a fixed period — the
+    clockwork behind {!Runtime.start}'s ring polling and the CLI's
+    [--stream-period-ms] JSONL ticks. The callback runs on the ticker's
+    own domain, so it must only touch domain-safe state (registry
+    recording and {!Snapshot.Stream.tick} both qualify). The sleep
+    releases the OCaml runtime lock, so an idle ticker never delays a
+    stop-the-world collection of the domains it observes. *)
+module Ticker : sig
+  type ticker
+
+  val start : period_ms:int -> (unit -> unit) -> ticker
+  (** Spawn the ticker domain; [f] runs every [period_ms] milliseconds
+      until {!stop}. @raise Invalid_argument if [period_ms < 1]. *)
+
+  val stop : ticker -> unit
+  (** Stop and join the domain: returns only after any in-flight
+      callback has finished, re-raising an exception the callback
+      escaped with. *)
+end
 
 (** {1 Recording}
 
@@ -231,4 +271,87 @@ module Snapshot : sig
   val write : ?include_timings:bool -> t -> path:string -> unit
   (** {!to_json} plus a trailing newline to a file.
       @raise Sys_error on I/O failure. *)
+
+  (** Time-series snapshots: the [--metrics-stream] backend. Each
+      {!Stream.tick} appends one [hydra_c.metrics_delta/1] JSON object
+      (a single line) to the file — counter deltas, dist/histogram
+      count/sum/bucket deltas, cumulative min/max — so folding a whole
+      stream with {!Obs_report.of_string} reproduces the registry's
+      full snapshot exactly (round-trip tested in
+      test/test_obs_report.ml). Metrics that did not move since the
+      previous tick are omitted from the line. Safe to tick from any
+      domain (e.g. a {!Ticker}); ticks are serialized internally. *)
+  module Stream : sig
+    val schema : string
+    (** ["hydra_c.metrics_delta/1"]. *)
+
+    type stream
+
+    val create : t -> path:string -> stream
+    (** Open (truncate/create) [path] for appending delta lines. *)
+
+    val tick : ?label:string -> stream -> unit
+    (** Append one delta line (with an optional ["label"] member, e.g.
+        the phase that just finished). Lines carry a ["seq"] number
+        starting at 0. No-op after {!close}. *)
+
+    val close : stream -> unit
+    (** Flush and close the file; idempotent. *)
+  end
 end
+
+(** {1 Runtime profiling}
+
+    GC and domain-lifecycle visibility via the OCaml 5 [Runtime_events]
+    ring buffers (self-monitoring cursor). While running, a profiler
+    folds runtime activity into its registry —
+    [gc.minor_pause_ns]/[gc.major_pause_ns] pause histograms (top-level
+    phases only, so nested sub-phases don't double-count), per-ring
+    [gc.{minor,major}.d<ring>] pause counters,
+    [runtime.ctr.*] distributions (minor-heap promotion/allocation
+    counters), [runtime.domain.{spawn,terminate}], and
+    [runtime.events.lost] for ring overflows — and keeps every runtime
+    phase as a trace slice for {!chrome_events}. All of this is
+    wall-clock-dependent, so the CLI only starts a profiler under
+    [--profile-runtime], outside the determinism contract
+    (doc/OBSERVABILITY.md). *)
+
+module Runtime : sig
+  type profiler
+
+  val start : ?poll_ms:int -> t -> profiler option
+  (** Enable runtime event collection and attach a self cursor; spawns
+      a {!Ticker} that drains the rings every [poll_ms] (default 10)
+      milliseconds so they don't overflow during long phases. [None]
+      when [Runtime_events] is unavailable in this runtime — callers
+      degrade to no runtime profiling. *)
+
+  val poll : profiler -> unit
+  (** Drain pending events now (also happens periodically and in
+      {!stop}). *)
+
+  val stop : profiler -> unit
+  (** Stop the poll ticker, drain a final time, free the cursor and
+      pause runtime event collection. The profiler's collected slices
+      remain readable; further [poll]s are no-ops. *)
+
+  val slice_count : profiler -> int
+  (** Number of trace slices collected so far (capped; overflow is
+      counted in the [runtime.trace.dropped] counter). *)
+
+  val chrome_events : profiler -> pid:int -> string list
+  (** The collected runtime activity as pre-rendered Chrome trace-event
+      objects under process [pid] — one thread row per runtime ring
+      (= domain), "X" slices for phases (category ["gc"]), instants for
+      lifecycle events — ready to splice into {!chrome_trace}'s
+      [?extra]. Timestamps share the registry's epoch, so runtime rows
+      align with the span rows recorded by the same registry. *)
+end
+
+(** {1 Snapshot tooling re-exports}
+
+    The offline halves of the observability layer, re-exported so
+    consumers reach everything through [Hydra_obs]. *)
+
+module Json = Obs_json
+module Report = Obs_report

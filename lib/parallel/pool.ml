@@ -11,7 +11,7 @@ let map_seq f n =
     out
   end
 
-let map ?jobs ?(chunk = 1) f n =
+let map ?obs ?jobs ?(chunk = 1) f n =
   if n < 0 then invalid_arg "Pool.map: negative length";
   let chunk = max 1 chunk in
   let jobs =
@@ -21,31 +21,66 @@ let map ?jobs ?(chunk = 1) f n =
     (* more workers than chunks would only spawn idle domains *)
     min requested (max 1 ((n + chunk - 1) / chunk))
   in
+  (* [pool.maps]/[pool.items] are pure functions of the workload, so
+     they stay inside the byte-identical-across---jobs snapshot
+     contract; everything measured below is scheduling (wall-clock,
+     worker count, steal order) and is recorded only on a profiling
+     registry (doc/OBSERVABILITY.md). *)
+  Hydra_obs.incr obs "pool.maps";
+  Hydra_obs.add obs "pool.items" n;
   if jobs = 1 then map_seq f n
   else begin
+    let profile = Hydra_obs.profiling_enabled obs in
+    if profile then Hydra_obs.add obs "pool.workers" jobs;
     let out = Array.make n None in
     let cursor = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker () =
-      let running = ref true in
-      while !running do
-        if Atomic.get failure <> None then running := false
-        else begin
-          let start = Atomic.fetch_and_add cursor chunk in
-          if start >= n then running := false
-          else
-            let stop = min n (start + chunk) in
-            try
-              for i = start to stop - 1 do
-                (* distinct indices: no write ever races with another *)
-                out.(i) <- Some (f i)
-              done
-            with e ->
-              let bt = Printexc.get_raw_backtrace () in
-              ignore (Atomic.compare_and_set failure None (Some (e, bt)));
-              running := false
+      let body () =
+        (* accumulate locally, publish once per worker at the end *)
+        let busy = ref 0 and idle = ref 0 and chunks = ref 0 in
+        let running = ref true in
+        while !running do
+          if Atomic.get failure <> None then running := false
+          else begin
+            let t_wait = if profile then Hydra_obs.now_ns () else 0 in
+            let start = Atomic.fetch_and_add cursor chunk in
+            if start >= n then running := false
+            else begin
+              let t_claim =
+                if profile then begin
+                  let t = Hydra_obs.now_ns () in
+                  let w = t - t_wait in
+                  idle := !idle + w;
+                  Hydra_obs.sample obs "pool.queue_wait_ns" w;
+                  incr chunks;
+                  t
+                end
+                else 0
+              in
+              let stop = min n (start + chunk) in
+              (try
+                 for i = start to stop - 1 do
+                   (* distinct indices: no write ever races with another *)
+                   out.(i) <- Some (f i)
+                 done
+               with e ->
+                 let bt = Printexc.get_raw_backtrace () in
+                 ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+                 running := false);
+              if profile then busy := !busy + (Hydra_obs.now_ns () - t_claim)
+            end
+          end
+        done;
+        if profile then begin
+          Hydra_obs.sample obs "pool.worker.busy_ns" !busy;
+          Hydra_obs.sample obs "pool.worker.idle_ns" !idle;
+          Hydra_obs.add obs "pool.chunks" !chunks
         end
-      done
+      in
+      (* under profiling each worker is also a span, so the trace grows
+         one "pool.worker" slice per worker domain per map *)
+      if profile then Hydra_obs.span obs "pool.worker" body else body ()
     in
     let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
@@ -56,8 +91,8 @@ let map ?jobs ?(chunk = 1) f n =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let map_array ?jobs ?chunk f a =
-  map ?jobs ?chunk (fun i -> f a.(i)) (Array.length a)
+let map_array ?obs ?jobs ?chunk f a =
+  map ?obs ?jobs ?chunk (fun i -> f a.(i)) (Array.length a)
 
-let map_list ?jobs ?chunk f l =
-  Array.to_list (map_array ?jobs ?chunk f (Array.of_list l))
+let map_list ?obs ?jobs ?chunk f l =
+  Array.to_list (map_array ?obs ?jobs ?chunk f (Array.of_list l))

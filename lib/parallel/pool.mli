@@ -31,7 +31,8 @@ val default_jobs : unit -> int
     and the orchestrating domain. On a single-core machine this is 1
     (fully sequential). *)
 
-val map : ?jobs:int -> ?chunk:int -> (int -> 'a) -> int -> 'a array
+val map :
+  ?obs:Hydra_obs.t -> ?jobs:int -> ?chunk:int -> (int -> 'a) -> int -> 'a array
 (** [map ~jobs ~chunk f n] is [[| f 0; ...; f (n-1) |]] computed on
     [jobs] domains ([jobs - 1] spawned workers plus the calling
     domain). [jobs] defaults to {!default_jobs}[ ()] and is clamped to
@@ -43,11 +44,27 @@ val map : ?jobs:int -> ?chunk:int -> (int -> 'a) -> int -> 'a array
     re-raised in the caller with its backtrace after all workers have
     stopped; remaining unclaimed chunks are abandoned.
 
+    With [?obs], the pool records the deterministic workload counters
+    [pool.maps] and [pool.items] always, and — only when
+    {!Hydra_obs.profiling_enabled} holds for the registry — the
+    scheduling metrics: [pool.workers]/[pool.chunks] counters, the
+    [pool.queue_wait_ns] per-steal histogram, per-worker
+    [pool.worker.busy_ns]/[pool.worker.idle_ns] histograms, and one
+    [pool.worker] span per worker domain (a per-worker row in the
+    Chrome trace). Scheduling numbers are wall-clock and vary across
+    [--jobs], which is why they sit behind the profiling gate
+    (doc/OBSERVABILITY.md has the catalog; doc/PARALLELISM.md the
+    contract).
+
     @raise Invalid_argument if [n < 0]. *)
 
-val map_array : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?obs:Hydra_obs.t -> ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array ->
+  'b array
 (** [map_array f a] is [Array.map f a], parallelized as {!map}. *)
 
-val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?obs:Hydra_obs.t -> ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list ->
+  'b list
 (** [map_list f l] is [List.map f l], parallelized as {!map}. The
     result preserves list order. *)

@@ -356,6 +356,185 @@ let test_snapshot_schema_and_quantiles () =
   check_int "span count" 1
     (int_of_float (as_num (member "count" (member "test.span" (member "spans" json)))))
 
+(* ------------------------------------------------------------------ *)
+(* Pool scheduling metrics (profiling-gated) *)
+
+let test_pool_metrics_without_profiling () =
+  (* Default registry: only the deterministic workload counters may
+     appear — no wall-clock scheduling metrics, or the byte-identical
+     across --jobs contract breaks. *)
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  let (_ : int array) = Parallel.Pool.map ?obs ~jobs:4 (fun i -> i * i) 32 in
+  check_int "pool.maps" 1 (Hydra_obs.counter_total obs_t "pool.maps");
+  check_int "pool.items" 32 (Hydra_obs.counter_total obs_t "pool.items");
+  check_int "no pool.workers" 0 (Hydra_obs.counter_total obs_t "pool.workers");
+  check_int "no pool.chunks" 0 (Hydra_obs.counter_total obs_t "pool.chunks");
+  check_bool "no scheduling histograms" true (Hydra_obs.hists obs_t = []);
+  check_bool "no pool.worker span" true (Hydra_obs.span_stats obs_t = [])
+
+let test_pool_metrics_with_profiling () =
+  (* Under profiling the counts are still exact functions of the
+     workload shape: one claim per chunk, one busy/idle sample and one
+     span per worker. Only the recorded durations are wall-clock. *)
+  let obs_t = Hydra_obs.create () in
+  Hydra_obs.enable_profiling obs_t;
+  let obs = Some obs_t in
+  let n = 32 and jobs = 4 in
+  let (_ : int array) = Parallel.Pool.map ?obs ~jobs (fun i -> i * i) n in
+  check_int "pool.workers" jobs (Hydra_obs.counter_total obs_t "pool.workers");
+  check_int "one claim per chunk" n
+    (Hydra_obs.counter_total obs_t "pool.chunks");
+  let hist name =
+    match
+      List.find_opt
+        (fun hv -> hv.Hydra_obs.hv_name = name)
+        (Hydra_obs.hists obs_t)
+    with
+    | Some hv -> hv.Hydra_obs.hv_hist
+    | None -> Alcotest.failf "histogram %s missing" name
+  in
+  check_int "one queue-wait sample per claim" n
+    (H.count (hist "pool.queue_wait_ns"));
+  check_int "one busy sample per worker" jobs
+    (H.count (hist "pool.worker.busy_ns"));
+  check_int "one idle sample per worker" jobs
+    (H.count (hist "pool.worker.idle_ns"));
+  match Hydra_obs.span_stats obs_t with
+  | [ s ] ->
+      Alcotest.(check string) "pool.worker span" "pool.worker"
+        s.Hydra_obs.sv_name;
+      check_int "one span per worker" jobs s.Hydra_obs.sv_count
+  | l -> Alcotest.failf "expected 1 span stat, got %d" (List.length l)
+
+let test_pool_seq_path_never_profiles () =
+  (* jobs = 1 is the plain sequential loop: no workers exist, so even a
+     profiling registry sees no scheduling metrics. *)
+  let obs_t = Hydra_obs.create () in
+  Hydra_obs.enable_profiling obs_t;
+  let obs = Some obs_t in
+  let (_ : int array) = Parallel.Pool.map ?obs ~jobs:1 (fun i -> i) 10 in
+  check_int "pool.items" 10 (Hydra_obs.counter_total obs_t "pool.items");
+  check_int "no workers" 0 (Hydra_obs.counter_total obs_t "pool.workers");
+  check_bool "no histograms" true (Hydra_obs.hists obs_t = [])
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain traces and migration flow arrows *)
+
+let prop_multi_domain_trace_valid =
+  qtest ~count:30 "concurrent spans render to valid Chrome JSON"
+    QCheck.(pair (int_range 2 4) (int_range 1 60))
+    (fun (jobs, n) ->
+      let obs_t = Hydra_obs.create () in
+      let obs = Some obs_t in
+      let (_ : int array) =
+        Parallel.Pool.map ?obs ~jobs
+          (fun i ->
+            Hydra_obs.span obs "outer" (fun () ->
+                Hydra_obs.span obs "inner" (fun () -> i * i)))
+          n
+      in
+      let json = parse_json (Hydra_obs.chrome_trace obs_t) in
+      let xs =
+        member "traceEvents" json |> as_list
+        |> List.filter (fun e -> as_str (member "ph" e) = "X")
+      in
+      (* two spans per item, however the domains interleaved *)
+      List.length xs = 2 * n)
+
+(* The migration-forcing scenario from test_sim.ml: two alternating
+   pinned hogs squeeze a migrating low-prio global task between the
+   cores. *)
+let migration_tasks () =
+  [ { Sim.Engine.st_id = 0; st_name = "hogA"; st_wcet = 3; st_period = 6;
+      st_deadline = 6; st_prio = 0; st_core = Some 0; st_offset = 0 };
+    { Sim.Engine.st_id = 1; st_name = "hogB"; st_wcet = 3; st_period = 6;
+      st_deadline = 6; st_prio = 1; st_core = Some 1; st_offset = 3 };
+    { Sim.Engine.st_id = 2; st_name = "drift"; st_wcet = 6; st_period = 12;
+      st_deadline = 12; st_prio = 2; st_core = None; st_offset = 0 } ]
+
+let test_trace_flow_arrows_paired () =
+  (* Spans recorded concurrently from pool workers share the trace file
+     with the simulated schedule (pid 1); every migration must render
+     as a flow-start "s" on the old core paired with exactly one
+     flow-finish "f" on the new core, under the same id. *)
+  let log = Sim.Event_log.create ~n_cores:2 in
+  let stats =
+    Sim.Engine.run ~hooks:(Sim.Event_log.hooks log) ~n_cores:2 ~horizon:48
+      (migration_tasks ())
+  in
+  check_bool "scenario migrates" true (stats.Sim.Engine.migrations > 0);
+  let obs_t = Hydra_obs.create () in
+  Hydra_obs.enable_profiling obs_t;
+  let obs = Some obs_t in
+  let (_ : unit array) =
+    Parallel.Pool.map ?obs ~jobs:4
+      (fun i ->
+        Hydra_obs.span obs "work" (fun () -> ignore (Sys.opaque_identity i)))
+      64
+  in
+  let extra = Sim.Event_log.chrome_events log ~pid:1 in
+  let json = parse_json (Hydra_obs.chrome_trace ~extra obs_t) in
+  let events = member "traceEvents" json |> as_list in
+  let flow_ids ph =
+    events
+    |> List.filter (fun e -> as_str (member "ph" e) = ph)
+    |> List.map (fun e -> int_of_float (as_num (member "id" e)))
+    |> List.sort Int.compare
+  in
+  let starts = flow_ids "s" and finishes = flow_ids "f" in
+  check_int "one flow pair per migration" stats.Sim.Engine.migrations
+    (List.length starts);
+  check_bool "every start paired with exactly one finish" true
+    (starts = finishes);
+  let rec all_distinct = function
+    | a :: b :: _ when a = b -> false
+    | _ :: tl -> all_distinct tl
+    | [] -> true
+  in
+  check_bool "flow ids unique" true (all_distinct starts)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime profiler *)
+
+let test_runtime_profiler_smoke () =
+  let obs_t = Hydra_obs.create () in
+  Hydra_obs.enable_profiling obs_t;
+  match Hydra_obs.Runtime.start ~poll_ms:50 obs_t with
+  | None -> () (* Runtime_events unavailable: degrade like the CLI *)
+  | Some p ->
+      (* force GC activity so the rings carry phase events *)
+      for _ = 1 to 3 do
+        ignore
+          (Sys.opaque_identity
+             (Array.init 50_000 (fun i -> string_of_int i)));
+        Gc.full_major ();
+        Hydra_obs.Runtime.poll p
+      done;
+      Hydra_obs.Runtime.stop p;
+      Hydra_obs.Runtime.poll p (* no-op after stop *)
+      ;
+      check_bool "collected gc slices" true
+        (Hydra_obs.Runtime.slice_count p > 0);
+      let pause_hists =
+        List.filter
+          (fun hv ->
+            hv.Hydra_obs.hv_name = "gc.minor_pause_ns"
+            || hv.Hydra_obs.hv_name = "gc.major_pause_ns")
+          (Hydra_obs.hists obs_t)
+      in
+      check_bool "gc pause histograms recorded" true (pause_hists <> []);
+      (* the slices splice into a registry trace as pid-2 rows *)
+      let extra = Hydra_obs.Runtime.chrome_events p ~pid:2 in
+      let json = parse_json (Hydra_obs.chrome_trace ~extra obs_t) in
+      let evs = member "traceEvents" json |> as_list in
+      check_bool "gc-category slices present in trace" true
+        (List.exists
+           (fun e ->
+             (try as_str (member "cat" e) = "gc" with _ -> false)
+             && as_str (member "ph" e) = "X")
+           evs)
+
 let test_snapshot_byte_identical_across_jobs () =
   (* The CI gate in miniature: the same workload instrumented at
      jobs=1 and jobs=4 must serialize to the very same bytes. *)
@@ -408,6 +587,20 @@ let () =
             test_histogram_merge_order_independent;
           Alcotest.test_case "striped = sequential" `Quick
             test_striped_recording_matches_sequential ] );
+      ( "pool-metrics",
+        [ Alcotest.test_case "gated off without profiling" `Quick
+            test_pool_metrics_without_profiling;
+          Alcotest.test_case "exact counts under profiling" `Quick
+            test_pool_metrics_with_profiling;
+          Alcotest.test_case "sequential path never profiles" `Quick
+            test_pool_seq_path_never_profiles ] );
+      ( "trace",
+        [ prop_multi_domain_trace_valid;
+          Alcotest.test_case "migration flow arrows paired" `Quick
+            test_trace_flow_arrows_paired ] );
+      ( "runtime",
+        [ Alcotest.test_case "profiler smoke (GC slices + trace)" `Quick
+            test_runtime_profiler_smoke ] );
       ( "snapshot",
         [ Alcotest.test_case "json_float maps non-finite to null" `Quick
             test_json_float_non_finite;
