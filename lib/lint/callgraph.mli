@@ -1,0 +1,24 @@
+(** Phase 2 linking: index per-module {!Summary.t}s and resolve
+    referenced identifiers across modules. Parse-only heuristic
+    resolution (same-directory modules first, then unique global
+    match, then the [L.M] library-qualified form where [L] is the
+    capitalized directory basename); ambiguity resolves to nothing so
+    {!Reach} reports "cannot prove" instead of guessing. *)
+
+type target =
+  | Value of Summary.t * Summary.value
+  | Mutable of Summary.t * Summary.mutable_binding
+
+type t
+
+val build : Summary.t list -> t
+(** Input order is preserved by {!summaries}; callers pass summaries
+    in sorted file order so phase 2 output is deterministic. *)
+
+val summaries : t -> Summary.t list
+
+val resolve : t -> from:Summary.t -> top:string -> string -> target list
+(** [resolve t ~from ~top name]: every plausible target of the
+    "."-joined identifier [name], referenced from a value whose
+    top-level ancestor binding is [top] (used to scope unqualified
+    names to the caller's nest). Empty = unknown. *)

@@ -349,7 +349,9 @@ let suppressed ctx (f : Finding.t) =
       (rule = "*" || rule = f.rule) && f.off >= first && f.off <= last)
     ctx.allows
 
-let lint_source ~file source =
+type analysis = { findings : Finding.t list; summary : Summary.t }
+
+let analyze ~file source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf file;
   match Parse.implementation lexbuf with
@@ -370,7 +372,12 @@ let lint_source ~file source =
           sorted_depth = 0 }
       in
       run_pass ctx ast;
-      Ok
-        (ctx.findings
+      let findings =
+        ctx.findings
         |> List.filter (fun f -> not (suppressed ctx f))
-        |> List.sort Finding.order)
+        |> List.sort Finding.order
+      in
+      Ok { findings; summary = Summary.of_structure ~file ast }
+
+let lint_source ~file source =
+  Result.map (fun a -> a.findings) (analyze ~file source)

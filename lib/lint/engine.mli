@@ -14,6 +14,14 @@
     Several rule ids may be given in one string, separated by spaces
     or commas; ["*"] means every rule. *)
 
-(** Findings are sorted by position and already filtered by inline
-    [[@lint.allow]] attributes. [Error] is a rendered parse error. *)
+(** Intraprocedural findings (rules D1–D6) plus the {!Summary.t}
+    phase 2 links into the whole-program call graph. *)
+type analysis = { findings : Finding.t list; summary : Summary.t }
+
+(** Parse and analyze one file in a single pass. Findings are sorted
+    by position and already filtered by inline [[@lint.allow]]
+    attributes. [Error] is a rendered parse error. *)
+val analyze : file:string -> string -> (analysis, string) result
+
+(** {!analyze}, keeping only the findings. *)
 val lint_source : file:string -> string -> (Finding.t list, string) result

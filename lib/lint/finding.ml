@@ -16,6 +16,9 @@ let make ~rule ~file ~(loc : Location.t) ~msg =
     off = p.pos_cnum;
     msg }
 
+let make_pos ~rule ~file ~line ~col ~off ~msg =
+  { rule; file; line; col; off; msg }
+
 let order a b =
   match String.compare a.file b.file with
   | 0 -> (

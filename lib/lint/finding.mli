@@ -11,6 +11,17 @@ type t = {
 
 val make : rule:string -> file:string -> loc:Location.t -> msg:string -> t
 
+val make_pos :
+  rule:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  off:int ->
+  msg:string ->
+  t
+(** Same, from an already-extracted position (phase-2 rules work from
+    {!Summary.t} data, not live [Location.t]s). *)
+
 (** Total order: file, then line, col, rule — the report order. *)
 val order : t -> t -> int
 
@@ -19,3 +30,7 @@ val pp : Format.formatter -> t -> unit
 
 (** One JSON object (no trailing newline). *)
 val to_json : t -> string
+
+(** Escape a string for embedding in a JSON string literal (shared by
+    the JSON and SARIF reporters). *)
+val json_escape : string -> string

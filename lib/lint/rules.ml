@@ -48,7 +48,27 @@ let all =
          polymorphic variants with arguments, array literals, lazy blocks \
          and ref cells in its body break the promise and become GC \
          pressure multiplied by the event count (doc/SIMULATOR.md); hoist \
-         the allocation into setup code or drop the annotation." } ]
+         the allocation into setup code or drop the annotation." };
+    { id = "D7";
+      title = "pool-closure race (interprocedural)";
+      rationale =
+        "A closure passed to Parallel.Pool.map/map_array/map_list runs on \
+         worker domains; anything it transitively calls that touches \
+         module-level mutable state (ref/Hashtbl/Buffer/...) is a data race \
+         and breaks the jobs-independence contract (doc/PARALLELISM.md). \
+         Atomic, Mutex, Domain.DLS and the lib/obs instrumentation sink are \
+         sanctioned; deliberate state is sanctioned cross-module by \
+         [@lint.allow \"D7\"] on the state binding itself." };
+    { id = "D8";
+      title = "transitive hot-path allocation (interprocedural)";
+      rationale =
+        "D6 extended over the full callee cone of every [@lint.hot] \
+         binding: a callee that heap-allocates — however many calls away — \
+         breaks the allocation-free promise just as surely as an allocation \
+         in the body. Callees marked [@lint.cold] are sanctioned \
+         allocation points; callees the parse-only resolver cannot see \
+         (externals, calls through parameters) are reported as \
+         \"cannot prove\" notes rather than silently passing." } ]
 
 let find id = List.find_opt (fun m -> m.id = id) all
 

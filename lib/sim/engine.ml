@@ -462,7 +462,11 @@ let run_fast_unobserved ?(hooks = no_hooks) ?(collect_trace = false)
   in
   Array.iteri (fun i t -> Calendar.add cal i ~key:t.st_offset) tasks;
 
-  let emit_segment core job start stop =
+  (* Allocates the trace-segment record, by design: segments only
+     exist when tracing is on. [@lint.cold] marks it a sanctioned
+     allocation point so rule D8 does not charge it to the hot
+     callers (doc/STATIC_ANALYSIS.md). *)
+  let[@lint.cold] emit_segment core job start stop =
     if stop > start then begin
       (match trace with
       | Some tr ->
@@ -478,8 +482,9 @@ let run_fast_unobserved ?(hooks = no_hooks) ?(collect_trace = false)
   in
 
   (* Release of task [i] at its recorded next-release time; allocates
-     the job record (inherent to the hooks API), hence not hot. *)
-  let release_one i =
+     the job record (inherent to the hooks API), hence not hot —
+     [@lint.cold] sanctions the allocation for rule D8. *)
+  let[@lint.cold] release_one i =
     let task = tasks.(i) in
     let a = accs.(i) in
     let old = active.(i) in

@@ -1,0 +1,4 @@
+(* Deliberate shared state: the allow on the binding sanctions every
+   path that reaches it, from any module (cross-module suppression). *)
+let total = ref 0 [@@lint.allow "D7"]
+let note x = total := !total + x

@@ -1,0 +1,3 @@
+(* Atomic state is the sanctioned form of cross-domain counters. *)
+let counter = Atomic.make 0
+let tick () = Atomic.incr counter

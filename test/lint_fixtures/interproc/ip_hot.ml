@@ -1,0 +1,5 @@
+(* Allocation three calls deep under [@lint.hot] (D8). *)
+let l3 x = (x, x)
+let l2 x = l3 (x + 1)
+let l1 x = l2 (x * 2)
+let[@lint.hot] entry x = l1 x

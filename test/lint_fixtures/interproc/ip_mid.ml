@@ -1,0 +1,4 @@
+(* Middle hop: puts Ip_state.hits two calls away from the closure. *)
+let middle x =
+  Ip_state.bump ();
+  x + 1

@@ -1,0 +1,8 @@
+(* Racy: the closure reaches Ip_state.hits two calls deep (D7). *)
+let racy n = Parallel.Pool.map (fun i -> Ip_mid.middle i) n
+
+(* Sanctioned: Atomic counters are domain-safe. *)
+let safe n = Parallel.Pool.map (fun i -> Ip_atomic.tick (); i) n
+
+(* Sanctioned cross-module: the state binding allows "D7". *)
+let allowed n = Parallel.Pool.map (fun i -> Ip_allowed_state.note i; i) n

@@ -1,0 +1,4 @@
+(* Module-level mutable state: the D7 race target, two calls away. *)
+let hits = ref 0
+let bump () = hits := !hits + 1
+let count () = !hits

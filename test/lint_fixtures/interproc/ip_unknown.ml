@@ -1,0 +1,3 @@
+(* Unknown callee: D8 must report "cannot prove" (a note), never a
+   silent pass and never a guessed finding. *)
+let[@lint.hot] f x = Ext_mystery.transform x
