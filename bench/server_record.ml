@@ -1,0 +1,425 @@
+(* Admission-control daemon load benchmark and its machine-readable
+   record, BENCH_server.json (schema "hydra_c.bench_server/1"), run by
+   bench/server_bench.exe (the CI gate). Companion of Sim_record on
+   the server side; doc/SERVER.md explains the methodology.
+
+   A deterministic seeded generator builds two request scripts over
+   [tenants] resident systems (M = [cores], [rt] RT tasks and [sec]
+   security tasks each at init):
+
+   - "steady": arrivals, reselects and queries only — every edit
+     preserves the warm floors (doc/SERVER.md), so the incremental
+     engine stays on the warm path. This is the headline
+     warm-vs-cold number the acceptance gate reads.
+   - "churn": leaves and core-count changes mixed in — structural
+     deltas that drop the floors and force cold fallbacks. Warm wins
+     shrink here by design; the gate only requires speedup >= 1.
+
+   Each mix is measured four ways on the in-process engine
+   (no sockets — the protocol codecs run, the kernel does not):
+
+   - warm lockstep: incremental engine, jobs = 1, one request per
+     batch; per-request latency recorded into a Hydra_obs.Histogram
+     (p50/p99/p999) and wall time kept best-of-[reps].
+   - cold lockstep: the same stream with incremental = false — every
+     materialization rebuilds the system from scratch and re-derives
+     every workload column. warm_speedup = cold_wall / warm_wall.
+   - batched, jobs = 1 and jobs = [jobs]: the stream split into
+     [batch]-request batches, exercising coalescing and sharding.
+
+   results_match is the conjunction of two byte-identities over the
+   encoded response frames: warm lockstep = cold lockstep (the
+   incremental engine agrees with the from-scratch baseline) and
+   batched jobs=1 = batched jobs=[jobs] (sharding is deterministic).
+   The two lockstep/batched pairs are not compared to each other:
+   coalescing legitimately makes responses depend on the batch
+   schedule.
+
+     {
+       "schema": "hydra_c.bench_server/1",
+       "tenants": T, "cores": M, "rt_tasks": n, "sec_tasks": m,
+       "requests": R, "seed": S, "jobs": J, "batch": B, "reps": K,
+       "mixes": {
+         "steady": { "requests", "selects", "warm_selects",
+                     "warm_wall_ns", "cold_wall_ns", "warm_speedup",
+                     "throughput_rps", "batched_wall_ns",
+                     "batched_throughput_rps", "p50_ns", "p99_ns",
+                     "p999_ns", "results_match" },
+         "churn":  { ... }
+       },
+       "results_match": bool,   -- conjunction over the mixes
+       "warm_speedup": float,   -- the steady mix (the headline)
+       "warm_speedup_min": float -- min over the mixes
+     }
+
+   Scale knobs (environment variables):
+     BENCH_SERVER_TENANTS   resident systems (default 6)
+     BENCH_SERVER_CORES     cores per tenant (default 4)
+     BENCH_SERVER_RT        RT tasks per tenant at init (default 24)
+     BENCH_SERVER_SEC       security tasks per tenant at init (default 8)
+     BENCH_SERVER_REQUESTS  post-init requests per mix (default 300)
+     BENCH_SERVER_SEED      script generator seed (default 42)
+     BENCH_SERVER_JOBS      sharded-run worker count (default 4)
+     BENCH_SERVER_BATCH     batched-run batch size (default 64)
+     BENCH_SERVER_REPS      timed repetitions, best-of (default 3) *)
+
+module Protocol = Hydra_server.Protocol
+module Engine = Hydra_server.Engine
+module Tenant = Hydra_server.Tenant
+
+type mix = Steady | Churn
+
+let mix_name = function Steady -> "steady" | Churn -> "churn"
+
+type scale = {
+  sc_tenants : int;
+  sc_cores : int;
+  sc_rt : int;
+  sc_sec : int;
+  sc_requests : int;
+  sc_seed : int;
+  sc_jobs : int;
+  sc_batch : int;
+  sc_reps : int;
+}
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let scale_of_env () =
+  { sc_tenants = getenv_int "BENCH_SERVER_TENANTS" 6;
+    sc_cores = getenv_int "BENCH_SERVER_CORES" 4;
+    sc_rt = getenv_int "BENCH_SERVER_RT" 24;
+    sc_sec = getenv_int "BENCH_SERVER_SEC" 8;
+    sc_requests = getenv_int "BENCH_SERVER_REQUESTS" 300;
+    sc_seed = getenv_int "BENCH_SERVER_SEED" 42;
+    sc_jobs = getenv_int "BENCH_SERVER_JOBS" 4;
+    sc_batch = getenv_int "BENCH_SERVER_BATCH" 64;
+    sc_reps = getenv_int "BENCH_SERVER_REPS" 3 }
+
+(* Script generation: a self-contained 64-bit LCG so the request
+   stream is a pure function of (mix, scale) — server_bench --drive
+   regenerates the same prefix to talk to a live daemon, and the
+   committed serve-smoke fixture depends on it. *)
+
+let lcg s = ((s * 1103515245) + 12345) land 0x3FFF_FFFF
+
+let rand r n =
+  r := lcg !r;
+  !r / 7 mod n
+
+type tstate = {
+  mutable fresh : int;  (* next fresh task-name number, shared rt/sec *)
+  mutable live_rt : string list;
+  mutable live_sec : string list;
+}
+
+let rt_periods = [| 100; 120; 150; 200; 240; 300; 400; 500; 600; 800 |]
+
+(* Init tasksets are deliberately light (per-task utilization <= 3%):
+   admissions should mostly succeed so the script keeps exercising
+   selection, not the cheap rejection path. *)
+let init_request r ~(scale : scale) ~id ~tenant ts =
+  let rt =
+    List.init scale.sc_rt (fun i ->
+        { Protocol.r_name = Printf.sprintf "r%d" i;
+          r_wcet = 1 + rand r 3;
+          r_period = rt_periods.(rand r (Array.length rt_periods)) })
+  in
+  let sec =
+    List.init scale.sc_sec (fun i ->
+        { Protocol.s_name = Printf.sprintf "s%d" i;
+          s_wcet = 1 + rand r 2;
+          s_period_max = 2000 + (400 * rand r 10) })
+  in
+  ts.fresh <- max scale.sc_rt scale.sc_sec;
+  ts.live_rt <- List.map (fun (t : Protocol.rt_spec) -> t.r_name) rt;
+  ts.live_sec <- List.map (fun (s : Protocol.sec_spec) -> s.s_name) sec;
+  { Protocol.q_id = id; q_tenant = tenant;
+    q_op = Protocol.Init { cores = scale.sc_cores; rt; sec } }
+
+let fresh_rt r ts =
+  let name = Printf.sprintf "r%d" ts.fresh in
+  ts.fresh <- ts.fresh + 1;
+  ts.live_rt <- name :: ts.live_rt;
+  { Protocol.r_name = name; r_wcet = 1; r_period = 200 + (20 * rand r 20) }
+
+let fresh_sec r ts =
+  let name = Printf.sprintf "s%d" ts.fresh in
+  ts.fresh <- ts.fresh + 1;
+  ts.live_sec <- name :: ts.live_sec;
+  { Protocol.s_name = name; s_wcet = 1;
+    s_period_max = 2000 + (400 * rand r 10) }
+
+let pick_remove r l =
+  let i = rand r (List.length l) in
+  (List.nth l i, List.filteri (fun j _ -> j <> i) l)
+
+(* Steady: every op preserves the warm floors (arrivals grow
+   interference; reselect/query edit nothing). Most requests either
+   re-confirm a selection the solution barely moved from or just read
+   it back — the monitoring steady state the warm path is built for
+   (the stateless baseline re-selects even for reads). *)
+let steady_op r ts =
+  let roll = rand r 100 in
+  if roll < 15 then Protocol.Sec_arrive (fresh_sec r ts)
+  else if roll < 30 then Protocol.Rt_arrive (fresh_rt r ts)
+  else if roll < 70 then Protocol.Reselect
+  else Protocol.Query
+
+(* Churn: leaves and set_cores drop the floors, forcing cold-path
+   selections inside the incremental engine. *)
+let churn_op r ts =
+  let roll = rand r 100 in
+  if roll < 15 then Protocol.Rt_arrive (fresh_rt r ts)
+  else if roll < 30 then
+    if List.length ts.live_rt > 2 then begin
+      let name, rest = pick_remove r ts.live_rt in
+      ts.live_rt <- rest;
+      Protocol.Rt_leave name
+    end
+    else Protocol.Query
+  else if roll < 45 then Protocol.Sec_arrive (fresh_sec r ts)
+  else if roll < 60 then
+    if List.length ts.live_sec > 2 then begin
+      let name, rest = pick_remove r ts.live_sec in
+      ts.live_sec <- rest;
+      Protocol.Sec_leave name
+    end
+    else Protocol.Query
+  else if roll < 68 then Protocol.Set_cores (2 + rand r 3)
+  else if roll < 90 then Protocol.Reselect
+  else Protocol.Query
+
+let tenant_names scale = List.init scale.sc_tenants (Printf.sprintf "t%d")
+
+let script ~mix ~scale =
+  let r =
+    ref (lcg (scale.sc_seed + (match mix with Steady -> 1 | Churn -> 2)))
+  in
+  let tenants = Array.of_list (tenant_names scale) in
+  let states =
+    Array.map (fun _ -> { fresh = 0; live_rt = []; live_sec = [] }) tenants
+  in
+  let reqs = ref [] and id = ref 0 in
+  Array.iteri
+    (fun i tenant ->
+      reqs := init_request r ~scale ~id:!id ~tenant states.(i) :: !reqs;
+      incr id)
+    tenants;
+  let rounds = max 1 (scale.sc_requests / max 1 scale.sc_tenants) in
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i tenant ->
+        let op =
+          match mix with
+          | Steady -> steady_op r states.(i)
+          | Churn -> churn_op r states.(i)
+        in
+        reqs := { Protocol.q_id = !id; q_tenant = tenant; q_op = op } :: !reqs;
+        incr id)
+      tenants
+  done;
+  List.rev !reqs
+
+(* One pass of a script through an in-process engine. *)
+
+type run = {
+  run_wall_ns : int;
+  run_wire : string list;  (* encoded responses, request order *)
+  run_selects : int;
+  run_warm_selects : int;
+}
+
+let chunks n l =
+  let rec take k acc = function
+    | tl when k = 0 -> (List.rev acc, tl)
+    | [] -> (List.rev acc, [])
+    | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | l ->
+        let batch, rest = take n [] l in
+        go (batch :: acc) rest
+  in
+  go [] l
+
+let run_stream ?latency ~jobs ~incremental ~batch ~tenants reqs =
+  let eng = Engine.create ~jobs ~incremental () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown eng) @@ fun () ->
+  let wire = ref [] in
+  let t0 = Hydra_obs.now_ns () in
+  List.iter
+    (fun b ->
+      let t1 = Hydra_obs.now_ns () in
+      let resps = Engine.exec_batch eng b in
+      (match latency with
+      | Some h -> Hydra_obs.Histogram.record h (Hydra_obs.now_ns () - t1)
+      | None -> ());
+      wire := List.rev_append (List.map Protocol.encode_response resps) !wire)
+    (chunks batch reqs);
+  let wall = Hydra_obs.now_ns () - t0 in
+  let selects, warm_selects =
+    List.fold_left
+      (fun (s, w) name ->
+        match Engine.find_tenant eng name with
+        | Some tn -> (s + Tenant.selects tn, w + Tenant.warm_selects tn)
+        | None -> (s, w))
+      (0, 0) tenants
+  in
+  { run_wall_ns = wall; run_wire = List.rev !wire;
+    run_selects = selects; run_warm_selects = warm_selects }
+
+type mix_row = {
+  mr_name : string;
+  mr_requests : int;
+  mr_selects : int;  (* materialized selections, warm lockstep run *)
+  mr_warm_selects : int;  (* of those, warm-started *)
+  mr_warm_wall_ns : int;
+  mr_cold_wall_ns : int;
+  mr_warm_speedup : float;
+  mr_throughput_rps : float;  (* warm lockstep requests per second *)
+  mr_batched_wall_ns : int;  (* batched run at [sc_jobs] workers *)
+  mr_batched_throughput_rps : float;
+  mr_p50_ns : int;
+  mr_p99_ns : int;
+  mr_p999_ns : int;
+  mr_results_match : bool;
+}
+
+let rps requests wall_ns =
+  if wall_ns > 0 then float_of_int requests /. (float_of_int wall_ns /. 1e9)
+  else Float.nan
+
+let measure ~mix ~scale =
+  let reqs = script ~mix ~scale in
+  let n = List.length reqs in
+  let tenants = tenant_names scale in
+  let hist = Hydra_obs.Histogram.create () in
+  (* Warm and cold lockstep passes alternate and each keeps its
+     best-of-reps wall time (both are deterministic, so reps only
+     filter machine noise); the latency histogram is filled once, on
+     the first warm pass. *)
+  let warm_ns = ref max_int and cold_ns = ref max_int in
+  let warm = ref None and cold = ref None in
+  for rep = 1 to max 1 scale.sc_reps do
+    let latency = if rep = 1 then Some hist else None in
+    let w = run_stream ?latency ~jobs:1 ~incremental:true ~batch:1 ~tenants reqs in
+    let c = run_stream ~jobs:1 ~incremental:false ~batch:1 ~tenants reqs in
+    if w.run_wall_ns < !warm_ns then warm_ns := w.run_wall_ns;
+    if c.run_wall_ns < !cold_ns then cold_ns := c.run_wall_ns;
+    warm := Some w;
+    cold := Some c
+  done;
+  let w = Option.get !warm and c = Option.get !cold in
+  let b1 =
+    run_stream ~jobs:1 ~incremental:true ~batch:scale.sc_batch ~tenants reqs
+  in
+  let bj =
+    run_stream ~jobs:scale.sc_jobs ~incremental:true ~batch:scale.sc_batch
+      ~tenants reqs
+  in
+  let q p = Hydra_obs.Histogram.quantile hist p in
+  { mr_name = mix_name mix;
+    mr_requests = n;
+    mr_selects = w.run_selects;
+    mr_warm_selects = w.run_warm_selects;
+    mr_warm_wall_ns = !warm_ns;
+    mr_cold_wall_ns = !cold_ns;
+    mr_warm_speedup =
+      (if !warm_ns > 0 then float_of_int !cold_ns /. float_of_int !warm_ns
+       else Float.nan);
+    mr_throughput_rps = rps n !warm_ns;
+    mr_batched_wall_ns = bj.run_wall_ns;
+    mr_batched_throughput_rps = rps n bj.run_wall_ns;
+    mr_p50_ns = q 0.5;
+    mr_p99_ns = q 0.99;
+    mr_p999_ns = q 0.999;
+    mr_results_match = w.run_wire = c.run_wire && b1.run_wire = bj.run_wire }
+
+type t = {
+  br_scale : scale;
+  br_rows : mix_row list;
+  br_results_match : bool;
+  br_warm_speedup : float;  (* the steady mix *)
+  br_warm_speedup_min : float;  (* min over the mixes *)
+}
+
+let run () =
+  let scale = scale_of_env () in
+  let rows = [ measure ~mix:Steady ~scale; measure ~mix:Churn ~scale ] in
+  { br_scale = scale;
+    br_rows = rows;
+    br_results_match = List.for_all (fun r -> r.mr_results_match) rows;
+    br_warm_speedup = (List.hd rows).mr_warm_speedup;
+    br_warm_speedup_min =
+      List.fold_left
+        (fun acc r -> Float.min acc r.mr_warm_speedup)
+        Float.infinity rows }
+
+let to_json (r : t) =
+  let s = r.br_scale in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"hydra_c.bench_server/1\",\n";
+  Printf.bprintf buf "  \"tenants\": %d,\n" s.sc_tenants;
+  Printf.bprintf buf "  \"cores\": %d,\n" s.sc_cores;
+  Printf.bprintf buf "  \"rt_tasks\": %d,\n" s.sc_rt;
+  Printf.bprintf buf "  \"sec_tasks\": %d,\n" s.sc_sec;
+  Printf.bprintf buf "  \"requests\": %d,\n" s.sc_requests;
+  Printf.bprintf buf "  \"seed\": %d,\n" s.sc_seed;
+  Printf.bprintf buf "  \"jobs\": %d,\n" s.sc_jobs;
+  Printf.bprintf buf "  \"batch\": %d,\n" s.sc_batch;
+  Printf.bprintf buf "  \"reps\": %d,\n" s.sc_reps;
+  Buffer.add_string buf "  \"mixes\": {";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n    \"%s\": { \"requests\": %d, \"selects\": %d, \
+         \"warm_selects\": %d, \"warm_wall_ns\": %d, \"cold_wall_ns\": %d, \
+         \"warm_speedup\": %.4f, \"throughput_rps\": %s, \
+         \"batched_wall_ns\": %d, \"batched_throughput_rps\": %s, \
+         \"p50_ns\": %d, \"p99_ns\": %d, \"p999_ns\": %d, \
+         \"results_match\": %b }"
+        row.mr_name row.mr_requests row.mr_selects row.mr_warm_selects
+        row.mr_warm_wall_ns row.mr_cold_wall_ns row.mr_warm_speedup
+        (Hydra_obs.Snapshot.json_float row.mr_throughput_rps)
+        row.mr_batched_wall_ns
+        (Hydra_obs.Snapshot.json_float row.mr_batched_throughput_rps)
+        row.mr_p50_ns row.mr_p99_ns row.mr_p999_ns row.mr_results_match)
+    r.br_rows;
+  Buffer.add_string buf "\n  },\n";
+  Printf.bprintf buf "  \"results_match\": %b,\n" r.br_results_match;
+  Printf.bprintf buf "  \"warm_speedup\": %s,\n"
+    (Hydra_obs.Snapshot.json_float r.br_warm_speedup);
+  Printf.bprintf buf "  \"warm_speedup_min\": %s\n"
+    (Hydra_obs.Snapshot.json_float r.br_warm_speedup_min);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write ?(path = "BENCH_server.json") r =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json r))
+
+let pp_summary ppf (r : t) =
+  let s = r.br_scale in
+  Format.fprintf ppf
+    "admission-control daemon (%d tenants, M=%d, %d RT + %d sec tasks \
+     each, %d requests/mix, seed %d):@."
+    s.sc_tenants s.sc_cores s.sc_rt s.sc_sec s.sc_requests s.sc_seed;
+  List.iter
+    (fun row ->
+      Format.fprintf ppf
+        "  %-7s cold %8.2f ms   warm %8.2f ms   speedup %5.2fx   p99 %6.2f \
+         us   %s@."
+        row.mr_name
+        (float_of_int row.mr_cold_wall_ns /. 1e6)
+        (float_of_int row.mr_warm_wall_ns /. 1e6)
+        row.mr_warm_speedup
+        (float_of_int row.mr_p99_ns /. 1e3)
+        (if row.mr_results_match then "results match" else "RESULTS DIFFER"))
+    r.br_rows

@@ -644,6 +644,49 @@ let cmd_obs_report =
     Term.(const run_obs_report $ report_files_arg $ max_regression_arg
           $ watch_arg $ all_rows_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the online admission-control daemon (doc/SERVER.md) *)
+
+let run_serve socket jobs cold cache_capacity max_batch metrics trace_out
+    metrics_out profile stream stream_period =
+  with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
+    (fun ctx ->
+      let config =
+        { Hydra_server.Daemon.socket_path = socket; jobs;
+          incremental = not cold; cache_capacity; max_batch }
+      in
+      Format.eprintf "[serve] listening on %s (jobs=%d%s)@." socket jobs
+        (if cold then ", cold" else "");
+      Hydra_server.Daemon.serve ?obs:ctx.oc_obs ~config ())
+
+let socket_arg =
+  Arg.(value & opt string "hydra_c.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket to listen on (stale files are                  unlinked; the file is removed again on shutdown).")
+
+let cold_arg =
+  Arg.(value & flag
+       & info [ "cold" ]
+           ~doc:"Disable the incremental warm path: every materialization                  builds a fresh analysis system with an empty workload                  cache and no warm-start floors. Responses are bit-identical                  to the warm path — this flag exists to measure what the                  resident state buys (bench/server_bench.exe does).")
+
+let cache_capacity_arg =
+  Arg.(value & opt int 0
+       & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Bound every tenant's per-system workload cache to N                  memoized windows (0 = unbounded). Enforcement is                  deterministic flush-on-full, so results never change —                  only recomputation (doc/SERVER.md).")
+
+let max_batch_arg =
+  Arg.(value & opt int 64
+       & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Most frames drained into one engine batch. A lockstep                  client always gets one-request batches; a pipelining                  client gets up to N concurrent updates coalesced per                  tenant.")
+
+let cmd_serve =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the admission-control daemon: tenant systems stay resident                (workload caches, warm-start state, last selection) and                reconfiguration requests (RT/security task arrive/leave,                core-count change, re-select) stream over a Unix-domain                socket speaking length-prefixed hydra_c.server/1 JSON                (doc/SERVER.md). Stop it with a 'shutdown' request.")
+    Term.(const run_serve $ socket_arg $ jobs_arg $ cold_arg
+          $ cache_capacity_arg $ max_batch_arg $ metrics_arg $ trace_out_arg
+          $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
+
 let smoke_term =
   Term.(const run_smoke $ jobs_arg $ fast_arg $ sim_fast_arg $ metrics_arg
           $ trace_out_arg $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
@@ -661,4 +704,4 @@ let () =
        (Cmd.group ~default:smoke_term info
           [ cmd_tables; cmd_fig5; cmd_fig6; cmd_fig7a; cmd_fig7b;
             cmd_ablation; cmd_validate; cmd_analyze; cmd_report;
-            cmd_obs_report; cmd_all ]))
+            cmd_serve; cmd_obs_report; cmd_all ]))

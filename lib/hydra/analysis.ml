@@ -10,10 +10,37 @@ type time = Task.time
    clamp of Eq. 3 is applied per query, on top of the cached vector.
    The table is plain (not thread-safe) state: a system value must not
    be shared across domains — the sweep builds one per taskset per
-   worker, see analysis.mli. *)
-type cache = { rt_wl : (int, int array) Hashtbl.t }
+   worker, see analysis.mli.
 
-let fresh_cache () = { rt_wl = Hashtbl.create 64 }
+   [c_capacity] bounds the entry count for long-lived systems (the
+   admission-control daemon, doc/SERVER.md): 0 means unbounded; a
+   positive bound triggers a deterministic flush-on-full eviction
+   (the whole table is reset before the insert that would exceed the
+   bound — no hash-order-dependent victim choice). The hit/miss/
+   eviction/refresh tallies back the {!cache_stats} accessor; the
+   [?obs] counters are recorded alongside, they are not a substitute
+   (a daemon holds one registry for many tenant systems). *)
+type cache = {
+  rt_wl : (int, int array) Hashtbl.t;
+  mutable c_capacity : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_evictions : int;
+  mutable c_refreshes : int;
+}
+
+let fresh_cache () =
+  { rt_wl = Hashtbl.create 64; c_capacity = 0; c_hits = 0; c_misses = 0;
+    c_evictions = 0; c_refreshes = 0 }
+
+type cache_stats = {
+  cs_entries : int;
+  cs_capacity : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_refreshes : int;
+}
 
 type system = {
   n_cores : int;
@@ -34,6 +61,52 @@ let make_system (ts : Task.taskset) ~assignment =
     rt_cores = Rtsched.Partition.cores_of_assignment ts assignment;
     cache = fresh_cache () }
 
+let cache_stats sys =
+  let c = sys.cache in
+  { cs_entries = Hashtbl.length c.rt_wl;
+    cs_capacity = c.c_capacity;
+    cs_hits = c.c_hits;
+    cs_misses = c.c_misses;
+    cs_evictions = c.c_evictions;
+    cs_refreshes = c.c_refreshes }
+
+let set_cache_capacity sys capacity =
+  let c = sys.cache in
+  c.c_capacity <- max 0 capacity;
+  (* Re-establish the bound immediately so a capacity lowered below the
+     current size cannot linger over it until the next miss. *)
+  if c.c_capacity > 0 && Hashtbl.length c.rt_wl > c.c_capacity then begin
+    Hashtbl.reset c.rt_wl;
+    c.c_evictions <- c.c_evictions + 1
+  end
+
+(* Per-core cache invalidation (doc/SERVER.md): the new partition
+   differs from the cached one only on the cores flagged in [changed],
+   so every memoized window keeps the unchanged cores' workloads and
+   recomputes just the changed columns. Bit-identity is by definition:
+   after the refresh every cached vector equals what
+   [Workload.rt_workloads new_cores x] would compute from scratch. *)
+let refresh_rt_cores sys new_cores ~changed =
+  if Array.length new_cores <> sys.n_cores
+     || Array.length changed <> sys.n_cores
+  then
+    invalid_arg
+      "Analysis.refresh_rt_cores: core count changed — build a fresh system \
+       with make_system instead";
+  let c = sys.cache in
+  let refreshed = ref 0 in
+  Hashtbl.iter
+    (fun x wl ->
+      for m = 0 to sys.n_cores - 1 do
+        if changed.(m) then begin
+          wl.(m) <- Workload.rt_core_workload new_cores.(m) x;
+          incr refreshed
+        end
+      done)
+    c.rt_wl;
+  c.c_refreshes <- c.c_refreshes + !refreshed;
+  { sys with rt_cores = new_cores }
+
 let rt_interference sys ~job_wcet x =
   Array.fold_left
     (fun acc core -> acc + Workload.rt_core_interference ~job_wcet core x)
@@ -44,15 +117,24 @@ let rt_interference sys ~job_wcet x =
    because interference = clamp(rt_core_workload core x) on both
    paths. *)
 let rt_interference_cached obs sys ~job_wcet x =
+  let c = sys.cache in
   let wl =
-    match Hashtbl.find_opt sys.cache.rt_wl x with
+    match Hashtbl.find_opt c.rt_wl x with
     | Some wl ->
         Hydra_obs.incr obs "analysis.cache.hit";
+        c.c_hits <- c.c_hits + 1;
         wl
     | None ->
         Hydra_obs.incr obs "analysis.cache.miss";
+        c.c_misses <- c.c_misses + 1;
+        if c.c_capacity > 0 && Hashtbl.length c.rt_wl >= c.c_capacity then begin
+          (* flush-on-full: deterministic, keeps the table <= capacity *)
+          Hashtbl.reset c.rt_wl;
+          c.c_evictions <- c.c_evictions + 1;
+          Hydra_obs.incr obs "analysis.cache.evicted"
+        end;
         let wl = Workload.rt_workloads sys.rt_cores x in
-        Hashtbl.add sys.cache.rt_wl x wl;
+        Hashtbl.add c.rt_wl x wl;
         wl
   in
   let acc = ref 0 in

@@ -43,6 +43,19 @@ val fresh_cache : unit -> cache
 (** An empty cache — needed when building a {!system} literally rather
     than through {!make_system}. *)
 
+type cache_stats = {
+  cs_entries : int;  (** memoized windows currently held *)
+  cs_capacity : int;  (** entry bound; [0] = unbounded *)
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;  (** flush-on-full resets performed *)
+  cs_refreshes : int;  (** per-core columns rewritten by {!refresh_rt_cores} *)
+}
+(** Hygiene counters of one system's workload cache — the per-system
+    view behind the global [analysis.cache.{hit,miss}] registry
+    counters (a long-lived daemon holds many systems on one
+    registry; doc/SERVER.md). *)
+
 type system = {
   n_cores : int;
   rt_cores : Rtsched.Task.rt_task list array;
@@ -72,6 +85,39 @@ val make_system :
   Rtsched.Task.taskset -> assignment:int array -> system
 (** Builds the per-core RT view from a partitioning assignment (with a
     fresh, empty workload cache). *)
+
+val cache_stats : system -> cache_stats
+(** Current hygiene counters of this system's workload cache. *)
+
+val set_cache_capacity : system -> int -> unit
+(** Bound the cache to at most [capacity] memoized windows ([<= 0]
+    restores the unbounded default). Enforcement is flush-on-full: the
+    insert that would exceed the bound resets the whole table first — a
+    deterministic policy (no hash-order victim selection), so bounded
+    and unbounded runs still compute bit-identical results, only the
+    amount of recomputation differs. Lowering the capacity below the
+    current entry count flushes immediately. A long-lived daemon sets
+    this so resident tenants cannot grow their caches without limit
+    (doc/SERVER.md; the bound is unit-tested in
+    test/test_analysis.ml). *)
+
+val refresh_rt_cores :
+  system -> Rtsched.Task.rt_task list array -> changed:bool array ->
+  system
+(** [refresh_rt_cores sys new_cores ~changed] is a system with the RT
+    partition replaced by [new_cores], {b keeping} the workload cache:
+    for every memoized window, only the columns of cores flagged in
+    [changed] are recomputed (counted in [cs_refreshes]); unchanged
+    cores' workloads are reused as-is. The caller guarantees that
+    [new_cores.(m)] equals [sys]'s core [m] wherever
+    [changed.(m) = false]. This is the incremental-reconfiguration
+    entry point of the admission-control server: an RT task arriving
+    on (or leaving) one core invalidates one column, not the whole
+    cache (doc/SERVER.md). The returned system shares the cache (and
+    its single-domain ownership rules) with [sys].
+    @raise Invalid_argument if either array's length differs from
+    [sys.n_cores] — a core-count change is structural; use
+    {!make_system}. *)
 
 val rt_interference : system -> job_wcet:time -> time -> time
 (** Total RT interference term of Eq. 6 for a window of length [x]

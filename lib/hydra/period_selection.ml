@@ -77,9 +77,20 @@ let min_feasible_period_impl policy obs sys ~sorted ~periods ~resps ~index =
 let min_feasible_period ?policy ?obs sys ~sorted ~periods ~resps ~index =
   min_feasible_period_impl policy obs sys ~sorted ~periods ~resps ~index
 
+(* The Algorithm 1 lines 1-4 responses (all periods at their bounds),
+   re-indexed by sec_id into a caller-provided vector. The
+   admission-control server snapshots these as warm floors for its
+   next reconfiguration (doc/SERVER.md). *)
+let export_bounds bounds_out sorted resps0 =
+  match bounds_out with
+  | None -> ()
+  | Some out ->
+      Array.iteri (fun j (s : Task.sec_task) -> out.(s.sec_id) <- resps0.(j))
+        sorted
+
 (* Reference Algorithm 1: per-probe array copies, cold fixed points.
    Kept verbatim as the equivalence oracle for [select_fast]. *)
-let select_naive policy obs sys secs =
+let select_naive policy obs bounds_out sys secs =
   let sorted = Task.sort_sec_by_priority secs in
   let n = Array.length sorted in
   let periods = Array.map (fun s -> s.Task.sec_period_max) sorted in
@@ -91,6 +102,7 @@ let select_naive policy obs sys secs =
       Hydra_obs.incr obs "period_selection.unschedulable";
       Unschedulable
   | Some resps0 ->
+      export_bounds bounds_out sorted resps0;
       Array.blit resps0 0 resps 0 n;
       (* Lines 5-9: minimize periods from highest to lowest priority,
          refreshing the lower-priority response times after each fix. *)
@@ -142,13 +154,32 @@ let select_naive policy obs sys secs =
      responses under [t_star] (the last committed probe), or — when no
      probe was feasible and [t_star = T_s^max] — the responses of the
      incoming vector, which already had [index] at its bound. *)
-let select_fast policy obs sys secs =
+let select_fast policy obs warm0 hints bounds_out sys secs =
   let sorted = Task.sort_sec_by_priority secs in
   let n = Array.length sorted in
   let periods = Array.map (fun s -> s.Task.sec_period_max) sorted in
   let resps = Array.make n 0 in
   let scratch = Array.make n 0 in
   Hydra_obs.add obs "period_selection.tasks" n;
+  (* Caller-supplied warm floors for the initial all-bounds pass,
+     re-indexed from sec_id to priority position ([0] = no floor). *)
+  let warm_init =
+    match warm0 with
+    | None -> fun _ -> 0
+    | Some w -> fun j -> w.(sorted.(j).Task.sec_id)
+  in
+  (* Caller-supplied search hints (previously selected periods), also
+     by sec_id; 0 or out-of-range means no hint. Hints only steer the
+     probe order of the per-task search — the result is the same
+     minimal feasible period either way (see the search below). *)
+  let hint_of =
+    match hints with
+    | None -> fun _ -> 0
+    | Some h ->
+        fun index ->
+          let id = sorted.(index).Task.sec_id in
+          if id < Array.length h then h.(id) else 0
+  in
   (* Response of position [j] while probing [candidate] at [index]
      ([index = -1]: no probe, plain evaluation of [periods]). hp
      responses come from [resps] for the already-committed prefix and
@@ -161,7 +192,7 @@ let select_fast policy obs sys secs =
             hp_period = (if i = index then candidate else periods.(i));
             hp_resp = (if i <= index then resps.(i) else scratch.(i)) })
     in
-    let warm = if index < 0 then 0 else resps.(j) in
+    let warm = if index < 0 then warm_init j else resps.(j) in
     Analysis.response_time ?policy ~fast:true ~warm ?obs sys ~hp
       ~wcet:s.Task.sec_wcet ~limit:s.Task.sec_period_max
   in
@@ -185,23 +216,65 @@ let select_fast policy obs sys secs =
   end
   else begin
     commit ~from:0;
-    (* Lines 5-9: minimize periods from highest to lowest priority. *)
+    export_bounds bounds_out sorted resps;
+    (* Lines 5-9: minimize periods from highest to lowest priority.
+
+       Feasibility is monotone in the candidate (a longer period only
+       shrinks the suffix interference), so the minimal feasible
+       period is a threshold and {e any} probe order that brackets it
+       finds the same value. A plain binary search over
+       [resp, T_s^max] costs ~log2 of that whole range per task; when
+       the caller supplies a hint (the period this task got in the
+       previous selection, via [?hints]), an exponential (galloping)
+       search around the hint finds the threshold in O(log d) probes
+       where d is the distance the solution moved — O(1) when it did
+       not move, which is the admission-control server's common case
+       (doc/SERVER.md). Feasible probes stay strictly decreasing on
+       every path, preserving the [resps] warm-floor invariant
+       above. *)
     for index = 0 to n - 1 do
       let tmax = sorted.(index).Task.sec_period_max in
       let steps = ref 0 in
+      let feasible c =
+        incr steps;
+        if probe ~index ~candidate:c ~from:(index + 1) then begin
+          commit ~from:(index + 1);
+          true
+        end
+        else false
+      in
       let rec search lo hi best =
         if lo > hi then best
-        else begin
-          incr steps;
+        else
           let c = (lo + hi) / 2 in
-          if probe ~index ~candidate:c ~from:(index + 1) then begin
-            commit ~from:(index + 1);
-            search lo (c - 1) (min best c)
-          end
+          if feasible c then search lo (c - 1) (min best c)
           else search (c + 1) hi best
-        end
       in
-      let t_star = search resps.(index) tmax tmax in
+      (* [last_feasible]/[last_infeasible] were probed; the threshold
+         lies in (last infeasible probe, last feasible probe]. *)
+      let rec gallop_down lo hint last_feasible k =
+        let c = hint - k in
+        if c < lo then search lo (last_feasible - 1) last_feasible
+        else if feasible c then gallop_down lo hint c (2 * k)
+        else search (c + 1) (last_feasible - 1) last_feasible
+      in
+      let rec gallop_up hint last_infeasible k =
+        let c = hint + k in
+        if c >= tmax then search (last_infeasible + 1) tmax tmax
+        else if feasible c then search (last_infeasible + 1) (c - 1) c
+        else gallop_up hint c (2 * k)
+      in
+      let lo = resps.(index) in
+      let hint = hint_of index in
+      let t_star =
+        if hint >= lo && hint <= tmax then
+          if hint = tmax then
+            (* feasible by the Algorithm 1 invariant — no probe *)
+            gallop_down lo hint hint 1
+          else if feasible hint then gallop_down lo hint hint 1
+          else gallop_up hint hint 1
+        else search lo tmax tmax
+      in
       Hydra_obs.add obs "period_selection.search.steps" !steps;
       Hydra_obs.observe obs "period_selection.search.steps_per_task" !steps;
       periods.(index) <- t_star
@@ -214,9 +287,9 @@ let select_fast policy obs sys secs =
     Schedulable assignments
   end
 
-let select ?policy ?(fast = true) ?obs sys secs =
-  if fast then select_fast policy obs sys secs
-  else select_naive policy obs sys secs
+let select ?policy ?(fast = true) ?warm0 ?hints ?bounds_out ?obs sys secs =
+  if fast then select_fast policy obs warm0 hints bounds_out sys secs
+  else select_naive policy obs bounds_out sys secs
 
 let vector_of field assignments ~n_sec =
   let v = Array.make n_sec 0 in

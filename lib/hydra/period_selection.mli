@@ -30,7 +30,8 @@ type result =
           at its bound (Algorithm 1, line 2) *)
 
 val select :
-  ?policy:Analysis.carry_in_policy -> ?fast:bool -> ?obs:Hydra_obs.t ->
+  ?policy:Analysis.carry_in_policy -> ?fast:bool -> ?warm0:time array ->
+  ?hints:time array -> ?bounds_out:time array -> ?obs:Hydra_obs.t ->
   Analysis.system -> Rtsched.Task.sec_task array -> result
 (** Runs Algorithm 1 on the security tasks (any order; they are sorted
     by priority internally).
@@ -45,6 +46,35 @@ val select :
     (equivalence-gated in [test/test_analysis.ml]; design and proof
     sketches in doc/PERFORMANCE.md). The Algorithm 2 probe sequence is
     the same on both paths, so the search counters agree too.
+
+    [warm0] (fast path only) supplies per-task warm floors, indexed by
+    [sec_id], for the {e initial} all-bounds pass (Algorithm 1,
+    lines 1-4) — each entry must be a sound lower bound on that task's
+    all-bounds response time, e.g. the [bounds_out] of a previous
+    select on a system with no more interference (interference is
+    monotone: RT or security arrivals only grow it). Results are
+    bit-identical with or without [warm0]; only fixed-point iterations
+    are saved. The admission-control server threads these across
+    reconfigurations (doc/SERVER.md).
+
+    [hints] (fast path only) supplies per-task starting points for the
+    Algorithm 2 search, indexed by [sec_id] ([0] or out-of-range:
+    no hint) — typically the periods of a previous selection on a
+    nearby system. Feasibility is monotone in the candidate period, so
+    the minimum feasible period is a threshold: a hint only changes
+    the {e probe order} (exponential search around the hint instead of
+    binary search over the whole [\[R_s, T_s^max\]] range), never the
+    result, and any value is sound. Probes drop from O(log range) to
+    O(log distance-moved) per task — O(1) when the solution did not
+    move. Note the probe-order change means the search counters (and
+    the exact probe sequence) differ from the naive path when [hints]
+    is given.
+
+    [bounds_out], when present (length [>=] max [sec_id] + 1), is
+    filled — on both paths — with the all-bounds responses of
+    Algorithm 1 lines 1-4, indexed by [sec_id]; untouched when the
+    result is [Unschedulable] (the pass did not complete). These are
+    exactly the values a later [warm0] may reuse.
 
     [obs] counts the Algorithm 2 probes
     ([period_selection.search.steps], plus the per-task

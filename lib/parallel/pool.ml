@@ -11,6 +11,63 @@ let map_seq f n =
     out
   end
 
+(* One worker's share of a map: steal chunks off the shared cursor
+   until the range is exhausted or some worker has failed. [apply i]
+   writes slot [i] of the caller's output array — distinct indices, so
+   no write ever races with another. Shared by the spawn-per-map
+   {!map} and the persistent {!Static} pool so both have the same
+   scheduling, failure and profiling behavior. *)
+let claim_loop obs ~profile ~cursor ~failure ~chunk ~n apply =
+  let body () =
+    (* accumulate locally, publish once per worker at the end *)
+    let busy = ref 0 and idle = ref 0 and chunks = ref 0 in
+    let running = ref true in
+    while !running do
+      if Atomic.get failure <> None then running := false
+      else begin
+        let t_wait = if profile then Hydra_obs.now_ns () else 0 in
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n then running := false
+        else begin
+          let t_claim =
+            if profile then begin
+              let t = Hydra_obs.now_ns () in
+              let w = t - t_wait in
+              idle := !idle + w;
+              Hydra_obs.sample obs "pool.queue_wait_ns" w;
+              incr chunks;
+              t
+            end
+            else 0
+          in
+          let stop = min n (start + chunk) in
+          (try
+             for i = start to stop - 1 do
+               apply i
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+             running := false);
+          if profile then busy := !busy + (Hydra_obs.now_ns () - t_claim)
+        end
+      end
+    done;
+    if profile then begin
+      Hydra_obs.sample obs "pool.worker.busy_ns" !busy;
+      Hydra_obs.sample obs "pool.worker.idle_ns" !idle;
+      Hydra_obs.add obs "pool.chunks" !chunks
+    end
+  in
+  (* under profiling each worker is also a span, so the trace grows
+     one "pool.worker" slice per worker domain per map *)
+  if profile then Hydra_obs.span obs "pool.worker" body else body ()
+
+let reraise_failure failure =
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
 let map ?obs ?jobs ?(chunk = 1) f n =
   if n < 0 then invalid_arg "Pool.map: negative length";
   let chunk = max 1 chunk in
@@ -36,58 +93,13 @@ let map ?obs ?jobs ?(chunk = 1) f n =
     let cursor = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker () =
-      let body () =
-        (* accumulate locally, publish once per worker at the end *)
-        let busy = ref 0 and idle = ref 0 and chunks = ref 0 in
-        let running = ref true in
-        while !running do
-          if Atomic.get failure <> None then running := false
-          else begin
-            let t_wait = if profile then Hydra_obs.now_ns () else 0 in
-            let start = Atomic.fetch_and_add cursor chunk in
-            if start >= n then running := false
-            else begin
-              let t_claim =
-                if profile then begin
-                  let t = Hydra_obs.now_ns () in
-                  let w = t - t_wait in
-                  idle := !idle + w;
-                  Hydra_obs.sample obs "pool.queue_wait_ns" w;
-                  incr chunks;
-                  t
-                end
-                else 0
-              in
-              let stop = min n (start + chunk) in
-              (try
-                 for i = start to stop - 1 do
-                   (* distinct indices: no write ever races with another *)
-                   out.(i) <- Some (f i)
-                 done
-               with e ->
-                 let bt = Printexc.get_raw_backtrace () in
-                 ignore (Atomic.compare_and_set failure None (Some (e, bt)));
-                 running := false);
-              if profile then busy := !busy + (Hydra_obs.now_ns () - t_claim)
-            end
-          end
-        done;
-        if profile then begin
-          Hydra_obs.sample obs "pool.worker.busy_ns" !busy;
-          Hydra_obs.sample obs "pool.worker.idle_ns" !idle;
-          Hydra_obs.add obs "pool.chunks" !chunks
-        end
-      in
-      (* under profiling each worker is also a span, so the trace grows
-         one "pool.worker" slice per worker domain per map *)
-      if profile then Hydra_obs.span obs "pool.worker" body else body ()
+      claim_loop obs ~profile ~cursor ~failure ~chunk ~n (fun i ->
+          out.(i) <- Some (f i))
     in
     let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join spawned;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
+    reraise_failure failure;
     Array.map (function Some v -> v | None -> assert false) out
   end
 
@@ -96,3 +108,113 @@ let map_array ?obs ?jobs ?chunk f a =
 
 let map_list ?obs ?jobs ?chunk f l =
   Array.to_list (map_array ?obs ?jobs ?chunk f (Array.of_list l))
+
+(* Persistent worker pool: [jobs - 1] long-lived domains parked on a
+   condition variable between maps. [map] publishes a job under the
+   mutex as a monomorphic [unit -> unit] body (the polymorphic output
+   array is captured in the closure), bumps the epoch, wakes everyone,
+   runs the same claim loop in the calling domain, then blocks until
+   every worker has checked back in. Spawning a domain costs ~100 us;
+   a server dispatching small batches per request would pay that on
+   every batch with {!map}, which is the entire reason this module
+   exists (doc/SERVER.md). Determinism is inherited from
+   {!claim_loop}: results are slotted by index, so output is identical
+   for every [jobs]. *)
+module Static = struct
+  type t = {
+    jobs : int;
+    mu : Mutex.t;
+    start : Condition.t;  (* workers: a new epoch is available *)
+    finish : Condition.t;  (* caller: all workers drained the epoch *)
+    mutable epoch : int;
+    mutable body : (unit -> unit) option;  (* job of the current epoch *)
+    mutable active : int;  (* workers still inside the current epoch *)
+    mutable stopped : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let jobs t = t.jobs
+
+  let worker t =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.mu;
+      while (not t.stopped) && t.epoch = !seen do
+        Condition.wait t.start t.mu
+      done;
+      if t.stopped then begin
+        running := false;
+        Mutex.unlock t.mu
+      end
+      else begin
+        seen := t.epoch;
+        let body = t.body in
+        Mutex.unlock t.mu;
+        (match body with Some run -> run () | None -> ());
+        Mutex.lock t.mu;
+        t.active <- t.active - 1;
+        if t.active = 0 then Condition.signal t.finish;
+        Mutex.unlock t.mu
+      end
+    done
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    let t =
+      { jobs; mu = Mutex.create (); start = Condition.create ();
+        finish = Condition.create (); epoch = 0; body = None; active = 0;
+        stopped = false; domains = [||] }
+    in
+    t.domains <-
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let shutdown t =
+    let join =
+      Mutex.lock t.mu;
+      let first = not t.stopped in
+      if first then begin
+        t.stopped <- true;
+        Condition.broadcast t.start
+      end;
+      Mutex.unlock t.mu;
+      first
+    in
+    if join then Array.iter Domain.join t.domains
+
+  let map ?obs ?(chunk = 1) t f n =
+    if n < 0 then invalid_arg "Pool.Static.map: negative length";
+    if t.stopped then invalid_arg "Pool.Static.map: pool is shut down";
+    let chunk = max 1 chunk in
+    Hydra_obs.incr obs "pool.maps";
+    Hydra_obs.add obs "pool.items" n;
+    if t.jobs = 1 || n <= chunk then map_seq f n
+    else begin
+      let profile = Hydra_obs.profiling_enabled obs in
+      if profile then Hydra_obs.add obs "pool.workers" t.jobs;
+      let out = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let run () =
+        claim_loop obs ~profile ~cursor ~failure ~chunk ~n (fun i ->
+            out.(i) <- Some (f i))
+      in
+      Mutex.lock t.mu;
+      t.body <- Some run;
+      t.active <- t.jobs - 1;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mu;
+      (* the calling domain is a worker too *)
+      run ();
+      Mutex.lock t.mu;
+      while t.active > 0 do
+        Condition.wait t.finish t.mu
+      done;
+      t.body <- None;
+      Mutex.unlock t.mu;
+      reraise_failure failure;
+      Array.map (function Some v -> v | None -> assert false) out
+    end
+end

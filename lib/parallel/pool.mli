@@ -68,3 +68,43 @@ val map_list :
   'b list
 (** [map_list f l] is [List.map f l], parallelized as {!map}. The
     result preserves list order. *)
+
+(** Persistent worker pool for callers that dispatch {e many small}
+    maps: the admission-control daemon runs one map per request batch,
+    and paying a domain spawn (~100 us) per batch would dominate its
+    latency profile (doc/SERVER.md). [create ~jobs] spawns [jobs - 1]
+    long-lived domains that park on a condition variable between maps;
+    {!Static.map} hands them a job, joins in from the calling domain,
+    and blocks until the job is drained — so a pool runs exactly one
+    map at a time and must only be driven from one domain.
+
+    The determinism contract is the same as {!map}: results are
+    slotted by index, so the output array is identical for every
+    [jobs], and [jobs = 1] spawns no domains and runs the exact
+    sequential path. Failure semantics are the same too: the first
+    exception (in steal order) is re-raised in the caller after the
+    job drains, and the pool remains usable. *)
+module Static : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawns [max 1 jobs - 1] worker domains (so [jobs <= 1] is fully
+      sequential). The caller must eventually {!shutdown} the pool or
+      the domains keep the process alive. *)
+
+  val jobs : t -> int
+  (** The clamped worker count (including the calling domain). *)
+
+  val map :
+    ?obs:Hydra_obs.t -> ?chunk:int -> t -> (int -> 'a) -> int -> 'a array
+  (** [map t f n] is [[| f 0; ...; f (n-1) |]] on the pool's domains
+      plus the calling domain; blocks until complete. [chunk] as in
+      {!val:map}. Records the same [pool.*] metrics as {!val:map}
+      (workload counters always, scheduling metrics behind the
+      profiling gate).
+      @raise Invalid_argument if [n < 0] or the pool was shut down. *)
+
+  val shutdown : t -> unit
+  (** Stops and joins the worker domains. Idempotent; the pool must
+      not be used afterwards. *)
+end

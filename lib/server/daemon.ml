@@ -1,0 +1,129 @@
+(* Accept loop of the admission-control daemon. One client is served
+   at a time (clients queue in the listen backlog): the protocol is
+   request/response over a Unix-domain socket, and the parallelism
+   that matters — sharding tenant groups across domains — lives in
+   {!Engine}, not in connection handling. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  incremental : bool;
+  cache_capacity : int;
+  max_batch : int;
+}
+
+let default_config ~socket_path =
+  { socket_path; jobs = 1; incremental = true; cache_capacity = 0;
+    max_batch = 64 }
+
+(* Read the frames of one batch: block for the first, then keep
+   draining frames that are already deliverable (poll with a zero
+   timeout) up to [max_batch] — so a lockstep client gets one-request
+   batches while a pipelining client gets its concurrent updates
+   coalesced. Returns the raw payloads and whether EOF was seen. *)
+let read_batch fd ~max_batch =
+  match Protocol.read_frame fd with
+  | None -> ([], true)
+  | Some first ->
+      let rec drain acc k =
+        if k >= max_batch then (List.rev acc, false)
+        else
+          match Unix.select [ fd ] [] [] 0.0 with
+          | [ _ ], _, _ -> (
+              match Protocol.read_frame fd with
+              | None -> (List.rev acc, true)
+              | Some s -> drain (s :: acc) (k + 1))
+          | _ -> (List.rev acc, false)
+      in
+      drain [ first ] 1
+
+(* Decode one payload; a malformed frame still yields exactly one
+   (error) response so request/response pairing survives. *)
+let decode payload =
+  match Protocol.decode_request payload with
+  | q -> Ok q
+  | exception Protocol.Protocol_error m -> Error m
+
+let handle_batch engine obs payloads =
+  let profile = Hydra_obs.profiling_enabled obs in
+  let t0 = if profile then Hydra_obs.now_ns () else 0 in
+  let decoded = List.map decode payloads in
+  (* daemon-level ops are split out; everything else goes to the
+     engine in one batch *)
+  let engine_reqs =
+    List.filter_map
+      (function
+        | Ok (q : Protocol.request) when q.q_op <> Protocol.Shutdown -> Some q
+        | _ -> None)
+      decoded
+  in
+  let engine_resps = ref (Engine.exec_batch engine engine_reqs) in
+  let next_engine_resp () =
+    match !engine_resps with
+    | r :: rest ->
+        engine_resps := rest;
+        r
+    | [] -> assert false
+  in
+  let stop = ref false in
+  let responses =
+    List.map
+      (function
+        | Error m -> Protocol.error ~id:(-1) ~tenant:"" m
+        | Ok (q : Protocol.request) ->
+            if q.q_op = Protocol.Shutdown then begin
+              stop := true;
+              Protocol.ok ~id:q.q_id ~tenant:q.q_tenant Protocol.No_body
+            end
+            else next_engine_resp ())
+      decoded
+  in
+  if profile then begin
+    let dt = Hydra_obs.now_ns () - t0 in
+    List.iter (fun _ -> Hydra_obs.sample obs "server.latency" dt) payloads
+  end;
+  (responses, !stop)
+
+let handle_client engine obs fd ~max_batch =
+  let stop = ref false in
+  let eof = ref false in
+  while not (!eof || !stop) do
+    let payloads, saw_eof = read_batch fd ~max_batch in
+    eof := saw_eof;
+    if payloads <> [] then begin
+      let responses, shutdown = handle_batch engine obs payloads in
+      List.iter
+        (fun r -> Protocol.write_frame fd (Protocol.encode_response r))
+        responses;
+      if shutdown then stop := true
+    end
+  done;
+  !stop
+
+let serve ?obs ?(config = default_config ~socket_path:"hydra_c.sock")
+    ?on_ready () =
+  let engine =
+    Engine.create ?obs ~jobs:config.jobs ~incremental:config.incremental
+      ~cache_capacity:config.cache_capacity ()
+  in
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+    Engine.shutdown engine
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+      Unix.listen sock 8;
+      (match on_ready with Some f -> f () | None -> ());
+      let stop = ref false in
+      while not !stop do
+        let client, _ = Unix.accept sock in
+        Hydra_obs.incr obs "server.connections";
+        (match handle_client engine obs client ~max_batch:config.max_batch with
+        | shutdown -> stop := shutdown
+        | exception Protocol.Protocol_error _ -> ()
+        | exception Unix.Unix_error _ -> ());
+        try Unix.close client with Unix.Unix_error _ -> ()
+      done)

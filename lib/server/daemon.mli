@@ -1,0 +1,36 @@
+(** Unix-domain-socket front end of the admission-control daemon
+    (doc/SERVER.md; exposed as [hydra_c serve]).
+
+    Serves one client connection at a time (further clients queue in
+    the listen backlog) — the parallelism that matters is tenant
+    sharding inside {!Engine}. Per connection, frames are read in
+    batches: block for one request, then drain whatever is already
+    deliverable (up to [max_batch] frames) so concurrent updates from
+    a pipelining client coalesce into one {!Engine.exec_batch} call; a
+    lockstep client always gets one-request batches, which is what
+    makes the serve-smoke fixture batching-invariant.
+
+    [Shutdown] requests are handled here, not in the engine: the
+    daemon acknowledges, closes the connection, and stops. Malformed
+    frames produce an [error] response with [id = -1] so pairing
+    survives. Request timing uses the monotonic
+    {!Hydra_obs.now_ns} clock; the [server.latency] histogram (and the
+    per-shard spans below it) record only when profiling is enabled on
+    the registry, keeping snapshots byte-identical across [--jobs]. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains for tenant sharding (default 1) *)
+  incremental : bool;  (** warm path on; [false] = cold baseline *)
+  cache_capacity : int;  (** per-tenant workload-cache bound; 0 = unbounded *)
+  max_batch : int;  (** frames drained per batch (default 64) *)
+}
+
+val default_config : socket_path:string -> config
+
+val serve :
+  ?obs:Hydra_obs.t -> ?config:config -> ?on_ready:(unit -> unit) ->
+  unit -> unit
+(** Bind the socket (unlinking any stale file), call [on_ready], and
+    accept until a [Shutdown] request arrives. Always unlinks the
+    socket and stops the engine on the way out. *)

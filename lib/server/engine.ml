@@ -1,0 +1,218 @@
+module Pool = Parallel.Pool
+module Period_selection = Hydra.Period_selection
+
+type t = {
+  obs : Hydra_obs.t option;
+  tenants : (string, Tenant.t) Hashtbl.t;
+  pool : Pool.Static.t;
+  incremental : bool;
+  cache_capacity : int;
+}
+
+let create ?obs ?(jobs = 1) ?(incremental = true) ?(cache_capacity = 0) () =
+  { obs; tenants = Hashtbl.create 16; pool = Pool.Static.create ~jobs;
+    incremental; cache_capacity }
+
+let shutdown t = Pool.Static.shutdown t.pool
+let jobs t = Pool.Static.jobs t.pool
+let tenant_count t = Hashtbl.length t.tenants
+let find_tenant t name = Hashtbl.find_opt t.tenants name
+let incremental t = t.incremental
+
+let op_counter (op : Protocol.op) =
+  match op with
+  | Init _ -> "server.req.init"
+  | Rt_arrive _ | Sec_arrive _ -> "server.req.arrive"
+  | Rt_leave _ | Sec_leave _ -> "server.req.leave"
+  | Set_cores _ -> "server.req.set_cores"
+  | Reselect -> "server.req.reselect"
+  | Query -> "server.req.query"
+  | Stats -> "server.req.stats"
+  | Remove -> "server.req.remove"
+  | Shutdown -> "server.req.shutdown"
+
+let rows assignments =
+  List.map
+    (fun (a : Period_selection.assignment) ->
+      { Protocol.a_name = a.sec.Rtsched.Task.sec_name; a_period = a.period;
+        a_resp = a.resp })
+    assignments
+
+(* One tenant group of a batch, processed by exactly one domain.
+   Dirty ops (init/arrive/leave/set_cores/reselect) are coalesced:
+   their edits apply immediately, but the period selection runs once —
+   at the next [Query]/[Remove]/[Init] barrier or at group end — and
+   every pending requester receives that one final selection. *)
+let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
+  let tenant = ref state in
+  let pending = ref [] in
+  (* (pos, id) of coalesced dirty ops *)
+  let out = ref [] in
+  let emit pos r = out := (pos, r) :: !out in
+  let flush () =
+    match !pending with
+    | [] -> ()
+    | ps -> (
+        match !tenant with
+        | None ->
+            (* unreachable: pending is only pushed while a tenant
+               exists, and Remove/Init flush before changing it *)
+            List.iter
+              (fun (pos, id) ->
+                emit pos (Protocol.error ~id ~tenant:name "tenant vanished"))
+              (List.rev ps);
+            pending := []
+        | Some tn ->
+            let result = Tenant.materialize ?obs ~incremental tn in
+            let respond id =
+              match result with
+              | Period_selection.Schedulable assignments ->
+                  Protocol.ok ~id ~tenant:name (Periods (rows assignments))
+              | Period_selection.Unschedulable ->
+                  Protocol.unschedulable ~id ~tenant:name
+            in
+            List.iter (fun (pos, id) -> emit pos (respond id)) (List.rev ps);
+            pending := [])
+  in
+  let require_tenant pos id k =
+    match !tenant with
+    | Some tn -> k tn
+    | None ->
+        emit pos
+          (Protocol.error ~id ~tenant:name
+             (Printf.sprintf "unknown tenant %S" name))
+  in
+  let on_admission pos id = function
+    | Tenant.Admitted () -> pending := (pos, id) :: !pending
+    | Tenant.Rejected reason -> emit pos (Protocol.rejected ~id ~tenant:name reason)
+    | Tenant.Invalid reason -> emit pos (Protocol.error ~id ~tenant:name reason)
+  in
+  List.iter
+    (fun (pos, (q : Protocol.request)) ->
+      let id = q.q_id in
+      Hydra_obs.incr obs (op_counter q.q_op);
+      try
+        match q.q_op with
+        | Init { cores; rt; sec } -> (
+            (* a replacement system: answer pending requests against
+               the outgoing state first *)
+            flush ();
+            match Tenant.create ~name ~cache_capacity ~cores ~rt ~sec with
+            | Tenant.Admitted tn ->
+                tenant := Some tn;
+                pending := [ (pos, id) ]
+            | Tenant.Rejected reason ->
+                emit pos (Protocol.rejected ~id ~tenant:name reason)
+            | Tenant.Invalid reason ->
+                emit pos (Protocol.error ~id ~tenant:name reason))
+        | Rt_arrive spec ->
+            require_tenant pos id (fun tn ->
+                on_admission pos id (Tenant.rt_arrive tn spec))
+        | Rt_leave nm ->
+            require_tenant pos id (fun tn ->
+                on_admission pos id (Tenant.rt_leave tn nm))
+        | Sec_arrive spec ->
+            require_tenant pos id (fun tn ->
+                on_admission pos id (Tenant.sec_arrive tn spec))
+        | Sec_leave nm ->
+            require_tenant pos id (fun tn ->
+                on_admission pos id (Tenant.sec_leave tn nm))
+        | Set_cores cores ->
+            require_tenant pos id (fun tn ->
+                on_admission pos id (Tenant.set_cores tn cores))
+        | Reselect ->
+            require_tenant pos id (fun tn ->
+                Tenant.touch tn;
+                on_admission pos id (Tenant.Admitted ()))
+        | Query ->
+            require_tenant pos id (fun tn ->
+                flush ();
+                let result = Tenant.materialize ?obs ~incremental tn in
+                emit pos
+                  (match result with
+                  | Period_selection.Schedulable assignments ->
+                      Protocol.ok ~id ~tenant:name (Periods (rows assignments))
+                  | Period_selection.Unschedulable ->
+                      Protocol.unschedulable ~id ~tenant:name))
+        | Stats ->
+            require_tenant pos id (fun tn ->
+                emit pos
+                  (Protocol.ok ~id ~tenant:name
+                     (Tenant_stats (Tenant.stats tn))))
+        | Remove ->
+            require_tenant pos id (fun _ ->
+                flush ();
+                tenant := None;
+                emit pos (Protocol.ok ~id ~tenant:name No_body))
+        | Shutdown ->
+            emit pos
+              (Protocol.error ~id ~tenant:name
+                 "shutdown is a daemon request, not a tenant op")
+      with e ->
+        emit pos
+          (Protocol.error ~id ~tenant:name
+             (Printf.sprintf "internal error: %s" (Printexc.to_string e))))
+    reqs;
+  flush ();
+  (!tenant, !out)
+
+let exec_batch t (batch : Protocol.request list) : Protocol.response list =
+  let reqs = Array.of_list batch in
+  let n = Array.length reqs in
+  let obs = t.obs in
+  Hydra_obs.incr obs "server.batches";
+  Hydra_obs.add obs "server.requests" n;
+  if n = 0 then []
+  else begin
+    (* group request positions by tenant, first-occurrence order —
+       deterministic sharding: the grouping, and which group an index
+       lands in, depend only on the batch contents *)
+    let order = ref [] in
+    let index : (string, (int * Protocol.request) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    Array.iteri
+      (fun i q ->
+        match Hashtbl.find_opt index q.Protocol.q_tenant with
+        | Some cell -> cell := (i, q) :: !cell
+        | None ->
+            Hashtbl.add index q.Protocol.q_tenant (ref [ (i, q) ]);
+            order := q.Protocol.q_tenant :: !order)
+      reqs;
+    let names = Array.of_list (List.rev !order) in
+    let n_groups = Array.length names in
+    Hydra_obs.observe obs "server.batch.groups" n_groups;
+    (* pre-fetch tenant records on the calling domain; each group is
+       then owned exclusively by one worker *)
+    let states = Array.map (fun nm -> Hashtbl.find_opt t.tenants nm) names in
+    let profile = Hydra_obs.profiling_enabled obs in
+    let results =
+      Pool.Static.map ?obs t.pool
+        (fun g ->
+          let run () =
+            run_group ~obs ~incremental:t.incremental
+              ~cache_capacity:t.cache_capacity ~name:names.(g) states.(g)
+              (List.rev !(Hashtbl.find index names.(g)))
+          in
+          if profile then Hydra_obs.span obs "server.shard" run else run ())
+        n_groups
+    in
+    (* table updates happen only here, back on the calling domain *)
+    Array.iteri
+      (fun g (after, _) ->
+        match after with
+        | Some tn -> Hashtbl.replace t.tenants names.(g) tn
+        | None -> Hashtbl.remove t.tenants names.(g))
+      results;
+    let out = Array.make n None in
+    Array.iter
+      (fun (_, resps) ->
+        List.iter (fun (pos, r) -> out.(pos) <- Some r) resps)
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* every request got exactly one response *))
+         out)
+  end

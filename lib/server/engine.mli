@@ -1,0 +1,51 @@
+(** Batch execution core of the admission-control daemon: many
+    resident {!Tenant}s, request batches coalesced per tenant and
+    sharded across domains (doc/SERVER.md).
+
+    {b Determinism contract.} For a given batch schedule (the
+    partition of the request stream into batches), responses are
+    byte-identical for every [jobs] value: requests are grouped by
+    tenant in first-occurrence order, each group is processed
+    sequentially by exactly one worker (a {!Parallel.Pool.Static}
+    pool), tenants are disjoint between groups, and responses are
+    slotted back by request position. Registry counters are
+    order-commutative sums, so metrics snapshots agree too;
+    wall-clock spans ([server.shard]) and latency histograms sit
+    behind the profiling gate.
+
+    {b Coalescing.} Within a group, consecutive dirty ops (init,
+    arrive, leave, set_cores, reselect) apply their state edits
+    immediately but share one period selection, run at the next
+    [Query]/[Remove]/[Init] barrier or at group end; each coalesced
+    requester receives the final selection. [server.select] counts
+    materializations — under load it grows much slower than
+    [server.req.*]. *)
+
+type t
+
+val create :
+  ?obs:Hydra_obs.t -> ?jobs:int -> ?incremental:bool ->
+  ?cache_capacity:int -> unit -> t
+(** [jobs] (default 1) sizes the persistent worker pool.
+    [incremental] (default [true]) selects the warm path (resident
+    caches, warm floors, search hints, cached clean-tenant results);
+    [false] is the stateless per-request baseline: every request
+    re-selects on a fresh system — queries included. Results are
+    bit-identical either way. [cache_capacity] bounds every tenant's
+    workload cache ({!Hydra.Analysis.set_cache_capacity};
+    0 = unbounded). *)
+
+val exec_batch : t -> Protocol.request list -> Protocol.response list
+(** Execute one batch; the response list is in request order, one
+    response per request. Never raises on bad requests — they map to
+    [rejected]/[error] responses ([Shutdown] too: it is daemon-level,
+    see {!Daemon}). *)
+
+val shutdown : t -> unit
+(** Stop the worker pool. The engine must not be used afterwards. *)
+
+val jobs : t -> int
+val incremental : t -> bool
+val tenant_count : t -> int
+val find_tenant : t -> string -> Tenant.t option
+(** Test hook: the resident tenant record, if any. *)

@@ -228,6 +228,146 @@ let test_fast_path_counters () =
   check_bool "subsets enumerated" true
     (total "analysis.carry_in.subsets" > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Cache hygiene: the stats accessor, the bounded-size eviction knob
+   (flush-on-full must keep results bit-identical while capping the
+   entry count), and the per-core refresh entry point. *)
+
+let test_cache_stats_and_bound () =
+  let ts = Security.Rover.taskset () in
+  let asg = Security.Rover.rt_assignment () in
+  let run capacity =
+    let sys = Analysis.make_system ts ~assignment:asg in
+    Analysis.set_cache_capacity sys capacity;
+    let result =
+      Period_selection.select ~fast:true sys ts.Task.sec
+    in
+    (result, Analysis.cache_stats sys)
+  in
+  let unbounded, su = run 0 in
+  check_bool "unbounded populates" true (su.Analysis.cs_entries > 0);
+  check_bool "misses counted" true (su.Analysis.cs_misses > 0);
+  check_bool "hits counted" true (su.Analysis.cs_hits > 0);
+  check_int "no evictions unbounded" 0 su.Analysis.cs_evictions;
+  check_int "entries = misses when unbounded" su.Analysis.cs_misses
+    su.Analysis.cs_entries;
+  let cap = max 1 (su.Analysis.cs_entries / 4) in
+  let bounded, sb = run cap in
+  check_bool "bound respected" true (sb.Analysis.cs_entries <= cap);
+  check_bool "evictions happened" true (sb.Analysis.cs_evictions > 0);
+  check_bool "bounded = unbounded results" true
+    (same_select_result unbounded bounded);
+  (* lowering the capacity below the live entry count flushes now *)
+  let sys = Analysis.make_system ts ~assignment:asg in
+  ignore (Period_selection.select ~fast:true sys ts.Task.sec);
+  let n0 = (Analysis.cache_stats sys).Analysis.cs_entries in
+  check_bool "populated" true (n0 > 1);
+  Analysis.set_cache_capacity sys 1;
+  check_int "immediate flush" 0 (Analysis.cache_stats sys).Analysis.cs_entries
+
+let test_refresh_rt_cores () =
+  let ts = Security.Rover.taskset () in
+  let asg = Security.Rover.rt_assignment () in
+  let sys = Analysis.make_system ts ~assignment:asg in
+  ignore (Period_selection.select ~fast:true sys ts.Task.sec);
+  let stats0 = Analysis.cache_stats sys in
+  check_bool "populated" true (stats0.Analysis.cs_entries > 0);
+  (* drop every RT task from core 0, keep the others: refreshed
+     responses must equal a cold system built on the same partition *)
+  let new_cores = Array.copy sys.Analysis.rt_cores in
+  new_cores.(0) <- [];
+  let changed = Array.make sys.Analysis.n_cores false in
+  changed.(0) <- true;
+  let refreshed = Analysis.refresh_rt_cores sys new_cores ~changed in
+  let stats1 = Analysis.cache_stats refreshed in
+  check_int "same entries" stats0.Analysis.cs_entries stats1.Analysis.cs_entries;
+  check_bool "columns rewritten" true (stats1.Analysis.cs_refreshes > 0);
+  let cold =
+    { Analysis.n_cores = sys.Analysis.n_cores; rt_cores = new_cores;
+      cache = Analysis.fresh_cache () }
+  in
+  check_bool "refreshed = cold rebuild" true
+    (same_select_result
+       (Period_selection.select ~fast:true refreshed ts.Task.sec)
+       (Period_selection.select ~fast:true cold ts.Task.sec));
+  (* core-count changes are structural *)
+  Alcotest.check_raises "core count change refused"
+    (Invalid_argument
+       "Analysis.refresh_rt_cores: core count changed — build a fresh system \
+        with make_system instead") (fun () ->
+      ignore
+        (Analysis.refresh_rt_cores sys
+           (Array.make (sys.Analysis.n_cores + 1) [])
+           ~changed:(Array.make (sys.Analysis.n_cores + 1) false)))
+
+(* warm0 floors and bounds_out: a select warm-started from a previous
+   run's all-bounds responses is bit-identical to a cold select, and
+   bounds_out re-runs reproduce themselves (fixed point of the
+   export). *)
+let prop_warm0_identical =
+  let arb = Test_util.arb_taskset ~n_cores:3 ~n_rt:4 ~n_sec:5 in
+  Test_util.qtest ~count:80 "select warm0 = cold select" arb (fun ts ->
+      let n_sec = Array.length ts.Task.sec in
+      let run ?warm0 ?bounds_out () =
+        with_taskset ts @@ fun sys _ ->
+        Period_selection.select ~fast:true ?warm0 ?bounds_out sys ts.Task.sec
+      in
+      let bounds = Array.make n_sec 0 in
+      let cold = run ~bounds_out:bounds () in
+      match cold with
+      | Period_selection.Unschedulable -> true (* bounds not exported *)
+      | Period_selection.Schedulable _ ->
+          let bounds2 = Array.make n_sec 0 in
+          let warm = run ~warm0:bounds ~bounds_out:bounds2 () in
+          same_select_result cold warm
+          && bounds = bounds2
+          (* naive path exports the same all-bounds vector *)
+          &&
+          let bounds3 = Array.make n_sec 0 in
+          (with_taskset ts @@ fun sys _ ->
+           ignore
+             (Period_selection.select ~fast:false ~bounds_out:bounds3 sys
+                ts.Task.sec));
+          bounds = bounds3)
+
+(* Search hints steer the probe order of the Algorithm 2 threshold
+   search, never its result: any hint vector — the previous selection,
+   the exact answer, or adversarial garbage — yields a bit-identical
+   selection. *)
+let prop_hints_identical =
+  let arb =
+    QCheck.pair
+      (Test_util.arb_taskset ~n_cores:3 ~n_rt:4 ~n_sec:5)
+      QCheck.(small_int)
+  in
+  Test_util.qtest ~count:80 "select hints = plain select" arb
+    (fun (ts, salt) ->
+      let n_sec = Array.length ts.Task.sec in
+      let run ?hints () =
+        with_taskset ts @@ fun sys _ ->
+        Period_selection.select ~fast:true ?hints sys ts.Task.sec
+      in
+      let plain = run () in
+      (* adversarial hints: deterministic pseudo-random values around
+         the period bounds, including 0 (= no hint) and overshoots *)
+      let garbage =
+        Array.init n_sec (fun i ->
+            let pmax = ts.Task.sec.(i).Task.sec_period_max in
+            (salt + (31 * i)) mod (pmax + 7))
+      in
+      let exact =
+        match plain with
+        | Period_selection.Unschedulable -> None
+        | Period_selection.Schedulable asg ->
+            Some (Period_selection.period_vector asg ~n_sec)
+      in
+      same_select_result plain (run ~hints:garbage ())
+      && (match exact with
+         | None -> true
+         | Some h -> same_select_result plain (run ~hints:h ()))
+      (* short/empty hint vectors are ignored gracefully *)
+      && same_select_result plain (run ~hints:[||] ()))
+
 let () =
   Alcotest.run "analysis_fast_path"
     [ ( "carry_in_subsets",
@@ -243,4 +383,9 @@ let () =
             test_sweep_fast_naive_across_jobs ] );
       ( "counters",
         [ Alcotest.test_case "fast-path counters" `Quick
-            test_fast_path_counters ] ) ]
+            test_fast_path_counters ] );
+      ( "cache_hygiene",
+        [ Alcotest.test_case "stats + bounded eviction" `Quick
+            test_cache_stats_and_bound;
+          Alcotest.test_case "refresh_rt_cores" `Quick test_refresh_rt_cores;
+          prop_warm0_identical; prop_hints_identical ] ) ]

@@ -54,6 +54,68 @@ let test_map_list_array () =
     (Pool.map_array ~jobs:4 (fun x -> 2 * x) [| 0; 1; 2 |])
 
 (* ------------------------------------------------------------------ *)
+(* Static (persistent) pool *)
+
+let with_static ~jobs f =
+  let pool = Pool.Static.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.Static.shutdown pool) (fun () ->
+      f pool)
+
+let test_static_matches_map () =
+  let expect = Array.init 200 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      with_static ~jobs (fun pool ->
+          check int_array
+            (Printf.sprintf "jobs:%d" jobs)
+            expect
+            (Pool.Static.map pool (fun i -> i * i) 200);
+          check int_array
+            (Printf.sprintf "jobs:%d chunk:7" jobs)
+            expect
+            (Pool.Static.map ~chunk:7 pool (fun i -> i * i) 200)))
+    [ 1; 2; 4 ]
+
+let test_static_reuse () =
+  (* many consecutive maps on one pool: epochs advance, workers park
+     and wake each time, results stay slotted by index *)
+  with_static ~jobs:4 (fun pool ->
+      for round = 1 to 50 do
+        let expect = Array.init 37 (fun i -> (round * 1000) + i) in
+        check int_array "round" expect
+          (Pool.Static.map pool (fun i -> (round * 1000) + i) 37)
+      done)
+
+let test_static_empty_and_negative () =
+  with_static ~jobs:4 (fun pool ->
+      check int_array "empty" [||] (Pool.Static.map pool (fun i -> i) 0);
+      Alcotest.check_raises "negative length"
+        (Invalid_argument "Pool.Static.map: negative length") (fun () ->
+          ignore (Pool.Static.map pool (fun i -> i) (-1))))
+
+let test_static_exception_then_reuse () =
+  with_static ~jobs:4 (fun pool ->
+      Alcotest.check_raises "worker failure reaches caller"
+        (Failure "boom") (fun () ->
+          ignore
+            (Pool.Static.map pool
+               (fun i -> if i = 13 then failwith "boom" else i)
+               64));
+      (* the pool survives a failed map *)
+      check int_array "usable after failure"
+        (Array.init 64 (fun i -> i))
+        (Pool.Static.map pool (fun i -> i) 64))
+
+let test_static_shutdown () =
+  let pool = Pool.Static.create ~jobs:4 in
+  Pool.Static.shutdown pool;
+  Pool.Static.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.Static.map: pool is shut down") (fun () ->
+      ignore (Pool.Static.map pool (fun i -> i) 4))
+
+(* ------------------------------------------------------------------ *)
 (* RNG stream pre-splitting *)
 
 let test_split_n_matches_split () =
@@ -110,6 +172,14 @@ let () =
           Alcotest.test_case "default jobs" `Quick test_default_jobs;
           Alcotest.test_case "map_list/map_array" `Quick test_map_list_array
         ] );
+      ( "static",
+        [ Alcotest.test_case "matches map" `Quick test_static_matches_map;
+          Alcotest.test_case "reuse across epochs" `Quick test_static_reuse;
+          Alcotest.test_case "empty/negative" `Quick
+            test_static_empty_and_negative;
+          Alcotest.test_case "failure then reuse" `Quick
+            test_static_exception_then_reuse;
+          Alcotest.test_case "shutdown" `Quick test_static_shutdown ] );
       ( "rng",
         [ Alcotest.test_case "split_n = successive splits" `Quick
             test_split_n_matches_split ] );

@@ -1,0 +1,530 @@
+(* Hydra_server tests: protocol codec roundtrips, engine admission
+   semantics, per-tenant coalescing, the incremental-vs-cold /
+   jobs:1-vs-jobs:4 differential contract, and a live daemon smoke
+   test over a Unix-domain socket. *)
+
+module Protocol = Hydra_server.Protocol
+module Engine = Hydra_server.Engine
+module Tenant = Hydra_server.Tenant
+module Daemon = Hydra_server.Daemon
+module Analysis = Hydra.Analysis
+module Period_selection = Hydra.Period_selection
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rt name wcet period = { Protocol.r_name = name; r_wcet = wcet; r_period = period }
+let sec name wcet period_max =
+  { Protocol.s_name = name; s_wcet = wcet; s_period_max = period_max }
+
+let req ?(tenant = "t0") id op = { Protocol.q_id = id; q_tenant = tenant; q_op = op }
+
+let with_engine ?obs ?(jobs = 1) ?(incremental = true) ?cache_capacity f =
+  let e = Engine.create ?obs ~jobs ~incremental ?cache_capacity () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () -> f e)
+
+let small_init =
+  Protocol.Init
+    { cores = 2;
+      rt = [ rt "r0" 2 10; rt "r1" 3 15; rt "r2" 2 20 ];
+      sec = [ sec "s0" 2 200; sec "s1" 3 300 ] }
+
+let status r = r.Protocol.p_status
+
+let assignments r =
+  match r.Protocol.p_body with
+  | Protocol.Periods a -> a
+  | _ -> Alcotest.fail "expected an assignments body"
+
+let the_stats r =
+  match r.Protocol.p_body with
+  | Protocol.Tenant_stats s -> s
+  | _ -> Alcotest.fail "expected a stats body"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let roundtrip_requests =
+  [ req 0 small_init;
+    req 1 (Protocol.Rt_arrive (rt "weird \"name\"\n" 1 5));
+    req 2 (Protocol.Rt_leave "r0");
+    req 3 (Protocol.Sec_arrive (sec "s9" 4 400));
+    req 4 (Protocol.Sec_leave "s1");
+    req 5 (Protocol.Set_cores 4);
+    req 6 Protocol.Reselect;
+    req 7 Protocol.Query;
+    req 8 Protocol.Stats;
+    req 9 Protocol.Remove;
+    req 10 Protocol.Shutdown ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun q ->
+      let q' = Protocol.decode_request (Protocol.encode_request q) in
+      check_bool "request roundtrip" true (q = q'))
+    roundtrip_requests
+
+let roundtrip_responses =
+  [ Protocol.ok ~id:1 ~tenant:"t0"
+      (Protocol.Periods
+         [ { Protocol.a_name = "s0"; a_period = 54; a_resp = 37 };
+           { Protocol.a_name = "s1"; a_period = 200; a_resp = 120 } ]);
+    Protocol.ok ~id:2 ~tenant:"t0" (Protocol.Periods []);
+    Protocol.ok ~id:3 ~tenant:"t0" Protocol.No_body;
+    Protocol.unschedulable ~id:4 ~tenant:"t1";
+    Protocol.rejected ~id:5 ~tenant:"t2" "no feasible core";
+    Protocol.error ~id:(-1) ~tenant:"" "malformed JSON: oops";
+    Protocol.ok ~id:6 ~tenant:"t0"
+      (Protocol.Tenant_stats
+         { Protocol.st_cores = 2; st_rt = 3; st_sec = 2; st_selects = 4;
+           st_warm_selects = 3; st_cache_entries = 17; st_cache_capacity = 0;
+           st_cache_hits = 100; st_cache_misses = 20; st_cache_evictions = 0;
+           st_cache_refreshes = 5 }) ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun p ->
+      let p' = Protocol.decode_response (Protocol.encode_response p) in
+      check_bool "response roundtrip" true (p = p'))
+    roundtrip_responses
+
+let test_decode_rejects () =
+  let bad s = Alcotest.check_raises "protocol error" s in
+  ignore bad;
+  let expect_fail s =
+    match Protocol.decode_request s with
+    | _ -> Alcotest.fail "expected Protocol_error"
+    | exception Protocol.Protocol_error _ -> ()
+  in
+  expect_fail "{";
+  expect_fail "{\"v\":\"bogus/9\",\"id\":0,\"tenant\":\"t\",\"op\":\"query\"}";
+  expect_fail "{\"v\":\"hydra_c.server/1\",\"id\":0,\"tenant\":\"t\",\"op\":\"nope\"}";
+  expect_fail "{\"v\":\"hydra_c.server/1\",\"tenant\":\"t\",\"op\":\"query\"}"
+
+let test_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let close fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      close a;
+      close b)
+    (fun () ->
+      Protocol.write_frame a "hello";
+      Protocol.write_frame a "";
+      Protocol.write_frame a (String.make 100_000 'x');
+      Alcotest.(check (option string)) "frame 1" (Some "hello")
+        (Protocol.read_frame b);
+      Alcotest.(check (option string)) "frame 2" (Some "")
+        (Protocol.read_frame b);
+      (match Protocol.read_frame b with
+      | Some s -> check_int "frame 3 length" 100_000 (String.length s)
+      | None -> Alcotest.fail "missing frame");
+      Unix.close a;
+      Alcotest.(check (option string)) "clean EOF" None (Protocol.read_frame b))
+
+(* ------------------------------------------------------------------ *)
+(* Engine semantics *)
+
+let test_init_and_query () =
+  with_engine (fun e ->
+      match Engine.exec_batch e [ req 0 small_init; req 1 Protocol.Query ] with
+      | [ r0; r1 ] ->
+          check_bool "init ok" true (status r0 = Protocol.Ok);
+          check_bool "query ok" true (status r1 = Protocol.Ok);
+          check_int "two sec rows" 2 (List.length (assignments r0));
+          check_bool "query equals init selection" true
+            (assignments r0 = assignments r1);
+          List.iter
+            (fun (a : Protocol.assignment) ->
+              check_bool "resp <= period" true (a.a_resp <= a.a_period))
+            (assignments r0)
+      | _ -> Alcotest.fail "expected two responses")
+
+let test_unknown_tenant () =
+  with_engine (fun e ->
+      match Engine.exec_batch e [ req 0 Protocol.Query ] with
+      | [ r ] -> check_bool "error" true (status r = Protocol.Failed)
+      | _ -> Alcotest.fail "expected one response")
+
+let test_rejected_admission_keeps_state () =
+  with_engine (fun e ->
+      (* both cores already near-saturated: a third 0.6-utilization
+         task with period 10 fits nowhere (6 + 6 > 10) *)
+      let saturated =
+        Protocol.Init
+          { cores = 2; rt = [ rt "r0" 6 10; rt "r1" 6 10 ];
+            sec = [ sec "s0" 1 200; sec "s1" 1 300 ] }
+      in
+      let before =
+        match
+          Engine.exec_batch e [ req 0 saturated; req 1 Protocol.Query ]
+        with
+        | [ _; r ] -> assignments r
+        | _ -> Alcotest.fail "init failed"
+      in
+      match
+        Engine.exec_batch e
+          [ req 2 (Protocol.Rt_arrive (rt "hog" 6 10)); req 3 Protocol.Query ]
+      with
+      | [ r2; r3 ] ->
+          check_bool "rejected" true (status r2 = Protocol.Rejected);
+          check_bool "state unchanged" true (before = assignments r3)
+      | _ -> Alcotest.fail "expected two responses")
+
+let test_admission_changes_periods () =
+  with_engine (fun e ->
+      match
+        Engine.exec_batch e
+          [ req 0 small_init; req 1 Protocol.Query;
+            req 2 (Protocol.Rt_arrive (rt "r3" 4 12)); req 3 Protocol.Query ]
+      with
+      | [ _; r1; r2; r3 ] ->
+          check_bool "arrive ok" true (status r2 = Protocol.Ok);
+          let p1 = List.map (fun a -> a.Protocol.a_period) (assignments r1) in
+          let p3 = List.map (fun a -> a.Protocol.a_period) (assignments r3) in
+          (* more RT interference can only push periods up *)
+          List.iter2
+            (fun before after ->
+              check_bool "period did not shrink" true (after >= before))
+            p1 p3
+      | _ -> Alcotest.fail "expected four responses")
+
+let test_sec_catalog_edits () =
+  with_engine (fun e ->
+      match
+        Engine.exec_batch e
+          [ req 0 small_init;
+            req 1 (Protocol.Sec_arrive (sec "s2" 1 500));
+            req 2 Protocol.Query;
+            req 3 (Protocol.Sec_leave "s0");
+            req 4 Protocol.Query ]
+      with
+      | [ _; r1; r2; _; r4 ] ->
+          check_int "after arrive: 3 rows" 3 (List.length (assignments r2));
+          check_bool "coalesced arrive sees final selection" true
+            (assignments r1 = assignments r2);
+          check_int "after leave: 2 rows" 2 (List.length (assignments r4));
+          check_bool "s0 gone" true
+            (List.for_all
+               (fun a -> a.Protocol.a_name <> "s0")
+               (assignments r4))
+      | _ -> Alcotest.fail "expected five responses")
+
+let test_unknown_names_error () =
+  with_engine (fun e ->
+      ignore (Engine.exec_batch e [ req 0 small_init ]);
+      match
+        Engine.exec_batch e
+          [ req 1 (Protocol.Rt_leave "nope");
+            req 2 (Protocol.Sec_leave "nope");
+            req 3 (Protocol.Rt_arrive (rt "r0" 1 10));
+            req 4 (Protocol.Sec_arrive (sec "s0" 1 100)) ]
+      with
+      | [ r1; r2; r3; r4 ] ->
+          List.iter
+            (fun r -> check_bool "error" true (status r = Protocol.Failed))
+            [ r1; r2; r3; r4 ]
+      | _ -> Alcotest.fail "expected four responses")
+
+let test_set_cores () =
+  with_engine (fun e ->
+      match
+        Engine.exec_batch e
+          [ req 0 small_init; req 1 (Protocol.Set_cores 4);
+            req 2 Protocol.Query; req 3 (Protocol.Set_cores 0);
+            req 4 Protocol.Query ]
+      with
+      | [ _; r1; r2; r3; r4 ] ->
+          check_bool "grow ok" true (status r1 = Protocol.Ok);
+          check_int "still 2 rows" 2 (List.length (assignments r2));
+          check_bool "cores=0 refused" true (status r3 <> Protocol.Ok);
+          check_bool "state survived" true
+            (List.length (assignments r4) = 2)
+      | _ -> Alcotest.fail "expected five responses")
+
+let test_remove () =
+  with_engine (fun e ->
+      ignore (Engine.exec_batch e [ req 0 small_init ]);
+      check_int "one tenant" 1 (Engine.tenant_count e);
+      match Engine.exec_batch e [ req 1 Protocol.Remove; req 2 Protocol.Query ] with
+      | [ r1; r2 ] ->
+          check_bool "remove ok" true (status r1 = Protocol.Ok);
+          check_bool "gone" true (status r2 = Protocol.Failed);
+          check_int "no tenants" 0 (Engine.tenant_count e)
+      | _ -> Alcotest.fail "expected two responses")
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing: a burst of dirty ops in one batch runs one selection *)
+
+let test_coalescing () =
+  with_engine (fun e ->
+      let burst =
+        req 0 small_init
+        :: List.init 8 (fun i ->
+               req (i + 1)
+                 (Protocol.Sec_arrive
+                    (sec (Printf.sprintf "x%d" i) 1 (400 + (10 * i)))))
+      in
+      let resps = Engine.exec_batch e burst in
+      check_int "nine responses" 9 (List.length resps);
+      let final = assignments (List.nth resps 8) in
+      List.iter
+        (fun r -> check_bool "all see final selection" true (assignments r = final))
+        resps;
+      let tn = Option.get (Engine.find_tenant e "t0") in
+      check_int "one materialization for the whole burst" 1 (Tenant.selects tn);
+      (* a second batch that only reads does not re-select *)
+      ignore (Engine.exec_batch e [ req 100 Protocol.Query ]);
+      check_int "query served from cache" 1 (Tenant.selects tn);
+      ignore (Engine.exec_batch e [ req 101 Protocol.Reselect ]);
+      check_int "reselect forces a pass" 2 (Tenant.selects tn))
+
+let test_warm_select_counted () =
+  with_engine (fun e ->
+      ignore (Engine.exec_batch e [ req 0 small_init ]);
+      ignore
+        (Engine.exec_batch e [ req 1 (Protocol.Rt_arrive (rt "r9" 1 40)) ]);
+      match Engine.exec_batch e [ req 2 Protocol.Stats ] with
+      | [ r ] ->
+          let s = the_stats r in
+          check_int "two selects" 2 s.Protocol.st_selects;
+          (* the arrival kept the warm floors, so the second select
+             was warm-started *)
+          check_int "one warm select" 1 s.Protocol.st_warm_selects;
+          check_bool "resident cache is populated" true
+            (s.Protocol.st_cache_entries > 0)
+      | _ -> Alcotest.fail "expected one response")
+
+(* ------------------------------------------------------------------ *)
+(* Differential: incremental vs cold, jobs:1 vs jobs:4, vs the naive
+   cold oracle on the final system *)
+
+(* A deterministic random edit script, seeded per QCheck case. An LCG
+   keeps the script generation independent of QCheck's shrinking. *)
+type script = Protocol.request list list (* batches *)
+
+let make_script seed : script =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let rand m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  let tenants = [| "a"; "b"; "c" |] in
+  let next_rt = Array.make 3 0 and next_sec = Array.make 3 0 in
+  let live_rt = Array.make 3 [] and live_sec = Array.make 3 [] in
+  let id = ref 0 in
+  let fresh () = incr id; !id in
+  let init_for ti =
+    let cores = 1 + rand 3 in
+    let rtn = 1 + rand 3 and secn = 1 + rand 3 in
+    let rts =
+      List.init rtn (fun _ ->
+          let k = next_rt.(ti) in
+          next_rt.(ti) <- k + 1;
+          let period = 8 + rand 40 in
+          rt (Printf.sprintf "r%d" k) (1 + rand (max 1 (period / 6))) period)
+    in
+    let secs =
+      List.init secn (fun _ ->
+          let k = next_sec.(ti) in
+          next_sec.(ti) <- k + 1;
+          let pmax = 100 + rand 300 in
+          sec (Printf.sprintf "s%d" k) (1 + rand 8) pmax)
+    in
+    live_rt.(ti) <- List.map (fun (r : Protocol.rt_spec) -> r.r_name) rts;
+    live_sec.(ti) <- List.map (fun (s : Protocol.sec_spec) -> s.s_name) secs;
+    Protocol.Init { cores; rt = rts; sec = secs }
+  in
+  let op_for ti =
+    match rand 7 with
+    | 0 ->
+        let k = next_rt.(ti) in
+        next_rt.(ti) <- k + 1;
+        let name = Printf.sprintf "r%d" k in
+        let period = 8 + rand 40 in
+        live_rt.(ti) <- name :: live_rt.(ti);
+        Protocol.Rt_arrive (rt name (1 + rand (max 1 (period / 6))) period)
+    | 1 -> (
+        match live_rt.(ti) with
+        | [] -> Protocol.Query
+        | n :: rest ->
+            live_rt.(ti) <- rest;
+            Protocol.Rt_leave n)
+    | 2 ->
+        let k = next_sec.(ti) in
+        next_sec.(ti) <- k + 1;
+        let name = Printf.sprintf "s%d" k in
+        live_sec.(ti) <- name :: live_sec.(ti);
+        Protocol.Sec_arrive (sec name (1 + rand 8) (100 + rand 300))
+    | 3 -> (
+        match live_sec.(ti) with
+        | [] -> Protocol.Query
+        | n :: rest ->
+            live_sec.(ti) <- rest;
+            Protocol.Sec_leave n)
+    | 4 -> Protocol.Set_cores (1 + rand 4)
+    | 5 -> Protocol.Reselect
+    | _ -> Protocol.Query
+  in
+  let batches = ref [] in
+  (* batch 0: one init per tenant (three groups — exercises sharding) *)
+  batches :=
+    [ Array.to_list
+        (Array.mapi (fun ti t -> req ~tenant:t (fresh ()) (init_for ti)) tenants) ];
+  let rounds = 6 + rand 6 in
+  for _ = 1 to rounds do
+    let batch =
+      List.concat
+        (List.init 3 (fun ti ->
+             if rand 3 = 0 then []
+             else [ req ~tenant:tenants.(ti) (fresh ()) (op_for ti) ]))
+    in
+    if batch <> [] then batches := batch :: !batches
+  done;
+  (* final queries, one batch, all three tenants *)
+  batches :=
+    Array.to_list
+      (Array.map (fun t -> req ~tenant:t (fresh ()) Protocol.Query) tenants)
+    :: !batches;
+  List.rev !batches
+
+let run_script ?(jobs = 1) ?(incremental = true) script =
+  with_engine ~jobs ~incremental (fun e ->
+      let wire =
+        List.concat_map
+          (fun batch ->
+            List.map Protocol.encode_response (Engine.exec_batch e batch))
+          script
+      in
+      let finals =
+        List.filter_map
+          (fun t ->
+            Option.map (fun tn -> (t, Tenant.snapshot tn))
+              (Engine.find_tenant e t))
+          [ "a"; "b"; "c" ]
+      in
+      (wire, finals))
+
+let oracle_check (tenant, (ts, assignment)) wire =
+  (* cold naive selection on the final system must equal the last
+     Query response the engine gave for this tenant *)
+  let sys = Analysis.make_system ts ~assignment in
+  let expected = Period_selection.select ~fast:false sys ts.Rtsched.Task.sec in
+  let last_for_tenant =
+    List.fold_left
+      (fun acc s ->
+        let r = Protocol.decode_response s in
+        if r.Protocol.p_tenant = tenant && r.Protocol.p_status <> Protocol.Failed
+        then Some r
+        else acc)
+      None wire
+  in
+  match (expected, last_for_tenant) with
+  | _, None -> ()
+  | Period_selection.Unschedulable, Some r ->
+      check_bool "oracle unschedulable" true
+        (status r = Protocol.Unschedulable)
+  | Period_selection.Schedulable rows, Some r ->
+      check_bool "oracle schedulable" true (status r = Protocol.Ok);
+      let expected_rows =
+        List.map
+          (fun (a : Period_selection.assignment) ->
+            { Protocol.a_name = a.sec.Rtsched.Task.sec_name;
+              a_period = a.period; a_resp = a.resp })
+          rows
+      in
+      check_bool "oracle periods/WCRTs match" true
+        (expected_rows = assignments r)
+
+let test_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"incremental = cold = sharded = oracle"
+       QCheck.(make Gen.(int_bound 0x3FFFFFF))
+       (fun seed ->
+         let script = make_script seed in
+         let wire_inc, finals = run_script ~jobs:1 ~incremental:true script in
+         let wire_cold, _ = run_script ~jobs:1 ~incremental:false script in
+         let wire_par, _ = run_script ~jobs:4 ~incremental:true script in
+         if wire_inc <> wire_cold then
+           QCheck.Test.fail_report "incremental responses <> cold responses";
+         if wire_inc <> wire_par then
+           QCheck.Test.fail_report "jobs:1 responses <> jobs:4 responses";
+         List.iter (fun final -> oracle_check final wire_inc) finals;
+         true))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon smoke: serve over a real socket from a second domain *)
+
+let test_daemon_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hydra_c_test_%d.sock" (Unix.getpid ()))
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Daemon.serve
+          ~config:{ (Daemon.default_config ~socket_path:path) with jobs = 2 }
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ())
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let rpc q =
+        Protocol.write_frame fd (Protocol.encode_request q);
+        match Protocol.read_frame fd with
+        | Some s -> Protocol.decode_response s
+        | None -> Alcotest.fail "daemon closed the connection"
+      in
+      let r0 = rpc (req 0 small_init) in
+      check_bool "init ok" true (status r0 = Protocol.Ok);
+      let r1 = rpc (req 1 Protocol.Query) in
+      check_bool "query matches init" true
+        (assignments r0 = assignments r1);
+      (* malformed frame still gets a paired error response *)
+      Protocol.write_frame fd "this is not json";
+      (match Protocol.read_frame fd with
+      | Some s ->
+          let r = Protocol.decode_response s in
+          check_bool "malformed -> error" true (status r = Protocol.Failed);
+          check_int "error id" (-1) r.Protocol.p_id
+      | None -> Alcotest.fail "no response to malformed frame");
+      let r2 = rpc (req 2 Protocol.Shutdown) in
+      check_bool "shutdown acked" true (status r2 = Protocol.Ok));
+  Domain.join server;
+  check_bool "socket cleaned up" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "server"
+    [ ( "protocol",
+        [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "decode rejects" `Quick test_decode_rejects;
+          Alcotest.test_case "framing" `Quick test_framing ] );
+      ( "engine",
+        [ Alcotest.test_case "init + query" `Quick test_init_and_query;
+          Alcotest.test_case "unknown tenant" `Quick test_unknown_tenant;
+          Alcotest.test_case "rejected admission keeps state" `Quick
+            test_rejected_admission_keeps_state;
+          Alcotest.test_case "admission grows periods" `Quick
+            test_admission_changes_periods;
+          Alcotest.test_case "security catalog edits" `Quick
+            test_sec_catalog_edits;
+          Alcotest.test_case "unknown names error" `Quick
+            test_unknown_names_error;
+          Alcotest.test_case "set_cores" `Quick test_set_cores;
+          Alcotest.test_case "remove" `Quick test_remove ] );
+      ( "coalescing",
+        [ Alcotest.test_case "burst runs one select" `Quick test_coalescing;
+          Alcotest.test_case "warm selects counted" `Quick
+            test_warm_select_counted ] );
+      ("differential", [ test_differential ]);
+      ("daemon", [ Alcotest.test_case "socket smoke" `Quick test_daemon_socket ])
+    ]
