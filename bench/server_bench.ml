@@ -7,19 +7,22 @@
      byte-identity check failed (the wall-clock gates live in the CI
      job, .github/workflows/ci.yml, where jq inspects the JSON).
 
-   - --drive SOCKET N: act as a lockstep client against a live
-     daemon (hydra_c serve): connect to the Unix-domain SOCKET, send
-     the first N requests of the steady script one at a time —
-     waiting for each response before the next request, so batching
-     cannot coalesce and the transcript is reproducible — then a
-     Shutdown, printing every response payload on its own line. The
-     CI serve-smoke step diffs this output against the committed
+   - --drive SOCKET N [--no-shutdown]: act as a lockstep client
+     against a live daemon (hydra_c serve): connect to the
+     Unix-domain SOCKET, send the first N requests of the steady
+     script one at a time — waiting for each response before the next
+     request, so batching cannot coalesce and the transcript is
+     reproducible — then a Shutdown (unless --no-shutdown, which
+     leaves the daemon running so CI can scrape it live between
+     drives; '--drive SOCKET 0' later sends just the Shutdown),
+     printing every response payload on its own line. The CI
+     serve-smoke step diffs this output against the committed
      test/server_fixtures/serve_smoke.expected. *)
 
 module Protocol = Hydra_server.Protocol
 
 let usage () =
-  prerr_endline "usage: server_bench.exe [--drive SOCKET N]";
+  prerr_endline "usage: server_bench.exe [--drive SOCKET N [--no-shutdown]]";
   exit 2
 
 let rec take n = function
@@ -27,28 +30,17 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
-(* The daemon may still be binding its socket when CI launches the
-   driver; retry briefly instead of failing on the race. *)
-let connect_retry path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let rec go attempts =
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> fd
-    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
-      when attempts > 0 ->
-        Unix.sleepf 0.1;
-        go (attempts - 1)
-  in
-  go 50
-
-let drive socket n =
+let drive socket n ~shutdown =
   let scale = Server_record.scale_of_env () in
   let reqs = take n (Server_record.script ~mix:Server_record.Steady ~scale) in
-  let shutdown =
-    { Protocol.q_id = List.length reqs; q_tenant = "_daemon";
-      q_op = Protocol.Shutdown }
+  let reqs =
+    if shutdown then
+      reqs
+      @ [ { Protocol.q_id = List.length reqs; q_tenant = "_daemon";
+            q_op = Protocol.Shutdown } ]
+    else reqs
   in
-  let fd = connect_retry socket in
+  let fd = Server_record.connect_retry socket in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -60,7 +52,7 @@ let drive socket n =
           | None ->
               prerr_endline "server_bench: connection closed mid-stream";
               exit 1)
-        (reqs @ [ shutdown ]))
+        reqs)
 
 let () =
   match Sys.argv with
@@ -76,6 +68,10 @@ let () =
       end
   | [| _; "--drive"; socket; n |] -> (
       match int_of_string_opt n with
-      | Some n when n >= 0 -> drive socket n
+      | Some n when n >= 0 -> drive socket n ~shutdown:true
+      | _ -> usage ())
+  | [| _; "--drive"; socket; n; "--no-shutdown" |] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> drive socket n ~shutdown:false
       | _ -> usage ())
   | _ -> usage ()

@@ -247,7 +247,7 @@ let chunks n l =
   in
   go [] l
 
-let run_stream ?latency ~jobs ~incremental ~batch ~tenants reqs =
+let run_stream ?latency ?flight ~jobs ~incremental ~batch ~tenants reqs =
   let eng = Engine.create ~jobs ~incremental () in
   Fun.protect ~finally:(fun () -> Engine.shutdown eng) @@ fun () ->
   let wire = ref [] in
@@ -255,7 +255,7 @@ let run_stream ?latency ~jobs ~incremental ~batch ~tenants reqs =
   List.iter
     (fun b ->
       let t1 = Hydra_obs.now_ns () in
-      let resps = Engine.exec_batch eng b in
+      let resps = Engine.exec_batch ?flight eng b in
       (match latency with
       | Some h -> Hydra_obs.Histogram.record h (Hydra_obs.now_ns () - t1)
       | None -> ());
@@ -287,6 +287,8 @@ type mix_row = {
   mr_p50_ns : int;
   mr_p99_ns : int;
   mr_p999_ns : int;
+  mr_flight_wall_ns : int;  (* warm lockstep with a flight recorder attached *)
+  mr_overhead : float;  (* best per-rep flight/warm ratio - 1 (can be < 0) *)
   mr_results_match : bool;
 }
 
@@ -304,13 +306,29 @@ let measure ~mix ~scale =
      filter machine noise); the latency histogram is filled once, on
      the first warm pass. *)
   let warm_ns = ref max_int and cold_ns = ref max_int in
+  let flight_ns = ref max_int and flight_ratio = ref Float.infinity in
   let warm = ref None and cold = ref None in
   for rep = 1 to max 1 scale.sc_reps do
     let latency = if rep = 1 then Some hist else None in
     let w = run_stream ?latency ~jobs:1 ~incremental:true ~batch:1 ~tenants reqs in
+    (* the same warm pass with the always-on flight recorder attached,
+       run back to back with its bare twin: the overhead gate keeps the
+       best per-rep flight/warm ratio, because adjacent passes share
+       machine state and the ratio cancels drift that independent
+       best-of walls do not (a lucky bare minimum paired with an
+       unlucky flight minimum reads as phantom overhead) *)
+    let f =
+      run_stream ~flight:(Hydra_obs.Flight.create ()) ~jobs:1
+        ~incremental:true ~batch:1 ~tenants reqs
+    in
     let c = run_stream ~jobs:1 ~incremental:false ~batch:1 ~tenants reqs in
     if w.run_wall_ns < !warm_ns then warm_ns := w.run_wall_ns;
     if c.run_wall_ns < !cold_ns then cold_ns := c.run_wall_ns;
+    if f.run_wall_ns < !flight_ns then flight_ns := f.run_wall_ns;
+    if w.run_wall_ns > 0 then
+      flight_ratio :=
+        Float.min !flight_ratio
+          (float_of_int f.run_wall_ns /. float_of_int w.run_wall_ns);
     warm := Some w;
     cold := Some c
   done;
@@ -338,14 +356,120 @@ let measure ~mix ~scale =
     mr_p50_ns = q 0.5;
     mr_p99_ns = q 0.99;
     mr_p999_ns = q 0.999;
+    mr_flight_wall_ns = !flight_ns;
+    mr_overhead =
+      (if Float.is_finite !flight_ratio then !flight_ratio -. 1.0
+       else Float.nan);
     mr_results_match = w.run_wire = c.run_wire && b1.run_wire = bj.run_wire }
+
+(* Socket round trip: the steady script driven in lockstep over a
+   Unix-domain socket against a real in-process daemon, measuring
+   client-observed latency against the server's own [server.latency]
+   histogram — scraped live with one [obs_snapshot] request, which by
+   design leaves no footprint in the registry it reads. The skew per
+   percentile ((client - server) / server) is the framing/syscall tax
+   of the wire, invisible to the in-process engine numbers above. *)
+
+type drive_row = {
+  dr_requests : int;
+  dr_client_p50_ns : int;
+  dr_client_p99_ns : int;
+  dr_server_p50_ns : int;  (* server.latency, scraped live *)
+  dr_server_p99_ns : int;
+  dr_skew_p50 : float;
+  dr_skew_p99 : float;
+}
+
+(* The daemon may still be binding its socket when the client starts;
+   retry briefly instead of failing on the race. *)
+let connect_retry path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go attempts =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempts > 0 ->
+        Unix.sleepf 0.1;
+        go (attempts - 1)
+  in
+  go 50
+
+let roundtrip fd q =
+  Protocol.write_frame fd (Protocol.encode_request q);
+  match Protocol.read_frame fd with
+  | Some payload -> payload
+  | None -> failwith "server_record: daemon closed the connection mid-drive"
+
+let measure_drive ~scale =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hydra_bench_%d.sock" (Unix.getpid ()))
+  in
+  (* server.latency records only under profiling *)
+  let obs = Hydra_obs.create () in
+  Hydra_obs.enable_profiling obs;
+  let config =
+    { (Hydra_server.Daemon.default_config ~socket_path:socket) with jobs = 1 }
+  in
+  let server =
+    Domain.spawn (fun () -> Hydra_server.Daemon.serve ~obs ~config ())
+  in
+  let reqs = script ~mix:Steady ~scale in
+  let hist = Hydra_obs.Histogram.create () in
+  let server_snap = ref None in
+  let fd = connect_retry socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter
+        (fun q ->
+          let t0 = Hydra_obs.now_ns () in
+          ignore (roundtrip fd q);
+          Hydra_obs.Histogram.record hist (Hydra_obs.now_ns () - t0))
+        reqs;
+      (* live scrape, then shutdown, all on the same connection *)
+      let payload =
+        roundtrip fd
+          { Protocol.q_id = 0; q_tenant = ""; q_op = Protocol.Obs_snapshot }
+      in
+      (match (Protocol.decode_response payload).p_body with
+      | Protocol.Metrics doc ->
+          server_snap := Some (Hydra_obs.Report.of_string doc)
+      | _ -> ());
+      ignore
+        (roundtrip fd
+           { Protocol.q_id = 1; q_tenant = ""; q_op = Protocol.Shutdown }));
+  Domain.join server;
+  let client_q p = Hydra_obs.Histogram.quantile hist p in
+  let server_q p =
+    match !server_snap with
+    | None -> 0
+    | Some snap -> (
+        match List.assoc_opt "server.latency" snap.Hydra_obs.Report.hists with
+        | Some h -> Hydra_obs.Report.quantile h p
+        | None -> 0)
+  in
+  let skew c s =
+    if s > 0 then (float_of_int c /. float_of_int s) -. 1.0 else Float.nan
+  in
+  let c50 = client_q 0.5 and c99 = client_q 0.99 in
+  let s50 = server_q 0.5 and s99 = server_q 0.99 in
+  { dr_requests = List.length reqs;
+    dr_client_p50_ns = c50;
+    dr_client_p99_ns = c99;
+    dr_server_p50_ns = s50;
+    dr_server_p99_ns = s99;
+    dr_skew_p50 = skew c50 s50;
+    dr_skew_p99 = skew c99 s99 }
 
 type t = {
   br_scale : scale;
   br_rows : mix_row list;
+  br_drive : drive_row;
   br_results_match : bool;
   br_warm_speedup : float;  (* the steady mix *)
   br_warm_speedup_min : float;  (* min over the mixes *)
+  br_overhead : float;  (* steady-mix flight-recorder overhead *)
 }
 
 let run () =
@@ -353,12 +477,14 @@ let run () =
   let rows = [ measure ~mix:Steady ~scale; measure ~mix:Churn ~scale ] in
   { br_scale = scale;
     br_rows = rows;
+    br_drive = measure_drive ~scale;
     br_results_match = List.for_all (fun r -> r.mr_results_match) rows;
     br_warm_speedup = (List.hd rows).mr_warm_speedup;
     br_warm_speedup_min =
       List.fold_left
         (fun acc r -> Float.min acc r.mr_warm_speedup)
-        Float.infinity rows }
+        Float.infinity rows;
+    br_overhead = (List.hd rows).mr_overhead }
 
 let to_json (r : t) =
   let s = r.br_scale in
@@ -384,20 +510,34 @@ let to_json (r : t) =
          \"warm_speedup\": %.4f, \"throughput_rps\": %s, \
          \"batched_wall_ns\": %d, \"batched_throughput_rps\": %s, \
          \"p50_ns\": %d, \"p99_ns\": %d, \"p999_ns\": %d, \
+         \"flight_wall_ns\": %d, \"overhead\": %s, \
          \"results_match\": %b }"
         row.mr_name row.mr_requests row.mr_selects row.mr_warm_selects
         row.mr_warm_wall_ns row.mr_cold_wall_ns row.mr_warm_speedup
         (Hydra_obs.Snapshot.json_float row.mr_throughput_rps)
         row.mr_batched_wall_ns
         (Hydra_obs.Snapshot.json_float row.mr_batched_throughput_rps)
-        row.mr_p50_ns row.mr_p99_ns row.mr_p999_ns row.mr_results_match)
+        row.mr_p50_ns row.mr_p99_ns row.mr_p999_ns row.mr_flight_wall_ns
+        (Hydra_obs.Snapshot.json_float row.mr_overhead)
+        row.mr_results_match)
     r.br_rows;
   Buffer.add_string buf "\n  },\n";
+  let d = r.br_drive in
+  Printf.bprintf buf
+    "  \"drive\": { \"requests\": %d, \"client_p50_ns\": %d, \
+     \"client_p99_ns\": %d, \"server_p50_ns\": %d, \"server_p99_ns\": %d, \
+     \"skew_p50\": %s, \"skew_p99\": %s },\n"
+    d.dr_requests d.dr_client_p50_ns d.dr_client_p99_ns d.dr_server_p50_ns
+    d.dr_server_p99_ns
+    (Hydra_obs.Snapshot.json_float d.dr_skew_p50)
+    (Hydra_obs.Snapshot.json_float d.dr_skew_p99);
   Printf.bprintf buf "  \"results_match\": %b,\n" r.br_results_match;
   Printf.bprintf buf "  \"warm_speedup\": %s,\n"
     (Hydra_obs.Snapshot.json_float r.br_warm_speedup);
-  Printf.bprintf buf "  \"warm_speedup_min\": %s\n"
+  Printf.bprintf buf "  \"warm_speedup_min\": %s,\n"
     (Hydra_obs.Snapshot.json_float r.br_warm_speedup_min);
+  Printf.bprintf buf "  \"overhead\": %s\n"
+    (Hydra_obs.Snapshot.json_float r.br_overhead);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -422,4 +562,15 @@ let pp_summary ppf (r : t) =
         row.mr_warm_speedup
         (float_of_int row.mr_p99_ns /. 1e3)
         (if row.mr_results_match then "results match" else "RESULTS DIFFER"))
-    r.br_rows
+    r.br_rows;
+  let d = r.br_drive in
+  Format.fprintf ppf
+    "  drive   client p50 %8.2f us  p99 %8.2f us   server p50 %8.2f us  \
+     p99 %8.2f us   skew p99 %+.0f%%@."
+    (float_of_int d.dr_client_p50_ns /. 1e3)
+    (float_of_int d.dr_client_p99_ns /. 1e3)
+    (float_of_int d.dr_server_p50_ns /. 1e3)
+    (float_of_int d.dr_server_p99_ns /. 1e3)
+    (d.dr_skew_p99 *. 100.0);
+  Format.fprintf ppf "  flight recorder overhead (steady, lockstep): %+.2f%%@."
+    (r.br_overhead *. 100.0)

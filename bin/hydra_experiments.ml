@@ -570,52 +570,96 @@ let cmd_all =
    uses 124/125 for CLI errors). Output is deterministic (sorted keys,
    fixed columns), so CI can diff it. *)
 
-let run_obs_report files max_regression watch all_rows =
+(* One obs_snapshot request against a live daemon: the scrape path of
+   'obs-report --connect'. Scrapes leave no footprint in the daemon's
+   registry, so a live summary taken mid-run matches the eventual
+   --metrics-out snapshot of the same workload. *)
+let fetch_live_snapshot socket =
+  let module P = Hydra_server.Protocol in
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        P.write_frame fd
+          (P.encode_request { P.q_id = 0; q_tenant = ""; q_op = P.Obs_snapshot });
+        P.read_frame fd
+      with
+      | None -> Error "daemon closed the connection before responding"
+      | Some payload -> (
+          let r = P.decode_response payload in
+          match r.P.p_body with
+          | P.Metrics doc -> (
+              match Hydra_obs.Report.of_string doc with
+              | snap -> Ok snap
+              | exception Hydra_obs.Json.Error m -> Error m)
+          | _ ->
+              Error
+                (match r.P.p_reason with
+                | Some m -> m
+                | None -> "unexpected response body"))
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | exception P.Protocol_error m -> Error m)
+
+let run_obs_report files max_regression watch all_rows connect =
+  let fail msg =
+    Format.eprintf "obs-report: %s@." msg;
+    exit 2
+  in
   let load path =
     match Hydra_obs.Report.load path with
     | Ok snap -> snap
-    | Error msg ->
-        Format.eprintf "obs-report: %s@." msg;
-        exit 2
+    | Error msg -> fail msg
+  in
+  let live socket =
+    match fetch_live_snapshot socket with
+    | Ok snap -> snap
+    | Error msg -> fail (socket ^ ": " ^ msg)
   in
   let watch_pred key =
     watch = [] || List.exists (fun p -> String.starts_with ~prefix:p key) watch
   in
-  match files with
-  | [ path ] ->
+  let diff_and_gate before after =
+    let changes = Hydra_obs.Report.diff before after in
+    Format.printf "%a" (Hydra_obs.Report.pp_diff ~only_changed:(not all_rows))
+      changes;
+    match max_regression with
+    | None -> ()
+    | Some threshold_pct ->
+        let bad =
+          Hydra_obs.Report.regressions ~watch:watch_pred ~threshold_pct
+            changes
+        in
+        if bad <> [] then begin
+          Format.printf "@.%d metric(s) regressed more than %+.1f%%:@."
+            (List.length bad) threshold_pct;
+          List.iter
+            (fun (c : Hydra_obs.Report.change) ->
+              let pct =
+                match Hydra_obs.Report.pct_change c with
+                | Some p when Float.is_finite p -> Format.asprintf "%+.1f%%" p
+                | _ -> "+inf"
+              in
+              Format.printf "  %-42s %9s@." c.key pct)
+            bad;
+          exit 1
+        end
+  in
+  match (connect, files) with
+  | Some socket, [] ->
+      Format.printf "%a" Hydra_obs.Report.pp_summary (live socket)
+  | Some socket, [ before_path ] ->
+      (* before = the file, after = the daemon's state right now *)
+      diff_and_gate (load before_path) (live socket)
+  | Some _, _ ->
+      fail "with --connect: at most one snapshot file (the 'before' side)"
+  | None, [ path ] ->
       Format.printf "%a" Hydra_obs.Report.pp_summary (load path)
-  | [ before_path; after_path ] -> (
-      let changes =
-        Hydra_obs.Report.diff (load before_path) (load after_path)
-      in
-      Format.printf "%a" (Hydra_obs.Report.pp_diff ~only_changed:(not all_rows))
-        changes;
-      match max_regression with
-      | None -> ()
-      | Some threshold_pct ->
-          let bad =
-            Hydra_obs.Report.regressions ~watch:watch_pred ~threshold_pct
-              changes
-          in
-          if bad <> [] then begin
-            Format.printf "@.%d metric(s) regressed more than %+.1f%%:@."
-              (List.length bad) threshold_pct;
-            List.iter
-              (fun (c : Hydra_obs.Report.change) ->
-                let pct =
-                  match Hydra_obs.Report.pct_change c with
-                  | Some p when Float.is_finite p ->
-                      Format.asprintf "%+.1f%%" p
-                  | _ -> "+inf"
-                in
-                Format.printf "  %-42s %9s@." c.key pct)
-              bad;
-            exit 1
-          end)
-  | _ ->
-      Format.eprintf
-        "obs-report: expected one snapshot file (summary) or two (diff)@.";
-      exit 2
+  | None, [ before_path; after_path ] ->
+      diff_and_gate (load before_path) (load after_path)
+  | None, _ ->
+      fail "expected one snapshot file (summary) or two (diff)"
 
 let report_files_arg =
   Arg.(value & pos_all string []
@@ -637,27 +681,42 @@ let all_rows_arg =
        & info [ "all" ]
            ~doc:"In a diff, also print rows whose value did not change.")
 
+let connect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"SOCKET"
+           ~doc:"Scrape a live daemon instead of reading a file: send one                  obs_snapshot request to the Unix-domain SOCKET of a                  running 'hydra_c serve' and summarize the reply. With one                  FILE, diff FILE (before) against the live state (after);                  --max-regression gates the diff as usual. The scrape                  leaves no footprint in the daemon's metrics.")
+
 let cmd_obs_report =
   Cmd.v
     (Cmd.info "obs-report"
-       ~doc:"Summarize or diff metrics snapshots (--metrics-out JSON or                --metrics-stream JSONL): deterministic tables, plus a                threshold-gated exit code for CI regression checks.")
+       ~doc:"Summarize or diff metrics snapshots (--metrics-out JSON or                --metrics-stream JSONL), or scrape a live daemon with                --connect: deterministic tables, plus a threshold-gated                exit code for CI regression checks.")
     Term.(const run_obs_report $ report_files_arg $ max_regression_arg
-          $ watch_arg $ all_rows_arg)
+          $ watch_arg $ all_rows_arg $ connect_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve: the online admission-control daemon (doc/SERVER.md) *)
 
-let run_serve socket jobs cold cache_capacity max_batch metrics trace_out
-    metrics_out profile stream stream_period =
+let run_serve socket jobs cold cache_capacity max_batch trace_sample_rate
+    slow_request_ms flight_out metrics trace_out metrics_out profile stream
+    stream_period =
   with_obs ~metrics ~trace_out ~metrics_out ~profile ~stream ~stream_period
     (fun ctx ->
       let config =
         { Hydra_server.Daemon.socket_path = socket; jobs;
-          incremental = not cold; cache_capacity; max_batch }
+          incremental = not cold; cache_capacity; max_batch;
+          trace_sample_rate; slow_request_ms; flight_path = flight_out }
       in
-      Format.eprintf "[serve] listening on %s (jobs=%d%s)@." socket jobs
-        (if cold then ", cold" else "");
-      Hydra_server.Daemon.serve ?obs:ctx.oc_obs ~config ())
+      let log = Hydra_obs.Log.create () in
+      Hydra_obs.Log.log log "listening"
+        [ ("socket", socket); ("jobs", string_of_int jobs);
+          ("mode", (if cold then "cold" else "warm")) ];
+      (* a daemon always carries a registry, so obs_snapshot/obs_stream
+         scrapes have something to answer even without --metrics* flags
+         (the local registry is simply never written anywhere) *)
+      let obs =
+        match ctx.oc_obs with Some o -> o | None -> Hydra_obs.create ()
+      in
+      Hydra_server.Daemon.serve ~obs ~config ())
 
 let socket_arg =
   Arg.(value & opt string "hydra_c.sock"
@@ -679,12 +738,28 @@ let max_batch_arg =
        & info [ "max-batch" ] ~docv:"N"
            ~doc:"Most frames drained into one engine batch. A lockstep                  client always gets one-request batches; a pipelining                  client gets up to N concurrent updates coalesced per                  tenant.")
 
+let trace_sample_rate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "trace-sample-rate" ] ~docv:"RATE"
+           ~doc:"Trace this fraction of requests end to end (0.0 = off,                  the default; 1.0 = every request; 0.01 = every 100th).                  Sampling is deterministic in the request sequence. Sampled                  requests become parent-linked span trees with cross-domain                  flow arrows in --trace-out; at rate 0, --metrics-out and                  --trace-out are byte-identical to an untraced run                  (doc/OBSERVABILITY.md).")
+
+let slow_request_ms_arg =
+  Arg.(value & opt int 0
+       & info [ "slow-request-ms" ] ~docv:"MS"
+           ~doc:"Treat a request batch slower than MS milliseconds as an                  incident: log a rate-limited warning and dump the flight                  recorder. 0 (the default) disables the detector.")
+
+let flight_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight-out" ] ~docv:"FILE"
+           ~doc:"Write flight-recorder dumps (hydra_c.flight/1 JSONL) to                  FILE, including one at clean shutdown. Without this                  option dumps go to SOCKET.flight.jsonl and happen only on                  SIGUSR1, a crash, or a slow request.")
+
 let cmd_serve =
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the admission-control daemon: tenant systems stay resident                (workload caches, warm-start state, last selection) and                reconfiguration requests (RT/security task arrive/leave,                core-count change, re-select) stream over a Unix-domain                socket speaking length-prefixed hydra_c.server/1 JSON                (doc/SERVER.md). Stop it with a 'shutdown' request.")
+       ~doc:"Run the admission-control daemon: tenant systems stay resident                (workload caches, warm-start state, last selection) and                reconfiguration requests (RT/security task arrive/leave,                core-count change, re-select) stream over a Unix-domain                socket speaking length-prefixed hydra_c.server/1 JSON                (doc/SERVER.md). Stop it with a 'shutdown' request. Scrape                it live with 'hydra_c obs-report --connect SOCKET'; send                SIGUSR1 for a flight-recorder dump.")
     Term.(const run_serve $ socket_arg $ jobs_arg $ cold_arg
-          $ cache_capacity_arg $ max_batch_arg $ metrics_arg $ trace_out_arg
+          $ cache_capacity_arg $ max_batch_arg $ trace_sample_rate_arg
+          $ slow_request_ms_arg $ flight_out_arg $ metrics_arg $ trace_out_arg
           $ metrics_out_arg $ profile_arg $ stream_arg $ stream_period_arg)
 
 let smoke_term =

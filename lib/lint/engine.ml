@@ -3,15 +3,16 @@ open Parsetree
 (* ------------------------------------------------------------------ *)
 (* Scoping *)
 
-type scope = { in_lib : bool; in_obs : bool }
+type scope = { in_lib : bool; in_obs : bool; in_server : bool }
 
 let scope_of_file file =
   let rec go = function
     | "lib" :: rest ->
         { in_lib = true;
-          in_obs = (match rest with "obs" :: _ -> true | _ -> false) }
+          in_obs = (match rest with "obs" :: _ -> true | _ -> false);
+          in_server = (match rest with "server" :: _ -> true | _ -> false) }
     | _ :: rest -> go rest
-    | [] -> { in_lib = false; in_obs = false }
+    | [] -> { in_lib = false; in_obs = false; in_server = false }
   in
   go (String.split_on_char '/' file)
 
@@ -73,6 +74,19 @@ let d2_hit = function
       Some ("Format." ^ f)
   | [ "Format"; "std_formatter" ] -> Some "Format.std_formatter"
   | [ "stdout" ] | [ "Stdlib"; "stdout" ] -> Some "stdout"
+  | _ -> None
+
+(* D2 (server tightening): raw stderr from daemon code. Structured
+   logging goes through [Hydra_obs.Log] — whose identifiers are
+   three-segment ([Hydra_obs.Log.log]) and so never match here. *)
+let d2_stderr_hit = function
+  | [ f ] when String.starts_with ~prefix:"prerr_" f -> Some f
+  | [ "Stdlib"; f ] when String.starts_with ~prefix:"prerr_" f ->
+      Some ("Stdlib." ^ f)
+  | [ "Printf"; "eprintf" ] -> Some "Printf.eprintf"
+  | [ "Format"; "eprintf" ] -> Some "Format.eprintf"
+  | [ "Format"; "err_formatter" ] -> Some "Format.err_formatter"
+  | [ "stderr" ] | [ "Stdlib"; "stderr" ] -> Some "stderr"
   | _ -> None
 
 (* D3: does this expression build an order-sensitive value — a list
@@ -202,14 +216,24 @@ let run_pass ctx ast =
                      randomness"
                     name)
            | None -> ());
-        if ctx.scope.in_lib then
-          match d2_hit parts with
+        (if ctx.scope.in_lib then
+           match d2_hit parts with
+           | Some name ->
+               add "D2" e.pexp_loc
+                 (Printf.sprintf
+                    "%s writes to stdout from library code; results must flow \
+                     through a formatter argument or a returned value so \
+                     stdout stays byte-identical across --jobs"
+                    name)
+           | None -> ());
+        if ctx.scope.in_server then
+          match d2_stderr_hit parts with
           | Some name ->
               add "D2" e.pexp_loc
                 (Printf.sprintf
-                   "%s writes to stdout from library code; results must flow \
-                    through a formatter argument or a returned value so \
-                    stdout stays byte-identical across --jobs"
+                   "%s writes raw stderr from daemon code; a long-running \
+                    server must log through the rate-limited Hydra_obs.Log \
+                    so operator output stays throttled and structured"
                    name)
           | None -> ()
   in

@@ -3,8 +3,10 @@
     checking rules D1–D5 (see {!Rules.all} and doc/STATIC_ANALYSIS.md).
 
     Scoping is derived from [file]'s [/]-separated segments: a path
-    containing a [lib] segment is library-scoped (enables D2/D4), and
-    [lib/obs/...] is exempt from D1 (it is the sanctioned clock).
+    containing a [lib] segment is library-scoped (enables D2/D4),
+    [lib/obs/...] is exempt from D1 (it is the sanctioned clock), and
+    under [lib/server/...] D2 additionally rejects raw stderr writes
+    (the daemon must log through [Hydra_obs.Log]).
 
     Suppression understood here (the checked-in allowlist is applied
     later, by {!Driver.run}):

@@ -19,7 +19,11 @@ let all =
         "print_*, Printf.printf, Format.printf and Format.std_formatter \
          inside lib/ bypass the determinism contract: results must flow \
          through a formatter argument or a returned value so stdout stays \
-         byte-identical across --jobs (doc/PARALLELISM.md)." };
+         byte-identical across --jobs (doc/PARALLELISM.md). Under \
+         lib/server the rule also covers stderr (prerr_*, *.eprintf, \
+         Format.err_formatter): a long-running daemon must log through the \
+         rate-limited Hydra_obs.Log so operator output stays throttled and \
+         structured (doc/OBSERVABILITY.md)." };
     { id = "D3";
       title = "hash-order-sensitive Hashtbl.fold/iter";
       rationale =

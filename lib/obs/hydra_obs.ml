@@ -15,7 +15,13 @@ external sleep_ns : int -> unit = "hydra_obs_sleep_ns"
    ticker's own domain, so everything it touches must be domain-safe
    (registry recording and [Snapshot.Stream.tick] both are). [stop]
    joins the domain: it returns only after the last tick has finished,
-   and re-raises any exception the callback escaped with. *)
+   and re-raises any exception the callback escaped with.
+
+   Ticks are aligned to period boundaries: tick k fires at
+   [start + k * period], not [period] after the previous callback
+   returned, so callback time does not accumulate as drift — N ticks
+   span ~N*period regardless of how long [f] takes (boundaries the
+   callback overran are skipped, never replayed in a burst). *)
 
 module Ticker = struct
   type ticker = { tk_stop : bool Atomic.t; tk_domain : unit Domain.t }
@@ -24,11 +30,21 @@ module Ticker = struct
     if period_ms < 1 then invalid_arg "Ticker.start: period_ms < 1";
     let tk_stop = Atomic.make false in
     let period_ns = period_ms * 1_000_000 in
+    let t0 = now_ns () in
     let tk_domain =
       Domain.spawn (fun () ->
+          let next = ref (t0 + period_ns) in
           while not (Atomic.get tk_stop) do
-            sleep_ns period_ns;
-            if not (Atomic.get tk_stop) then f ()
+            let now = now_ns () in
+            if now < !next then sleep_ns (!next - now);
+            if not (Atomic.get tk_stop) then f ();
+            (* next boundary strictly after this tick's — skips any
+               boundary the callback ran past instead of firing late;
+               the [max] guards against a marginally-early sleep return
+               double-firing the same boundary *)
+            let after = Stdlib.max (now_ns ()) !next in
+            let k = 1 + ((after - t0) / period_ns) in
+            next := t0 + (k * period_ns)
           done)
     in
     { tk_stop; tk_domain }
@@ -36,6 +52,52 @@ module Ticker = struct
   let stop tk =
     Atomic.set tk.tk_stop true;
     Domain.join tk.tk_domain
+end
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped trace contexts.
+
+   A context is three small ints — the trace id shared by every span of
+   one request, the current span id, and the parent span id — minted
+   from one process-wide atomic counter so ids are unique across
+   registries and domains. Contexts are immutable values: propagating
+   one across a queue or into a pool worker is just passing it along,
+   and [child] forks a new span id under the current one.
+
+   Sampling is deterministic in the request sequence (every k-th minted
+   request for rate 1/k), not random: reruns of the same workload trace
+   the same requests, and rate 0.0 never allocates a context at all —
+   which is how the default daemon configuration keeps the PR 2/5
+   byte-identical --metrics-out contract (trace events live outside the
+   snapshot; see [chrome_trace]). *)
+
+module Trace_ctx = struct
+  type t = { trace_id : int; span_id : int; parent_id : int }
+
+  let ids = Atomic.make 1
+  let fresh_id () = Atomic.fetch_and_add ids 1
+
+  let root () =
+    let id = fresh_id () in
+    { trace_id = id; span_id = id; parent_id = 0 }
+
+  let child ctx = { ctx with span_id = fresh_id (); parent_id = ctx.span_id }
+
+  type sampler = { s_every : int; s_count : int Atomic.t }
+
+  let sampler ~rate =
+    let every =
+      if not (rate > 0.0) then 0
+      else if rate >= 1.0 then 1
+      else int_of_float (Float.round (1.0 /. rate))
+    in
+    { s_every = every; s_count = Atomic.make 0 }
+
+  let sample s =
+    if s.s_every = 0 then None
+    else
+      let n = Atomic.fetch_and_add s.s_count 1 in
+      if n mod s.s_every = 0 then Some (root ()) else None
 end
 
 (* ------------------------------------------------------------------ *)
@@ -274,6 +336,27 @@ type event = {
   ev_dur_ns : int;
 }
 
+(* Request-scoped trace events live in their own list, never in the
+   snapshot tables: a run with tracing enabled still produces a
+   byte-identical --metrics-out (only --trace-out grows). *)
+type trace_event =
+  | Tr_span of {
+      tr_name : string;
+      tr_domain : int;
+      tr_start_ns : int;  (* relative to the registry's creation *)
+      tr_dur_ns : int;
+      tr_trace : int;
+      tr_span : int;
+      tr_parent : int;
+    }
+  | Tr_flow of {
+      fl_name : string;
+      fl_domain : int;
+      fl_ts_ns : int;
+      fl_id : int;
+      fl_start : bool;  (* true = flow start ("s"), false = end ("f") *)
+    }
+
 type t = {
   id : int;
   epoch_ns : int;
@@ -283,6 +366,7 @@ type t = {
   hists : (string, hist) Hashtbl.t;
   spans : (string, dist) Hashtbl.t;
   events : event list Atomic.t;
+  traces : trace_event list Atomic.t;
   profiling : bool Atomic.t;
 }
 
@@ -297,6 +381,7 @@ let create () =
     hists = Hashtbl.create 16;
     spans = Hashtbl.create 16;
     events = Atomic.make [];
+    traces = Atomic.make [];
     profiling = Atomic.make false }
 
 (* Profiling is an opt-in sub-capability of a registry: metrics that
@@ -399,6 +484,57 @@ let span obs name f =
           finish ();
           raise e)
 
+(* Request-scoped tracing: all no-ops unless both the registry and the
+   context are present, so unsampled requests (and the default
+   --trace-sample-rate 0.0) pay only two option tests. Unlike [span],
+   nothing here touches the span aggregates — trace events are visible
+   only through [chrome_trace]. *)
+
+let push_trace t tev =
+  let rec go () =
+    let cur = Atomic.get t.traces in
+    if not (Atomic.compare_and_set t.traces cur (tev :: cur)) then go ()
+  in
+  go ()
+
+let trace_emit obs ctx name ~start_ns ~dur_ns =
+  match (obs, ctx) with
+  | Some t, Some (c : Trace_ctx.t) ->
+      push_trace t
+        (Tr_span
+           { tr_name = name; tr_domain = (Domain.self () :> int);
+             tr_start_ns = start_ns - t.epoch_ns; tr_dur_ns = dur_ns;
+             tr_trace = c.trace_id; tr_span = c.span_id;
+             tr_parent = c.parent_id })
+  | _ -> ()
+
+let trace_span obs ctx name f =
+  match (obs, ctx) with
+  | None, _ | _, None -> f ()
+  | Some _, Some _ ->
+      let t0 = now_ns () in
+      let finish () = trace_emit obs ctx name ~start_ns:t0 ~dur_ns:(now_ns () - t0) in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+let flow_point obs ctx name ~start =
+  match (obs, ctx) with
+  | Some t, Some (c : Trace_ctx.t) ->
+      push_trace t
+        (Tr_flow
+           { fl_name = name; fl_domain = (Domain.self () :> int);
+             fl_ts_ns = now_ns () - t.epoch_ns; fl_id = c.trace_id;
+             fl_start = start })
+  | _ -> ()
+
+let flow_begin obs ctx name = flow_point obs ctx name ~start:true
+let flow_end obs ctx name = flow_point obs ctx name ~start:false
+
 (* ------------------------------------------------------------------ *)
 (* Reading *)
 
@@ -482,6 +618,16 @@ let events t =
              | c -> c)
          | c -> c)
 
+let trace_key = function
+  | Tr_span s -> (s.tr_start_ns, s.tr_domain, s.tr_span, 0)
+  | Tr_flow f -> (f.fl_ts_ns, f.fl_domain, f.fl_id, if f.fl_start then 1 else 2)
+
+let trace_events t =
+  Atomic.get t.traces
+  |> List.sort (fun a b -> compare (trace_key a) (trace_key b))
+
+let trace_count t = List.length (Atomic.get t.traces)
+
 (* ------------------------------------------------------------------ *)
 (* Exporters *)
 
@@ -564,15 +710,26 @@ let json_escape s =
    Perfetto and chrome://tracing): one "X" complete event per span with
    microsecond timestamps, tid = the recording domain's id, plus
    process/thread metadata events. Viewers reconstruct span nesting
-   from containment of [ts, ts+dur] intervals on the same tid. *)
+   from containment of [ts, ts+dur] intervals on the same tid.
+
+   Request-scoped trace events share the file: each sampled request's
+   spans are "X" events (category "request") carrying trace/span/parent
+   ids in their args, and each cross-domain handoff is an "s"/"f" flow
+   pair keyed by the trace id — Perfetto draws the arrow from the
+   dispatching domain's row to the executing worker's. *)
 let chrome_trace ?(extra = []) t =
   let evs = events t in
+  let trs = trace_events t in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"hydra\"}}";
   let tids =
-    List.sort_uniq Int.compare (List.map (fun e -> e.ev_domain) evs)
+    List.sort_uniq Int.compare
+      (List.map (fun e -> e.ev_domain) evs
+      @ List.map
+          (function Tr_span s -> s.tr_domain | Tr_flow f -> f.fl_domain)
+          trs)
   in
   List.iter
     (fun tid ->
@@ -590,6 +747,30 @@ let chrome_trace ?(extra = []) t =
            (float_of_int e.ev_start_ns /. 1e3)
            (float_of_int e.ev_dur_ns /. 1e3)))
     evs;
+  List.iter
+    (fun tev ->
+      Buffer.add_string b
+        (match tev with
+        | Tr_span s ->
+            Printf.sprintf
+              ",{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\",\"pid\":0,\
+               \"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\
+               \"args\":{\"trace\":%d,\"span\":%d,\"parent\":%d}}"
+              (json_escape s.tr_name) s.tr_domain
+              (float_of_int s.tr_start_ns /. 1e3)
+              (float_of_int s.tr_dur_ns /. 1e3)
+              s.tr_trace s.tr_span s.tr_parent
+        | Tr_flow f ->
+            Printf.sprintf
+              ",{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"%s\",%s\"pid\":0,\
+               \"tid\":%d,\"ts\":%.3f,\"id\":%d}"
+              (json_escape f.fl_name)
+              (if f.fl_start then "s" else "f")
+              (if f.fl_start then "" else "\"bp\":\"e\",")
+              f.fl_domain
+              (float_of_int f.fl_ts_ns /. 1e3)
+              f.fl_id))
+    trs;
   (* Extra pre-rendered events (e.g. a simulated schedule from
      Sim.Event_log, attributed to its own pid) share the file. *)
   List.iter
@@ -603,6 +784,286 @@ let chrome_trace ?(extra = []) t =
 let write_chrome_trace ?extra t ~path =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (chrome_trace ?extra t))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: a fixed-size lock-free ring of compact structured
+   events, cheap enough to leave on in the daemon's default
+   configuration (doc/OBSERVABILITY.md).
+
+   Each event is five ints in a flat [int Atomic.t] array — timestamp,
+   kind code, interned tenant id, and two free arguments — claimed by a
+   single [fetch_and_add] on the head counter, so [record] never takes
+   a lock and never allocates ([@lint.hot]-gated: its whole call cone
+   is atomics and unsafe array reads). Writers wrap; a dump reads the
+   last [min recorded capacity] slots oldest-first. Dumping while
+   writers are active is best-effort — a slot being overwritten
+   mid-read can tear into a mix of two events — which is the right
+   trade for a crash/SIGUSR1 diagnostic: the recorder must never slow
+   the path it is recording. Tenant names are interned to small ints on
+   a mutex-protected slow path (once per tenant, not per event). *)
+
+module Flight = struct
+  let schema = "hydra_c.flight/1"
+
+  type kind =
+    | Accept
+    | Decode
+    | Coalesce
+    | Shard
+    | Select
+    | Reply
+    | Slow
+    | Error
+
+  let kind_name = function
+    | Accept -> "accept"
+    | Decode -> "decode"
+    | Coalesce -> "coalesce"
+    | Shard -> "shard"
+    | Select -> "select"
+    | Reply -> "reply"
+    | Slow -> "slow"
+    | Error -> "error"
+
+  let kind_code = function
+    | Accept -> 0
+    | Decode -> 1
+    | Coalesce -> 2
+    | Shard -> 3
+    | Select -> 4
+    | Reply -> 5
+    | Slow -> 6
+    | Error -> 7
+
+  let name_of_code = function
+    | 0 -> "accept"
+    | 1 -> "decode"
+    | 2 -> "coalesce"
+    | 3 -> "shard"
+    | 4 -> "select"
+    | 5 -> "reply"
+    | 6 -> "slow"
+    | 7 -> "error"
+    | _ -> "torn"  (* a dump raced a writer over this slot *)
+
+  let width = 5  (* ts, kind, tenant, a, b *)
+
+  type t = {
+    f_cap : int;  (* power of two *)
+    f_head : int Atomic.t;  (* total events ever recorded *)
+    f_slots : int Atomic.t array;  (* f_cap * width cells *)
+    f_mu : Mutex.t;  (* guards the interning tables only *)
+    f_ids : (string, int) Hashtbl.t;
+    mutable f_names : string array;  (* id -> name *)
+    mutable f_n_names : int;
+  }
+
+  let create ?(capacity = 4096) () =
+    let cap =
+      let c = Stdlib.max 8 capacity in
+      let p = ref 8 in
+      while !p < c do
+        p := !p * 2
+      done;
+      !p
+    in
+    { f_cap = cap;
+      f_head = Atomic.make 0;
+      f_slots = Array.init (cap * width) (fun _ -> Atomic.make 0);
+      f_mu = Mutex.create ();
+      f_ids = Hashtbl.create 16;
+      f_names = Array.make 16 "";
+      f_n_names = 0 }
+
+  let capacity t = t.f_cap
+  let recorded t = Atomic.get t.f_head
+
+  let intern t name =
+    Mutex.protect t.f_mu (fun () ->
+        match Hashtbl.find_opt t.f_ids name with
+        | Some id -> id
+        | None ->
+            let id = t.f_n_names in
+            if id >= Array.length t.f_names then begin
+              let bigger = Array.make (2 * Array.length t.f_names) "" in
+              Array.blit t.f_names 0 bigger 0 id;
+              t.f_names <- bigger
+            end;
+            t.f_names.(id) <- name;
+            t.f_n_names <- id + 1;
+            Hashtbl.add t.f_ids name id;
+            id)
+
+  (* [tenant] is an [intern]ed id (or -1 for none); [ts] is the
+     caller's clock reading so fixed-sequence dumps are reproducible in
+     tests. Allocation-free and lock-free: D8-verified via the
+     [@lint.hot] gate. *)
+  let[@lint.hot] record t ~ts ~kind ~tenant ~a ~b =
+    let seq = Atomic.fetch_and_add t.f_head 1 in
+    let base = (seq land (t.f_cap - 1)) * width in
+    Atomic.set (Array.unsafe_get t.f_slots base) ts;
+    Atomic.set (Array.unsafe_get t.f_slots (base + 1)) (kind_code kind);
+    Atomic.set (Array.unsafe_get t.f_slots (base + 2)) tenant;
+    Atomic.set (Array.unsafe_get t.f_slots (base + 3)) a;
+    Atomic.set (Array.unsafe_get t.f_slots (base + 4)) b
+
+  (* JSONL, oldest surviving event first: a header line identifying the
+     ring, then one line per event. *)
+  let dump t =
+    let total = Atomic.get t.f_head in
+    let n = Stdlib.min total t.f_cap in
+    let names =
+      Mutex.protect t.f_mu (fun () -> Array.sub t.f_names 0 t.f_n_names)
+    in
+    let b = Buffer.create (256 + (n * 96)) in
+    Printf.bprintf b
+      "{\"schema\":\"%s\",\"capacity\":%d,\"recorded\":%d,\"dumped\":%d}\n"
+      schema t.f_cap total n;
+    for seq = total - n to total - 1 do
+      let base = (seq land (t.f_cap - 1)) * width in
+      let ts = Atomic.get t.f_slots.(base) in
+      let kind = Atomic.get t.f_slots.(base + 1) in
+      let tenant = Atomic.get t.f_slots.(base + 2) in
+      let a = Atomic.get t.f_slots.(base + 3) in
+      let bv = Atomic.get t.f_slots.(base + 4) in
+      let tname =
+        if tenant >= 0 && tenant < Array.length names then names.(tenant)
+        else ""
+      in
+      Printf.bprintf b
+        "{\"seq\":%d,\"ts_ns\":%d,\"kind\":\"%s\",\"tenant\":\"%s\",\"a\":%d,\"b\":%d}\n"
+        seq ts (name_of_code kind) (json_escape tname) a bv
+    done;
+    Buffer.contents b
+
+  let dump_to t ~path =
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (dump t))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rate-limited structured stderr logging.
+
+   The one sanctioned way for long-running library code (the admission
+   daemon in particular — hydra_lint rule D2 rejects any other stderr
+   write under lib/server) to talk to an operator: one line per event,
+   [key=value] formatted, throttled by a token bucket on the monotonic
+   clock so a failure loop cannot flood the terminal. Suppressed lines
+   are counted and the count is reported on the next line that gets
+   through ([suppressed=N]), so throttling is visible rather than
+   silent. Stdout is never touched — the determinism contract covers
+   stdout bytes only. *)
+
+module Log = struct
+  type t = {
+    lg_mu : Mutex.t;
+    lg_rate : int;  (* tokens (lines) per second; 0 = unlimited *)
+    lg_burst : int;
+    lg_out : Format.formatter;
+    mutable lg_tokens : float;
+    mutable lg_last_ns : int;
+    mutable lg_suppressed : int;
+    mutable lg_emitted : int;
+  }
+
+  let create ?(rate_per_s = 10) ?burst ?out () =
+    let rate = Stdlib.max 0 rate_per_s in
+    let burst =
+      match burst with
+      | Some b -> Stdlib.max 1 b
+      | None -> Stdlib.max 1 rate
+    in
+    { lg_mu = Mutex.create ();
+      lg_rate = rate;
+      lg_burst = burst;
+      lg_out = (match out with Some f -> f | None -> Format.err_formatter);
+      lg_tokens = float_of_int burst;
+      lg_last_ns = now_ns ();
+      lg_suppressed = 0;
+      lg_emitted = 0 }
+
+  let quote v =
+    let plain =
+      v <> ""
+      && String.for_all
+           (fun c -> c <> ' ' && c <> '"' && c <> '=' && Char.code c >= 0x20)
+           v
+    in
+    if plain then v else "\"" ^ json_escape v ^ "\""
+
+  let log t event kvs =
+    Mutex.protect t.lg_mu (fun () ->
+        let now = now_ns () in
+        (if t.lg_rate > 0 then begin
+           let dt = float_of_int (now - t.lg_last_ns) /. 1e9 in
+           t.lg_tokens <-
+             Float.min
+               (float_of_int t.lg_burst)
+               (t.lg_tokens +. (dt *. float_of_int t.lg_rate))
+         end);
+        t.lg_last_ns <- now;
+        if t.lg_rate > 0 && t.lg_tokens < 1.0 then
+          t.lg_suppressed <- t.lg_suppressed + 1
+        else begin
+          if t.lg_rate > 0 then t.lg_tokens <- t.lg_tokens -. 1.0;
+          t.lg_emitted <- t.lg_emitted + 1;
+          Format.fprintf t.lg_out "[hydra] event=%s" (quote event);
+          if t.lg_suppressed > 0 then begin
+            Format.fprintf t.lg_out " suppressed=%d" t.lg_suppressed;
+            t.lg_suppressed <- 0
+          end;
+          List.iter
+            (fun (k, v) -> Format.fprintf t.lg_out " %s=%s" k (quote v))
+            kvs;
+          Format.fprintf t.lg_out "@."
+        end)
+
+  let suppressed t = Mutex.protect t.lg_mu (fun () -> t.lg_suppressed)
+  let emitted t = Mutex.protect t.lg_mu (fun () -> t.lg_emitted)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window histograms: a ring of per-epoch histograms. [record]
+   feeds the current epoch; [rotate] advances the ring, discarding the
+   oldest epoch — so [merged] always aggregates the last [epochs]
+   rotations' worth of samples and old outliers age out instead of
+   polluting a cumulative quantile forever. Single-writer by design
+   (the daemon owns one window per tenant on its own domain); cheap
+   enough to rotate per batch. *)
+
+module Window = struct
+  type t = {
+    w_epochs : Histogram.t array;
+    mutable w_cur : int;
+    mutable w_rotations : int;
+  }
+
+  let create ?(epochs = 8) () =
+    { w_epochs = Array.init (Stdlib.max 2 epochs) (fun _ -> Histogram.create ());
+      w_cur = 0;
+      w_rotations = 0 }
+
+  let epochs t = Array.length t.w_epochs
+  let rotations t = t.w_rotations
+  let record t v = Histogram.record t.w_epochs.(t.w_cur) v
+
+  let rotate t =
+    t.w_rotations <- t.w_rotations + 1;
+    t.w_cur <- (t.w_cur + 1) mod Array.length t.w_epochs;
+    (* the slot we are entering holds the oldest epoch: drop it *)
+    t.w_epochs.(t.w_cur) <- Histogram.create ()
+
+  let merged t =
+    let out = Histogram.create () in
+    Array.iter (fun h -> Histogram.merge_into ~into:out h) t.w_epochs;
+    out
+
+  let count t = Array.fold_left (fun acc h -> acc + Histogram.count h) 0 t.w_epochs
+
+  let quantile t q =
+    let m = merged t in
+    if Histogram.count m = 0 then None else Some (Histogram.quantile m q)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable metrics snapshot (--metrics-out) *)
@@ -699,15 +1160,17 @@ module Snapshot = struct
      them, and the registry reads they perform are the same
      stripe-summing reads every exporter uses. *)
 
-  module Stream = struct
+  (* The delta computation is its own layer so two consumers can share
+     it: [Stream] appends lines to a file (--metrics-stream), and the
+     daemon's [obs_stream] protocol op returns one line per request
+     from a per-client tracker (doc/SERVER.md). *)
+  module Delta = struct
     let schema = "hydra_c.metrics_delta/1"
 
-    type stream = {
-      st_reg : t;
-      st_oc : Out_channel.t;
-      st_mu : Mutex.t;
-      mutable st_seq : int;
-      mutable st_closed : bool;
+    type tracker = {
+      dt_reg : t;
+      dt_mu : Mutex.t;
+      mutable dt_seq : int;
       prev_counters : (string, int) Hashtbl.t;
       prev_dists : (string, int * int) Hashtbl.t;  (* count, sum *)
       prev_hists : (string, int * int * (int * int) list) Hashtbl.t;
@@ -715,9 +1178,8 @@ module Snapshot = struct
       prev_spans : (string, int) Hashtbl.t;
     }
 
-    let create reg ~path =
-      { st_reg = reg; st_oc = Out_channel.open_text path;
-        st_mu = Mutex.create (); st_seq = 0; st_closed = false;
+    let create reg =
+      { dt_reg = reg; dt_mu = Mutex.create (); dt_seq = 0;
         prev_counters = Hashtbl.create 32; prev_dists = Hashtbl.create 16;
         prev_hists = Hashtbl.create 16; prev_spans = Hashtbl.create 16 }
 
@@ -748,94 +1210,117 @@ module Snapshot = struct
         items;
       Buffer.add_char b '}'
 
+    (* One hydra_c.metrics_delta/1 object (a single line, no trailing
+       newline) covering everything that moved since the previous
+       [line] call; advances the tracker. *)
+    let line ?label dt =
+      Mutex.protect dt.dt_mu @@ fun () ->
+      let b = Buffer.create 512 in
+      Printf.bprintf b "{\"schema\":\"%s\",\"seq\":%d" schema dt.dt_seq;
+      (match label with
+      | Some l -> Printf.bprintf b ",\"label\":\"%s\"" (json_escape l)
+      | None -> ());
+      section b "counters"
+        (fun ~sep (c : counter_view) ->
+          let prev =
+            Option.value
+              (Hashtbl.find_opt dt.prev_counters c.cv_name)
+              ~default:0
+          in
+          let d = c.cv_total - prev in
+          if d = 0 then false
+          else begin
+            Hashtbl.replace dt.prev_counters c.cv_name c.cv_total;
+            if sep then Buffer.add_char b ',';
+            Printf.bprintf b "\"%s\":%d" (json_escape c.cv_name) d;
+            true
+          end)
+        (counters dt.dt_reg);
+      section b "dists"
+        (fun ~sep (d : dist_view) ->
+          let pc, ps =
+            Option.value
+              (Hashtbl.find_opt dt.prev_dists d.dv_name)
+              ~default:(0, 0)
+          in
+          if d.dv_count = pc && d.dv_sum = ps then false
+          else begin
+            Hashtbl.replace dt.prev_dists d.dv_name (d.dv_count, d.dv_sum);
+            if sep then Buffer.add_char b ',';
+            Printf.bprintf b
+              "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d}"
+              (json_escape d.dv_name) (d.dv_count - pc) (d.dv_sum - ps)
+              d.dv_min d.dv_max;
+            true
+          end)
+        (dists dt.dt_reg);
+      section b "histograms"
+        (fun ~sep (v : hist_view) ->
+          let h = v.hv_hist in
+          let count = Histogram.count h and sum = Histogram.sum h in
+          let pc, ps, pb =
+            Option.value
+              (Hashtbl.find_opt dt.prev_hists v.hv_name)
+              ~default:(0, 0, [])
+          in
+          if count = pc && sum = ps then false
+          else begin
+            let buckets = Histogram.nonzero_buckets h in
+            Hashtbl.replace dt.prev_hists v.hv_name (count, sum, buckets);
+            if sep then Buffer.add_char b ',';
+            Printf.bprintf b
+              "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":["
+              (json_escape v.hv_name) (count - pc) (sum - ps)
+              (Option.value (Histogram.min_value h) ~default:0)
+              (Option.value (Histogram.max_value h) ~default:0);
+            List.iteri
+              (fun i (le, c) ->
+                if i > 0 then Buffer.add_char b ',';
+                Printf.bprintf b "{\"le\":%d,\"count\":%d}" le c)
+              (bucket_delta buckets pb);
+            Buffer.add_string b "]}";
+            true
+          end)
+        (hists dt.dt_reg);
+      section b "spans"
+        (fun ~sep (s : span_view) ->
+          let prev =
+            Option.value (Hashtbl.find_opt dt.prev_spans s.sv_name) ~default:0
+          in
+          let d = s.sv_count - prev in
+          if d = 0 then false
+          else begin
+            Hashtbl.replace dt.prev_spans s.sv_name s.sv_count;
+            if sep then Buffer.add_char b ',';
+            Printf.bprintf b "\"%s\":{\"count\":%d}" (json_escape s.sv_name) d;
+            true
+          end)
+        (span_stats dt.dt_reg);
+      Buffer.add_char b '}';
+      dt.dt_seq <- dt.dt_seq + 1;
+      Buffer.contents b
+  end
+
+  module Stream = struct
+    let schema = Delta.schema
+
+    type stream = {
+      st_delta : Delta.tracker;
+      st_oc : Out_channel.t;
+      st_mu : Mutex.t;
+      mutable st_closed : bool;
+    }
+
+    let create reg ~path =
+      { st_delta = Delta.create reg; st_oc = Out_channel.open_text path;
+        st_mu = Mutex.create (); st_closed = false }
+
     let tick ?label st =
       Mutex.protect st.st_mu @@ fun () ->
       if not st.st_closed then begin
-        let b = Buffer.create 512 in
-        Printf.bprintf b "{\"schema\":\"%s\",\"seq\":%d" schema st.st_seq;
-        (match label with
-        | Some l -> Printf.bprintf b ",\"label\":\"%s\"" (json_escape l)
-        | None -> ());
-        section b "counters"
-          (fun ~sep (c : counter_view) ->
-            let prev =
-              Option.value
-                (Hashtbl.find_opt st.prev_counters c.cv_name)
-                ~default:0
-            in
-            let d = c.cv_total - prev in
-            if d = 0 then false
-            else begin
-              Hashtbl.replace st.prev_counters c.cv_name c.cv_total;
-              if sep then Buffer.add_char b ',';
-              Printf.bprintf b "\"%s\":%d" (json_escape c.cv_name) d;
-              true
-            end)
-          (counters st.st_reg);
-        section b "dists"
-          (fun ~sep (d : dist_view) ->
-            let pc, ps =
-              Option.value
-                (Hashtbl.find_opt st.prev_dists d.dv_name)
-                ~default:(0, 0)
-            in
-            if d.dv_count = pc && d.dv_sum = ps then false
-            else begin
-              Hashtbl.replace st.prev_dists d.dv_name (d.dv_count, d.dv_sum);
-              if sep then Buffer.add_char b ',';
-              Printf.bprintf b
-                "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d}"
-                (json_escape d.dv_name) (d.dv_count - pc) (d.dv_sum - ps)
-                d.dv_min d.dv_max;
-              true
-            end)
-          (dists st.st_reg);
-        section b "histograms"
-          (fun ~sep (v : hist_view) ->
-            let h = v.hv_hist in
-            let count = Histogram.count h and sum = Histogram.sum h in
-            let pc, ps, pb =
-              Option.value
-                (Hashtbl.find_opt st.prev_hists v.hv_name)
-                ~default:(0, 0, [])
-            in
-            if count = pc && sum = ps then false
-            else begin
-              let buckets = Histogram.nonzero_buckets h in
-              Hashtbl.replace st.prev_hists v.hv_name (count, sum, buckets);
-              if sep then Buffer.add_char b ',';
-              Printf.bprintf b
-                "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":["
-                (json_escape v.hv_name) (count - pc) (sum - ps)
-                (Option.value (Histogram.min_value h) ~default:0)
-                (Option.value (Histogram.max_value h) ~default:0);
-              List.iteri
-                (fun i (le, c) ->
-                  if i > 0 then Buffer.add_char b ',';
-                  Printf.bprintf b "{\"le\":%d,\"count\":%d}" le c)
-                (bucket_delta buckets pb);
-              Buffer.add_string b "]}";
-              true
-            end)
-          (hists st.st_reg);
-        section b "spans"
-          (fun ~sep (s : span_view) ->
-            let prev =
-              Option.value (Hashtbl.find_opt st.prev_spans s.sv_name) ~default:0
-            in
-            let d = s.sv_count - prev in
-            if d = 0 then false
-            else begin
-              Hashtbl.replace st.prev_spans s.sv_name s.sv_count;
-              if sep then Buffer.add_char b ',';
-              Printf.bprintf b "\"%s\":{\"count\":%d}" (json_escape s.sv_name) d;
-              true
-            end)
-          (span_stats st.st_reg);
-        Buffer.add_string b "}\n";
-        Out_channel.output_string st.st_oc (Buffer.contents b);
-        Out_channel.flush st.st_oc;
-        st.st_seq <- st.st_seq + 1
+        Out_channel.output_string st.st_oc (Delta.line ?label st.st_delta);
+        Out_channel.output_char st.st_oc '\n';
+        Out_channel.flush st.st_oc
       end
 
     let close st =

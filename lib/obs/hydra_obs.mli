@@ -128,7 +128,12 @@ module Ticker : sig
 
   val start : period_ms:int -> (unit -> unit) -> ticker
   (** Spawn the ticker domain; [f] runs every [period_ms] milliseconds
-      until {!stop}. @raise Invalid_argument if [period_ms < 1]. *)
+      until {!stop}. Ticks are aligned to period boundaries
+      ([start + k * period]) rather than scheduled [period] after the
+      previous callback returned, so callback time never accumulates as
+      drift: N ticks span ~N×period (tested in test/test_obs.ml).
+      Boundaries the callback overruns are skipped, not replayed.
+      @raise Invalid_argument if [period_ms < 1]. *)
 
   val stop : ticker -> unit
   (** Stop and join the domain: returns only after any in-flight
@@ -167,6 +172,74 @@ val span : t option -> string -> (unit -> 'a) -> 'a
     exporter. Nested spans on the same domain render as a stack in
     Perfetto. The span is recorded (and the exception re-raised) even
     if [f] raises. On [None] this is exactly [f ()]. *)
+
+(** {1 Request-scoped tracing}
+
+    Causal tracing for the admission daemon's serving path
+    (doc/SERVER.md): the daemon mints a {!Trace_ctx.t} per sampled
+    request, and every pipeline stage that touches the request wraps
+    its work in {!trace_span} with a {!Trace_ctx.child} of the incoming
+    context. Trace events are kept apart from the metric tables — they
+    appear only in {!chrome_trace} (category ["request"], with
+    trace/span/parent ids in the event args, plus "s"/"f" flow pairs
+    for cross-domain handoffs) and never in a {!Snapshot} — so enabling
+    tracing leaves [--metrics-out] byte-identical. All recording
+    functions are no-ops unless {e both} the registry and the context
+    are present: an unsampled request pays two option tests. *)
+
+module Trace_ctx : sig
+  type t = { trace_id : int; span_id : int; parent_id : int }
+  (** Immutable context: [trace_id] is shared by every span of one
+      request, [span_id] names the current span, [parent_id] its
+      parent (0 at the root). Ids come from one process-wide atomic
+      counter, so they are unique across domains and registries. *)
+
+  val root : unit -> t
+  (** A fresh trace: [span_id = trace_id], [parent_id = 0]. *)
+
+  val child : t -> t
+  (** Fork a sub-span: fresh [span_id], [parent_id] = the argument's
+      [span_id], same [trace_id]. *)
+
+  type sampler
+
+  val sampler : rate:float -> sampler
+  (** Deterministic head sampler for [--trace-sample-rate]: rate 0 (or
+      less) never samples, rate ≥ 1 samples every request, and a
+      fractional rate samples every [round (1/rate)]-th request — a
+      pure function of the request sequence number, so reruns of the
+      same workload trace the same requests. *)
+
+  val sample : sampler -> t option
+  (** Count one request; [Some (root ())] iff this one is sampled. *)
+end
+
+val trace_span : t option -> Trace_ctx.t option -> string -> (unit -> 'a) -> 'a
+(** [trace_span obs ctx name f] runs [f ()]; when both [obs] and [ctx]
+    are present it also emits one request-trace span event carrying
+    [ctx]'s ids, attributed to the calling domain. Recorded (and the
+    exception re-raised) even if [f] raises. Unlike {!span}, no
+    aggregate is touched. *)
+
+val trace_emit :
+  t option -> Trace_ctx.t option -> string -> start_ns:int -> dur_ns:int ->
+  unit
+(** Low-level emit with explicit timing ([start_ns] in {!now_ns}'s
+    absolute clock) — for spans whose start predates the context, e.g.
+    the daemon's whole-request root span timed from frame arrival. *)
+
+val flow_begin : t option -> Trace_ctx.t option -> string -> unit
+(** Emit the "s" half of a Chrome flow arrow (id = [ctx]'s trace id) on
+    the calling domain — call where a request is handed off (e.g.
+    enqueued for a pool worker). *)
+
+val flow_end : t option -> Trace_ctx.t option -> string -> unit
+(** The matching "f" half — call (with the same name) where the request
+    is picked up on the executing domain. Perfetto draws the arrow
+    between the two domains' rows. *)
+
+val trace_count : t -> int
+(** Number of request-trace events (spans + flow halves) recorded. *)
 
 (** {1 Reading}
 
@@ -227,15 +300,138 @@ val chrome_trace : ?extra:string list -> t -> string
 (** The span events as Chrome trace-event JSON
     ([{"traceEvents": [...]}], "X" complete events, microsecond
     timestamps, tid = recording domain) — open in
-    {{:https://ui.perfetto.dev}Perfetto} or chrome://tracing. [extra]
-    appends pre-rendered trace-event objects (one JSON object per
-    string, no separators) to the event array — how the simulated
-    schedule from {!Sim.Event_log} shares the file with the analysis
-    spans (it uses its own pid, so Perfetto shows two process
+    {{:https://ui.perfetto.dev}Perfetto} or chrome://tracing.
+    Request-scoped trace events recorded via {!trace_span} /
+    {!flow_begin} follow the span events: "X" events of category
+    ["request"] with [{"trace","span","parent"}] args, and "s"/"f"
+    flow pairs (id = trace id) that render as arrows across domain
+    rows. [extra] appends pre-rendered trace-event objects (one JSON
+    object per string, no separators) to the event array — how the
+    simulated schedule from {!Sim.Event_log} shares the file with the
+    analysis spans (it uses its own pid, so Perfetto shows two process
     groups). *)
 
 val write_chrome_trace : ?extra:string list -> t -> path:string -> unit
 (** {!chrome_trace} to a file. @raise Sys_error on I/O failure. *)
+
+(** {1 Flight recorder}
+
+    A fixed-size lock-free ring of compact structured events — the
+    always-on crash/slow-path diagnostic of the admission daemon
+    (doc/SERVER.md). {!Flight.record} is allocation-free and lock-free
+    ([@lint.hot]-gated: one fetch-and-add claims a slot, five atomic
+    stores fill it), so the daemon leaves it on in its default
+    configuration; {!Flight.dump} renders the surviving events as
+    [hydra_c.flight/1] JSONL, triggered on crash, SIGUSR1, or a request
+    exceeding [--slow-request-ms]. Dumping concurrently with writers is
+    best-effort: a slot overwritten mid-read can tear (such events
+    render with kind ["torn"]). *)
+module Flight : sig
+  type t
+
+  val schema : string
+  (** ["hydra_c.flight/1"] — the dump's header-line schema. *)
+
+  type kind =
+    | Accept  (** batch read from the socket; [a] = payload count *)
+    | Decode  (** request decoded; [b] = 0 ok / 1 malformed *)
+    | Coalesce  (** pending dirty ops flushed; [a] = ops coalesced *)
+    | Shard  (** tenant group dispatched; [a] = group size *)
+    | Select  (** period selection ran; [a] = duration ns *)
+    | Reply  (** response sent; [a] = latency ns, [b] = status code *)
+    | Slow  (** batch exceeded --slow-request-ms; [a] = duration ns *)
+    | Error  (** connection/protocol failure *)
+
+  val kind_name : kind -> string
+
+  val create : ?capacity:int -> unit -> t
+  (** Ring of [capacity] events (default 4096; rounded up to a power of
+      two, floored at 8). Allocation happens here, never in [record]. *)
+
+  val capacity : t -> int
+
+  val recorded : t -> int
+  (** Total events ever recorded (not capped by the ring size). *)
+
+  val intern : t -> string -> int
+  (** Intern a tenant name to a small id for [record]'s [tenant] field.
+      Mutex-protected slow path — call once per tenant (or batch), not
+      per event. *)
+
+  val record : t -> ts:int -> kind:kind -> tenant:int -> a:int -> b:int -> unit
+  (** Record one event: [ts] is the caller's {!now_ns} reading (passed
+      in so fixed-sequence dumps are reproducible in tests), [tenant]
+      an {!intern}ed id or -1, [a]/[b] per-kind arguments as documented
+      on {!kind}. Lock-free, allocation-free, wait-free but for the
+      single fetch-and-add. *)
+
+  val dump : t -> string
+  (** JSONL: a header line
+      [{"schema","capacity","recorded","dumped"}] then the surviving
+      (last [min recorded capacity]) events oldest-first, each
+      [{"seq","ts_ns","kind","tenant","a","b"}]. *)
+
+  val dump_to : t -> path:string -> unit
+  (** {!dump} to a file. @raise Sys_error on I/O failure. *)
+end
+
+(** {1 Rate-limited operator logging}
+
+    The sanctioned stderr channel for library code: hydra_lint rule D2
+    rejects every other stderr write under [lib/server], so anything a
+    long-running daemon tells an operator goes through here and is
+    therefore throttled and structured. One line per event —
+    [\[hydra\] event=... k=v ...] — with a token bucket on the
+    monotonic clock; suppressed lines are counted and surface as
+    [suppressed=N] on the next emitted line. Never touches stdout. *)
+module Log : sig
+  type t
+
+  val create : ?rate_per_s:int -> ?burst:int -> ?out:Format.formatter ->
+    unit -> t
+  (** Token bucket of [burst] lines (default = [rate_per_s]) refilled
+      at [rate_per_s] lines/second (default 10; 0 = unlimited). [out]
+      defaults to stderr; tests inject a buffer formatter. *)
+
+  val log : t -> string -> (string * string) list -> unit
+  (** [log t event kvs] emits one structured line (or counts it
+      suppressed when the bucket is empty). Values containing spaces,
+      quotes or [=] are quoted and JSON-escaped. Domain-safe. *)
+
+  val suppressed : t -> int
+  (** Lines currently suppressed and not yet reported. *)
+
+  val emitted : t -> int
+end
+
+(** {1 Sliding-window histograms}
+
+    A ring of per-epoch {!Histogram}s for per-tenant SLO tracking:
+    {!Window.record} feeds the current epoch, {!Window.rotate} advances
+    the ring and discards the oldest epoch, and {!Window.quantile}
+    aggregates the surviving epochs — a p99 over the recent past
+    instead of the whole process lifetime, so old outliers age out.
+    Single-writer (the daemon owns one window per tenant); not
+    domain-safe. *)
+module Window : sig
+  type t
+
+  val create : ?epochs:int -> unit -> t
+  (** Ring of [epochs] histograms (default 8, floored at 2). *)
+
+  val record : t -> int -> unit
+  val rotate : t -> unit
+  val epochs : t -> int
+  val rotations : t -> int
+  val count : t -> int
+  (** Samples currently inside the window. *)
+
+  val merged : t -> Histogram.t
+  (** Fresh merge of the surviving epochs. *)
+
+  val quantile : t -> float -> int option
+  (** [None] while the window is empty. *)
+end
 
 (** {1 Metrics snapshot}
 
@@ -272,15 +468,37 @@ module Snapshot : sig
   (** {!to_json} plus a trailing newline to a file.
       @raise Sys_error on I/O failure. *)
 
+  (** The incremental-snapshot core shared by {!Stream} (file-backed
+      [--metrics-stream]) and the daemon's [obs_stream] protocol op
+      (doc/SERVER.md): a tracker remembers what each consumer has
+      already seen, and {!Delta.line} renders one
+      [hydra_c.metrics_delta/1] object covering only what moved since
+      that consumer's previous line — counter deltas, dist/histogram
+      count/sum/bucket deltas, cumulative min/max. Folding a tracker's
+      lines with {!Obs_report.of_string} reproduces the registry's full
+      snapshot exactly (round-trip tested in test/test_obs_report.ml). *)
+  module Delta : sig
+    val schema : string
+    (** ["hydra_c.metrics_delta/1"]. *)
+
+    type tracker
+
+    val create : t -> tracker
+    (** A fresh consumer position: the first {!line} carries the whole
+        registry state as a delta from empty. *)
+
+    val line : ?label:string -> tracker -> string
+    (** One delta object (single line, no trailing newline) with a
+        monotonically increasing ["seq"] member and an optional
+        ["label"]; advances the tracker. Serialized internally, safe
+        from any domain. *)
+  end
+
   (** Time-series snapshots: the [--metrics-stream] backend. Each
-      {!Stream.tick} appends one [hydra_c.metrics_delta/1] JSON object
-      (a single line) to the file — counter deltas, dist/histogram
-      count/sum/bucket deltas, cumulative min/max — so folding a whole
-      stream with {!Obs_report.of_string} reproduces the registry's
-      full snapshot exactly (round-trip tested in
-      test/test_obs_report.ml). Metrics that did not move since the
-      previous tick are omitted from the line. Safe to tick from any
-      domain (e.g. a {!Ticker}); ticks are serialized internally. *)
+      {!Stream.tick} appends one {!Delta.line} (plus newline) to the
+      file. Metrics that did not move since the previous tick are
+      omitted from the line. Safe to tick from any domain (e.g. a
+      {!Ticker}); ticks are serialized internally. *)
   module Stream : sig
     val schema : string
     (** ["hydra_c.metrics_delta/1"]. *)

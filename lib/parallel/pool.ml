@@ -68,8 +68,15 @@ let reraise_failure failure =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-let map ?obs ?jobs ?(chunk = 1) f n =
+(* [?on_item] rides inside [f] so every execution path — sequential,
+   spawn-per-map, persistent pool — fires it on the domain that
+   actually computes the item, immediately before it does. *)
+let with_hook on_item f =
+  match on_item with None -> f | Some h -> fun i -> h i; f i
+
+let map ?obs ?jobs ?(chunk = 1) ?on_item f n =
   if n < 0 then invalid_arg "Pool.map: negative length";
+  let f = with_hook on_item f in
   let chunk = max 1 chunk in
   let jobs =
     let requested =
@@ -183,9 +190,10 @@ module Static = struct
     in
     if join then Array.iter Domain.join t.domains
 
-  let map ?obs ?(chunk = 1) t f n =
+  let map ?obs ?(chunk = 1) ?on_item t f n =
     if n < 0 then invalid_arg "Pool.Static.map: negative length";
     if t.stopped then invalid_arg "Pool.Static.map: pool is shut down";
+    let f = with_hook on_item f in
     let chunk = max 1 chunk in
     Hydra_obs.incr obs "pool.maps";
     Hydra_obs.add obs "pool.items" n;

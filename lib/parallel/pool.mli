@@ -32,7 +32,8 @@ val default_jobs : unit -> int
     (fully sequential). *)
 
 val map :
-  ?obs:Hydra_obs.t -> ?jobs:int -> ?chunk:int -> (int -> 'a) -> int -> 'a array
+  ?obs:Hydra_obs.t -> ?jobs:int -> ?chunk:int -> ?on_item:(int -> unit) ->
+  (int -> 'a) -> int -> 'a array
 (** [map ~jobs ~chunk f n] is [[| f 0; ...; f (n-1) |]] computed on
     [jobs] domains ([jobs - 1] spawned workers plus the calling
     domain). [jobs] defaults to {!default_jobs}[ ()] and is clamped to
@@ -55,6 +56,14 @@ val map :
     [--jobs], which is why they sit behind the profiling gate
     (doc/OBSERVABILITY.md has the catalog; doc/PARALLELISM.md the
     contract).
+
+    [?on_item] is an observability hook: it runs on the {e executing}
+    domain immediately before [f i], on every path including the
+    sequential one. The admission engine uses it to drop the receiving
+    end of cross-domain trace flow arrows on the worker that picked the
+    item up ({!Hydra_obs.flow_end}). The hook must be domain-safe and
+    must not raise; side effects on shared state fall outside the
+    determinism contract exactly like profiling metrics do.
 
     @raise Invalid_argument if [n < 0]. *)
 
@@ -96,12 +105,13 @@ module Static : sig
   (** The clamped worker count (including the calling domain). *)
 
   val map :
-    ?obs:Hydra_obs.t -> ?chunk:int -> t -> (int -> 'a) -> int -> 'a array
+    ?obs:Hydra_obs.t -> ?chunk:int -> ?on_item:(int -> unit) -> t ->
+    (int -> 'a) -> int -> 'a array
   (** [map t f n] is [[| f 0; ...; f (n-1) |]] on the pool's domains
-      plus the calling domain; blocks until complete. [chunk] as in
-      {!val:map}. Records the same [pool.*] metrics as {!val:map}
-      (workload counters always, scheduling metrics behind the
-      profiling gate).
+      plus the calling domain; blocks until complete. [chunk] and
+      [on_item] as in {!val:map}. Records the same [pool.*] metrics as
+      {!val:map} (workload counters always, scheduling metrics behind
+      the profiling gate).
       @raise Invalid_argument if [n < 0] or the pool was shut down. *)
 
   val shutdown : t -> unit

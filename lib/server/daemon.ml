@@ -2,7 +2,13 @@
    at a time (clients queue in the listen backlog): the protocol is
    request/response over a Unix-domain socket, and the parallelism
    that matters — sharding tenant groups across domains — lives in
-   {!Engine}, not in connection handling. *)
+   {!Engine}, not in connection handling.
+
+   Observability plumbing lives here too: trace contexts are minted
+   per request at accept and ride through the engine, every batch
+   drops breadcrumbs into the always-on flight recorder, and the
+   [obs_snapshot]/[obs_stream] protocol ops are answered from the
+   live registry without touching it. *)
 
 type config = {
   socket_path : string;
@@ -10,11 +16,60 @@ type config = {
   incremental : bool;
   cache_capacity : int;
   max_batch : int;
+  trace_sample_rate : float;
+  slow_request_ms : int;
+  flight_path : string option;
 }
 
 let default_config ~socket_path =
   { socket_path; jobs = 1; incremental = true; cache_capacity = 0;
-    max_batch = 64 }
+    max_batch = 64; trace_sample_rate = 0.0; slow_request_ms = 0;
+    flight_path = None }
+
+(* SIGUSR1 only sets this flag; the dump itself runs on the accept
+   loop at the next safe point (between batches or on an interrupted
+   accept), never inside the signal handler. *)
+let dump_requested = Atomic.make false
+
+(* Everything a connection handler needs, wired once per [serve]. *)
+type server = {
+  engine : Engine.t;
+  obs : Hydra_obs.t option;
+  flight : Hydra_obs.Flight.t;
+  sampler : Hydra_obs.Trace_ctx.sampler option;  (* None = tracing off *)
+  log : Hydra_obs.Log.t;
+  slow_ns : int;  (* 0 = slow-request detection off *)
+  flight_file : string;
+  slo : (string, Hydra_obs.Window.t) Hashtbl.t;
+  mutable batches_seen : int;  (* drives SLO window rotation *)
+}
+
+(* Per-connection state: the connection counter is lazy (bumped at the
+   first engine-bound request, so scrape-only and shutdown-only
+   connections leave no registry footprint) and each connection owns
+   its own delta-tracker position for [obs_stream]. *)
+type conn = {
+  mutable counted : bool;
+  mutable delta : Hydra_obs.Snapshot.Delta.tracker option;
+}
+
+let slo_rotate_every = 16  (* batches per SLO window epoch *)
+
+let dump_flight srv ~reason =
+  match Hydra_obs.Flight.dump_to srv.flight ~path:srv.flight_file with
+  | () ->
+      Hydra_obs.Log.log srv.log "flight_dump"
+        [ ("path", srv.flight_file); ("reason", reason);
+          ("events", string_of_int (Hydra_obs.Flight.recorded srv.flight)) ]
+  | exception Sys_error m ->
+      Hydra_obs.Log.log srv.log "flight_dump_failed"
+        [ ("path", srv.flight_file); ("error", m) ]
+
+let check_dump_signal srv =
+  if Atomic.get dump_requested then begin
+    Atomic.set dump_requested false;
+    dump_flight srv ~reason:"sigusr1"
+  end
 
 (* Read the frames of one batch: block for the first, then keep
    draining frames that are already deliverable (poll with a zero
@@ -34,6 +89,8 @@ let read_batch fd ~max_batch =
               | None -> (List.rev acc, true)
               | Some s -> drain (s :: acc) (k + 1))
           | _ -> (List.rev acc, false)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              (List.rev acc, false)
       in
       drain [ first ] 1
 
@@ -44,20 +101,129 @@ let decode payload =
   | q -> Ok q
   | exception Protocol.Protocol_error m -> Error m
 
-let handle_batch engine obs payloads =
+(* Shutdown/obs ops never reach the engine: they answer from daemon
+   state, and keeping them out of [exec_batch] keeps them out of the
+   server.* workload counters — a scrape must not perturb the metrics
+   it returns. *)
+let is_daemon_op (op : Protocol.op) =
+  match op with
+  | Protocol.Shutdown | Protocol.Obs_snapshot | Protocol.Obs_stream -> true
+  | _ -> false
+
+let status_code (r : Protocol.response) =
+  match r.p_status with
+  | Protocol.Ok -> 0
+  | Protocol.Unschedulable -> 1
+  | Protocol.Rejected -> 2
+  | Protocol.Failed -> 3
+
+let obs_snapshot_resp srv (q : Protocol.request) =
+  match srv.obs with
+  | None ->
+      Protocol.error ~id:q.q_id ~tenant:q.q_tenant
+        "no metrics registry attached to this daemon"
+  | Some o ->
+      Protocol.ok ~id:q.q_id ~tenant:q.q_tenant
+        (Metrics (Hydra_obs.Snapshot.to_json o))
+
+let obs_stream_resp srv cn (q : Protocol.request) =
+  match srv.obs with
+  | None ->
+      Protocol.error ~id:q.q_id ~tenant:q.q_tenant
+        "no metrics registry attached to this daemon"
+  | Some o ->
+      let tracker =
+        match cn.delta with
+        | Some d -> d
+        | None ->
+            let d = Hydra_obs.Snapshot.Delta.create o in
+            cn.delta <- Some d;
+            d
+      in
+      Protocol.ok ~id:q.q_id ~tenant:q.q_tenant
+        (Metrics (Hydra_obs.Snapshot.Delta.line tracker))
+
+let slo_window srv tenant =
+  match Hashtbl.find_opt srv.slo tenant with
+  | Some w -> w
+  | None ->
+      let w = Hydra_obs.Window.create () in
+      Hashtbl.add srv.slo tenant w;
+      w
+
+(* Rotate every tenant's SLO window each [slo_rotate_every] batches,
+   warning (rate-limited) about tenants whose sliding p99 exceeds the
+   slow-request threshold before their oldest epoch ages out. *)
+let slo_tick srv =
+  srv.batches_seen <- srv.batches_seen + 1;
+  if srv.batches_seen mod slo_rotate_every = 0 then
+    Hashtbl.fold (fun tenant w acc -> (tenant, w) :: acc) srv.slo []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (tenant, w) ->
+           (match Hydra_obs.Window.quantile w 0.99 with
+           | Some p99 when srv.slow_ns > 0 && p99 > srv.slow_ns ->
+               Hydra_obs.Log.log srv.log "tenant_slo_breach"
+                 [ ("tenant", tenant); ("p99_ns", string_of_int p99);
+                   ("threshold_ns", string_of_int srv.slow_ns);
+                   ("samples", string_of_int (Hydra_obs.Window.count w)) ]
+           | _ -> ());
+           Hydra_obs.Window.rotate w)
+
+let handle_batch srv cn payloads =
+  let obs = srv.obs in
   let profile = Hydra_obs.profiling_enabled obs in
-  let t0 = if profile then Hydra_obs.now_ns () else 0 in
-  let decoded = List.map decode payloads in
-  (* daemon-level ops are split out; everything else goes to the
-     engine in one batch *)
-  let engine_reqs =
-    List.filter_map
-      (function
-        | Ok (q : Protocol.request) when q.q_op <> Protocol.Shutdown -> Some q
-        | _ -> None)
-      decoded
+  let t0 = Hydra_obs.now_ns () in
+  Hydra_obs.Flight.record srv.flight ~ts:t0 ~kind:Hydra_obs.Flight.Accept
+    ~tenant:(-1) ~a:(List.length payloads) ~b:0;
+  (* trace contexts are minted here, at accept, one sampling decision
+     per request — daemon-level ops included *)
+  let ctxs =
+    List.map
+      (fun _ ->
+        match srv.sampler with
+        | None -> None
+        | Some s -> Hydra_obs.Trace_ctx.sample s)
+      payloads
   in
-  let engine_resps = ref (Engine.exec_batch engine engine_reqs) in
+  let decoded =
+    List.map2
+      (fun ctx payload ->
+        let dctx = Option.map Hydra_obs.Trace_ctx.child ctx in
+        let r =
+          Hydra_obs.trace_span obs dctx "server.decode" (fun () ->
+              decode payload)
+        in
+        Hydra_obs.Flight.record srv.flight ~ts:(Hydra_obs.now_ns ())
+          ~kind:Hydra_obs.Flight.Decode ~tenant:(-1) ~a:0
+          ~b:(match r with Ok _ -> 0 | Error _ -> 1);
+        r)
+      ctxs payloads
+  in
+  (* daemon-level ops are split out; everything else goes to the
+     engine in one batch, each request riding with its context *)
+  let engine_reqs, engine_ctxs =
+    let rs = ref [] and cs = ref [] in
+    List.iter2
+      (fun ctx d ->
+        match d with
+        | Ok (q : Protocol.request) when not (is_daemon_op q.q_op) ->
+            rs := q :: !rs;
+            cs := ctx :: !cs
+        | _ -> ())
+      ctxs decoded;
+    (List.rev !rs, List.rev !cs)
+  in
+  if engine_reqs <> [] && not cn.counted then begin
+    cn.counted <- true;
+    Hydra_obs.incr obs "server.connections"
+  end;
+  let engine_resps =
+    ref
+      (if engine_reqs = [] then []
+       else
+         Engine.exec_batch ~ctxs:(Array.of_list engine_ctxs)
+           ~flight:srv.flight srv.engine engine_reqs)
+  in
   let next_engine_resp () =
     match !engine_resps with
     | r :: rest ->
@@ -70,33 +236,76 @@ let handle_batch engine obs payloads =
     List.map
       (function
         | Error m -> Protocol.error ~id:(-1) ~tenant:"" m
-        | Ok (q : Protocol.request) ->
-            if q.q_op = Protocol.Shutdown then begin
-              stop := true;
-              Protocol.ok ~id:q.q_id ~tenant:q.q_tenant Protocol.No_body
-            end
-            else next_engine_resp ())
+        | Ok (q : Protocol.request) -> (
+            match q.q_op with
+            | Protocol.Shutdown ->
+                stop := true;
+                Protocol.ok ~id:q.q_id ~tenant:q.q_tenant Protocol.No_body
+            | Protocol.Obs_snapshot -> obs_snapshot_resp srv q
+            | Protocol.Obs_stream -> obs_stream_resp srv cn q
+            | _ -> next_engine_resp ()))
       decoded
   in
+  let t1 = Hydra_obs.now_ns () in
+  let dt = t1 - t0 in
+  (* one Reply breadcrumb and one root span per request; the root span
+     covers accept through reply, so child spans nest under it *)
+  List.iter2
+    (fun ctx (r : Protocol.response) ->
+      Hydra_obs.Flight.record srv.flight ~ts:t1 ~kind:Hydra_obs.Flight.Reply
+        ~tenant:(-1) ~a:dt ~b:(status_code r);
+      Hydra_obs.trace_emit obs ctx "server.request" ~start_ns:t0 ~dur_ns:dt)
+    ctxs responses;
   if profile then begin
-    let dt = Hydra_obs.now_ns () - t0 in
-    List.iter (fun _ -> Hydra_obs.sample obs "server.latency" dt) payloads
+    List.iter (fun _ -> Hydra_obs.sample obs "server.latency" dt) payloads;
+    (* per-tenant SLO signals: registry histograms/counters for the
+       scrape path, daemon-local sliding windows for breach warnings.
+       Both carry wall-clock, so both sit behind the profiling gate —
+       default snapshots stay byte-identical across --jobs. *)
+    List.iter
+      (fun d ->
+        match d with
+        | Ok (q : Protocol.request) when not (is_daemon_op q.q_op) ->
+            Hydra_obs.sample obs
+              ("server.tenant." ^ q.q_tenant ^ ".latency_ns")
+              dt;
+            Hydra_obs.Window.record (slo_window srv q.q_tenant) dt
+        | _ -> ())
+      decoded;
+    List.iter
+      (fun (r : Protocol.response) ->
+        match r.p_status with
+        | Protocol.Rejected | Protocol.Failed ->
+            if r.p_tenant <> "" then
+              Hydra_obs.incr obs ("server.tenant." ^ r.p_tenant ^ ".errors")
+        | Protocol.Ok | Protocol.Unschedulable -> ())
+      responses;
+    slo_tick srv
+  end;
+  if srv.slow_ns > 0 && dt > srv.slow_ns then begin
+    Hydra_obs.Flight.record srv.flight ~ts:t1 ~kind:Hydra_obs.Flight.Slow
+      ~tenant:(-1) ~a:dt ~b:(List.length payloads);
+    Hydra_obs.Log.log srv.log "slow_batch"
+      [ ("duration_ns", string_of_int dt);
+        ("requests", string_of_int (List.length payloads)) ];
+    dump_flight srv ~reason:"slow"
   end;
   (responses, !stop)
 
-let handle_client engine obs fd ~max_batch =
+let handle_client srv cn fd ~max_batch =
   let stop = ref false in
   let eof = ref false in
   while not (!eof || !stop) do
     let payloads, saw_eof = read_batch fd ~max_batch in
     eof := saw_eof;
     if payloads <> [] then begin
-      let responses, shutdown = handle_batch engine obs payloads in
+      let responses, shutdown = handle_batch srv cn payloads in
       List.iter
         (fun r -> Protocol.write_frame fd (Protocol.encode_response r))
         responses;
       if shutdown then stop := true
-    end
+    end;
+    check_dump_signal srv
   done;
   !stop
 
@@ -106,24 +315,74 @@ let serve ?obs ?(config = default_config ~socket_path:"hydra_c.sock")
     Engine.create ?obs ~jobs:config.jobs ~incremental:config.incremental
       ~cache_capacity:config.cache_capacity ()
   in
+  let srv =
+    { engine; obs; flight = Hydra_obs.Flight.create ();
+      sampler =
+        (if config.trace_sample_rate > 0.0 then
+           Some (Hydra_obs.Trace_ctx.sampler ~rate:config.trace_sample_rate)
+         else None);
+      log = Hydra_obs.Log.create (); slo = Hashtbl.create 8; batches_seen = 0;
+      slow_ns = config.slow_request_ms * 1_000_000;
+      flight_file =
+        (match config.flight_path with
+        | Some p -> p
+        | None -> config.socket_path ^ ".flight.jsonl") }
+  in
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
   let sock = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  let old_usr1 =
+    (* unavailable on platforms without SIGUSR1; the daemon still runs,
+       just without the on-demand dump trigger *)
+    match
+      Sys.signal Sys.sigusr1
+        (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true))
+    with
+    | h -> Some h
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
   let cleanup () =
+    (match old_usr1 with
+    | Some h -> (
+        try Sys.set_signal Sys.sigusr1 h
+        with Invalid_argument _ | Sys_error _ -> ())
+    | None -> ());
     (try Unix.close sock with Unix.Unix_error _ -> ());
     (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+    (* an explicit --flight-out asks for a dump even on a clean
+       shutdown — a deterministic artifact for CI *)
+    if config.flight_path <> None then dump_flight srv ~reason:"shutdown";
     Engine.shutdown engine
   in
   Fun.protect ~finally:cleanup (fun () ->
-      Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
-      Unix.listen sock 8;
-      (match on_ready with Some f -> f () | None -> ());
-      let stop = ref false in
-      while not !stop do
-        let client, _ = Unix.accept sock in
-        Hydra_obs.incr obs "server.connections";
-        (match handle_client engine obs client ~max_batch:config.max_batch with
-        | shutdown -> stop := shutdown
-        | exception Protocol.Protocol_error _ -> ()
-        | exception Unix.Unix_error _ -> ());
-        try Unix.close client with Unix.Unix_error _ -> ()
-      done)
+      try
+        Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+        Unix.listen sock 8;
+        (match on_ready with Some f -> f () | None -> ());
+        let stop = ref false in
+        while not !stop do
+          match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              check_dump_signal srv
+          | client, _ ->
+              (let cn = { counted = false; delta = None } in
+               match handle_client srv cn client ~max_batch:config.max_batch with
+               | shutdown -> stop := shutdown
+               | exception Protocol.Protocol_error m ->
+                   Hydra_obs.Flight.record srv.flight
+                     ~ts:(Hydra_obs.now_ns ()) ~kind:Hydra_obs.Flight.Error
+                     ~tenant:(-1) ~a:0 ~b:0;
+                   Hydra_obs.Log.log srv.log "protocol_error" [ ("error", m) ]
+               | exception Unix.Unix_error (e, _, _) ->
+                   Hydra_obs.Flight.record srv.flight
+                     ~ts:(Hydra_obs.now_ns ()) ~kind:Hydra_obs.Flight.Error
+                     ~tenant:(-1) ~a:0 ~b:1;
+                   Hydra_obs.Log.log srv.log "io_error"
+                     [ ("error", Unix.error_message e) ]);
+              (try Unix.close client with Unix.Unix_error _ -> ());
+              check_dump_signal srv
+        done
+      with e ->
+        (* uncaught failure: preserve the last events for post-mortem,
+           then let the exception escape through cleanup *)
+        dump_flight srv ~reason:"crash";
+        raise e)

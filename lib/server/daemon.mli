@@ -10,13 +10,44 @@
     lockstep client always gets one-request batches, which is what
     makes the serve-smoke fixture batching-invariant.
 
-    [Shutdown] requests are handled here, not in the engine: the
-    daemon acknowledges, closes the connection, and stops. Malformed
-    frames produce an [error] response with [id = -1] so pairing
-    survives. Request timing uses the monotonic
-    {!Hydra_obs.now_ns} clock; the [server.latency] histogram (and the
-    per-shard spans below it) record only when profiling is enabled on
-    the registry, keeping snapshots byte-identical across [--jobs]. *)
+    [Shutdown], [Obs_snapshot] and [Obs_stream] requests are handled
+    here, not in the engine. The obs ops answer from the live registry
+    and deliberately leave {e no} footprint in it: they skip the
+    engine (so [server.batches]/[server.requests]/[server.req.*] do
+    not move) and the [server.connections] counter is lazy — bumped at
+    a connection's first engine-bound request — so a scrape-only
+    connection is invisible and a live [obs-report --connect] summary
+    matches the shutdown [--metrics-out] snapshot exactly
+    (doc/OBSERVABILITY.md, gated in CI). Malformed frames produce an
+    [error] response with [id = -1] so pairing survives.
+
+    {b Tracing.} With [trace_sample_rate > 0] (and a registry), the
+    daemon mints one {!Hydra_obs.Trace_ctx} per sampled request at
+    accept: the whole request becomes a ["server.request"] root span
+    timed from frame arrival to reply, decoding a ["server.decode"]
+    child, and the context rides through {!Engine.exec_batch} into
+    cross-domain flow arrows and ["server.apply"]/["server.select"]
+    worker spans. At the default rate 0 nothing is recorded and
+    [--metrics-out] stays byte-identical.
+
+    {b Flight recorder.} Always on: every batch drops compact
+    Accept/Decode/Reply (and engine-side Shard/Coalesce/Select)
+    events into a fixed-size lock-free ring ({!Hydra_obs.Flight}).
+    The ring is dumped as JSONL — to [flight_path], default
+    [socket_path ^ ".flight.jsonl"] — on SIGUSR1, on an uncaught
+    crash, on a batch slower than [slow_request_ms], and at shutdown
+    when [flight_path] was given explicitly. Never appears in metrics
+    snapshots.
+
+    Request timing uses the monotonic {!Hydra_obs.now_ns} clock; the
+    [server.latency] histogram, the per-tenant
+    [server.tenant.<t>.latency_ns]/[.errors] SLO metrics and the
+    per-shard spans record only when profiling is enabled on the
+    registry, keeping snapshots byte-identical across [--jobs].
+    Operator messages (slow batches, SLO breaches, dump notices,
+    connection errors) go through the rate-limited structured
+    {!Hydra_obs.Log} — the only stderr channel hydra_lint permits
+    under [lib/server]. *)
 
 type config = {
   socket_path : string;
@@ -24,6 +55,15 @@ type config = {
   incremental : bool;  (** warm path on; [false] = cold baseline *)
   cache_capacity : int;  (** per-tenant workload-cache bound; 0 = unbounded *)
   max_batch : int;  (** frames drained per batch (default 64) *)
+  trace_sample_rate : float;
+      (** fraction of requests traced (default 0.0 = off; 1.0 = all) *)
+  slow_request_ms : int;
+      (** batches slower than this dump the flight ring and log a
+          warning; 0 (default) disables *)
+  flight_path : string option;
+      (** flight-dump destination; [None] (default) derives
+          [socket_path ^ ".flight.jsonl"] and dumps only on
+          signal/crash/slow, [Some p] also dumps at shutdown *)
 }
 
 val default_config : socket_path:string -> config
@@ -33,4 +73,5 @@ val serve :
   unit -> unit
 (** Bind the socket (unlinking any stale file), call [on_ready], and
     accept until a [Shutdown] request arrives. Always unlinks the
-    socket and stops the engine on the way out. *)
+    socket, restores the SIGUSR1 handler and stops the engine on the
+    way out. *)

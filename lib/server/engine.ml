@@ -30,6 +30,8 @@ let op_counter (op : Protocol.op) =
   | Stats -> "server.req.stats"
   | Remove -> "server.req.remove"
   | Shutdown -> "server.req.shutdown"
+  | Obs_snapshot -> "server.req.obs_snapshot"
+  | Obs_stream -> "server.req.obs_stream"
 
 let rows assignments =
   List.map
@@ -42,13 +44,29 @@ let rows assignments =
    Dirty ops (init/arrive/leave/set_cores/reselect) are coalesced:
    their edits apply immediately, but the period selection runs once —
    at the next [Query]/[Remove]/[Init] barrier or at group end — and
-   every pending requester receives that one final selection. *)
-let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
+   every pending requester receives that one final selection.
+
+   [ftid] is the group's interned flight-recorder tenant id (-1 when
+   no recorder is attached); every request rides with its optional
+   trace context, and a traced request's worker-side processing is a
+   ["server.apply"] child span. *)
+let run_group ~obs ~incremental ~cache_capacity ~flight ~ftid ~name state reqs =
   let tenant = ref state in
   let pending = ref [] in
-  (* (pos, id) of coalesced dirty ops *)
+  (* (pos, id, ctx) of coalesced dirty ops *)
   let out = ref [] in
   let emit pos r = out := (pos, r) :: !out in
+  let materialize ctx tn =
+    match flight with
+    | None -> Tenant.materialize ?obs ?ctx ~incremental tn
+    | Some fl ->
+        let t0 = Hydra_obs.now_ns () in
+        let result = Tenant.materialize ?obs ?ctx ~incremental tn in
+        Hydra_obs.Flight.record fl ~ts:(Hydra_obs.now_ns ())
+          ~kind:Hydra_obs.Flight.Select ~tenant:ftid
+          ~a:(Hydra_obs.now_ns () - t0) ~b:0;
+        result
+  in
   let flush () =
     match !pending with
     | [] -> ()
@@ -58,12 +76,27 @@ let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
             (* unreachable: pending is only pushed while a tenant
                exists, and Remove/Init flush before changing it *)
             List.iter
-              (fun (pos, id) ->
+              (fun (pos, id, _) ->
                 emit pos (Protocol.error ~id ~tenant:name "tenant vanished"))
               (List.rev ps);
             pending := []
         | Some tn ->
-            let result = Tenant.materialize ?obs ~incremental tn in
+            let ps = List.rev ps in
+            (match flight with
+            | None -> ()
+            | Some fl ->
+                Hydra_obs.Flight.record fl ~ts:(Hydra_obs.now_ns ())
+                  ~kind:Hydra_obs.Flight.Coalesce ~tenant:ftid
+                  ~a:(List.length ps) ~b:0);
+            (* the selection is attributed to the first traced
+               requester among the coalesced ops *)
+            let sel_ctx =
+              List.fold_left
+                (fun acc (_, _, c) ->
+                  match acc with Some _ -> acc | None -> c)
+                None ps
+            in
+            let result = materialize sel_ctx tn in
             let respond id =
               match result with
               | Period_selection.Schedulable assignments ->
@@ -71,7 +104,7 @@ let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
               | Period_selection.Unschedulable ->
                   Protocol.unschedulable ~id ~tenant:name
             in
-            List.iter (fun (pos, id) -> emit pos (respond id)) (List.rev ps);
+            List.iter (fun (pos, id, _) -> emit pos (respond id)) ps;
             pending := [])
   in
   let require_tenant pos id k =
@@ -82,15 +115,17 @@ let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
           (Protocol.error ~id ~tenant:name
              (Printf.sprintf "unknown tenant %S" name))
   in
-  let on_admission pos id = function
-    | Tenant.Admitted () -> pending := (pos, id) :: !pending
+  let on_admission pos id ctx = function
+    | Tenant.Admitted () -> pending := (pos, id, ctx) :: !pending
     | Tenant.Rejected reason -> emit pos (Protocol.rejected ~id ~tenant:name reason)
     | Tenant.Invalid reason -> emit pos (Protocol.error ~id ~tenant:name reason)
   in
   List.iter
-    (fun (pos, (q : Protocol.request)) ->
+    (fun (pos, ctx, (q : Protocol.request)) ->
       let id = q.q_id in
       Hydra_obs.incr obs (op_counter q.q_op);
+      let actx = Option.map Hydra_obs.Trace_ctx.child ctx in
+      Hydra_obs.trace_span obs actx "server.apply" @@ fun () ->
       try
         match q.q_op with
         | Init { cores; rt; sec } -> (
@@ -100,34 +135,34 @@ let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
             match Tenant.create ~name ~cache_capacity ~cores ~rt ~sec with
             | Tenant.Admitted tn ->
                 tenant := Some tn;
-                pending := [ (pos, id) ]
+                pending := [ (pos, id, actx) ]
             | Tenant.Rejected reason ->
                 emit pos (Protocol.rejected ~id ~tenant:name reason)
             | Tenant.Invalid reason ->
                 emit pos (Protocol.error ~id ~tenant:name reason))
         | Rt_arrive spec ->
             require_tenant pos id (fun tn ->
-                on_admission pos id (Tenant.rt_arrive tn spec))
+                on_admission pos id actx (Tenant.rt_arrive tn spec))
         | Rt_leave nm ->
             require_tenant pos id (fun tn ->
-                on_admission pos id (Tenant.rt_leave tn nm))
+                on_admission pos id actx (Tenant.rt_leave tn nm))
         | Sec_arrive spec ->
             require_tenant pos id (fun tn ->
-                on_admission pos id (Tenant.sec_arrive tn spec))
+                on_admission pos id actx (Tenant.sec_arrive tn spec))
         | Sec_leave nm ->
             require_tenant pos id (fun tn ->
-                on_admission pos id (Tenant.sec_leave tn nm))
+                on_admission pos id actx (Tenant.sec_leave tn nm))
         | Set_cores cores ->
             require_tenant pos id (fun tn ->
-                on_admission pos id (Tenant.set_cores tn cores))
+                on_admission pos id actx (Tenant.set_cores tn cores))
         | Reselect ->
             require_tenant pos id (fun tn ->
                 Tenant.touch tn;
-                on_admission pos id (Tenant.Admitted ()))
+                on_admission pos id actx (Tenant.Admitted ()))
         | Query ->
             require_tenant pos id (fun tn ->
                 flush ();
-                let result = Tenant.materialize ?obs ~incremental tn in
+                let result = materialize actx tn in
                 emit pos
                   (match result with
                   | Period_selection.Schedulable assignments ->
@@ -148,6 +183,11 @@ let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
             emit pos
               (Protocol.error ~id ~tenant:name
                  "shutdown is a daemon request, not a tenant op")
+        | Obs_snapshot | Obs_stream ->
+            emit pos
+              (Protocol.error ~id ~tenant:name
+                 (Protocol.op_name q.q_op
+                 ^ " is a daemon request, not a tenant op"))
       with e ->
         emit pos
           (Protocol.error ~id ~tenant:name
@@ -156,9 +196,18 @@ let run_group ~obs ~incremental ~cache_capacity ~name state reqs =
   flush ();
   (!tenant, !out)
 
-let exec_batch t (batch : Protocol.request list) : Protocol.response list =
+let exec_batch ?ctxs ?flight t (batch : Protocol.request list) :
+    Protocol.response list =
   let reqs = Array.of_list batch in
   let n = Array.length reqs in
+  let ctxs =
+    match ctxs with
+    | None -> Array.make (max n 1) None
+    | Some c ->
+        if Array.length c <> n then
+          invalid_arg "Engine.exec_batch: ctxs length <> batch length";
+        c
+  in
   let obs = t.obs in
   Hydra_obs.incr obs "server.batches";
   Hydra_obs.add obs "server.requests" n;
@@ -168,31 +217,62 @@ let exec_batch t (batch : Protocol.request list) : Protocol.response list =
        deterministic sharding: the grouping, and which group an index
        lands in, depend only on the batch contents *)
     let order = ref [] in
-    let index : (string, (int * Protocol.request) list ref) Hashtbl.t =
+    let index :
+        ( string,
+          (int * Hydra_obs.Trace_ctx.t option * Protocol.request) list ref )
+        Hashtbl.t =
       Hashtbl.create 8
     in
     Array.iteri
       (fun i q ->
         match Hashtbl.find_opt index q.Protocol.q_tenant with
-        | Some cell -> cell := (i, q) :: !cell
+        | Some cell -> cell := (i, ctxs.(i), q) :: !cell
         | None ->
-            Hashtbl.add index q.Protocol.q_tenant (ref [ (i, q) ]);
+            Hashtbl.add index q.Protocol.q_tenant (ref [ (i, ctxs.(i), q) ]);
             order := q.Protocol.q_tenant :: !order)
       reqs;
     let names = Array.of_list (List.rev !order) in
     let n_groups = Array.length names in
     Hydra_obs.observe obs "server.batch.groups" n_groups;
+    let members =
+      Array.map (fun nm -> List.rev !(Hashtbl.find index nm)) names
+    in
+    (* intern flight tenant ids once per batch, on the calling domain *)
+    let ftids =
+      match flight with
+      | None -> [||]
+      | Some fl -> Array.map (fun nm -> Hydra_obs.Flight.intern fl nm) names
+    in
+    (* departure end of every traced request's cross-domain flow
+       arrow, stamped on the dispatching domain; the arrival end lands
+       on whichever worker claims the request's group ([on_item]) *)
+    Array.iteri
+      (fun i _ -> Hydra_obs.flow_begin obs ctxs.(i) "server.dispatch")
+      reqs;
+    let on_item g =
+      List.iter
+        (fun (_, ctx, _) -> Hydra_obs.flow_end obs ctx "server.dispatch")
+        members.(g)
+    in
     (* pre-fetch tenant records on the calling domain; each group is
        then owned exclusively by one worker *)
     let states = Array.map (fun nm -> Hashtbl.find_opt t.tenants nm) names in
     let profile = Hydra_obs.profiling_enabled obs in
     let results =
-      Pool.Static.map ?obs t.pool
+      Pool.Static.map ?obs ~on_item t.pool
         (fun g ->
+          let ms = members.(g) in
+          let ftid = if g < Array.length ftids then ftids.(g) else -1 in
+          (match flight with
+          | None -> ()
+          | Some fl ->
+              Hydra_obs.Flight.record fl ~ts:(Hydra_obs.now_ns ())
+                ~kind:Hydra_obs.Flight.Shard ~tenant:ftid
+                ~a:(List.length ms) ~b:g);
           let run () =
             run_group ~obs ~incremental:t.incremental
-              ~cache_capacity:t.cache_capacity ~name:names.(g) states.(g)
-              (List.rev !(Hashtbl.find index names.(g)))
+              ~cache_capacity:t.cache_capacity ~flight ~ftid ~name:names.(g)
+              states.(g) ms
           in
           if profile then Hydra_obs.span obs "server.shard" run else run ())
         n_groups

@@ -35,11 +35,26 @@ val create :
     workload cache ({!Hydra.Analysis.set_cache_capacity};
     0 = unbounded). *)
 
-val exec_batch : t -> Protocol.request list -> Protocol.response list
+val exec_batch :
+  ?ctxs:Hydra_obs.Trace_ctx.t option array ->
+  ?flight:Hydra_obs.Flight.t -> t -> Protocol.request list ->
+  Protocol.response list
 (** Execute one batch; the response list is in request order, one
     response per request. Never raises on bad requests — they map to
-    [rejected]/[error] responses ([Shutdown] too: it is daemon-level,
-    see {!Daemon}). *)
+    [rejected]/[error] responses ([Shutdown], [Obs_snapshot] and
+    [Obs_stream] too: they are daemon-level, see {!Daemon}).
+
+    [ctxs], when given, must have one slot per request: a [Some]
+    context marks a {e traced} request, whose dispatch to a worker
+    becomes a cross-domain flow arrow ([server.dispatch]) and whose
+    worker-side processing a ["server.apply"] child span with a
+    nested ["server.select"] when it triggers a selection. [flight]
+    attaches a flight recorder: the engine drops [Shard], [Coalesce]
+    and [Select] events into the ring as the batch executes. Neither
+    affects responses or snapshot metrics.
+
+    @raise Invalid_argument if [ctxs] has a different length than the
+    batch. *)
 
 val shutdown : t -> unit
 (** Stop the worker pool. The engine must not be used afterwards. *)

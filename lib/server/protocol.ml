@@ -20,6 +20,8 @@ type op =
   | Stats
   | Remove
   | Shutdown
+  | Obs_snapshot
+  | Obs_stream
 
 type request = { q_id : int; q_tenant : string; q_op : op }
 
@@ -41,7 +43,13 @@ type stats = {
 
 type status = Ok | Unschedulable | Rejected | Failed
 
-type body = Periods of assignment list | Tenant_stats of stats | No_body
+type body =
+  | Periods of assignment list
+  | Tenant_stats of stats
+  | Metrics of string
+      (* one hydra_c.metrics/1 snapshot (obs_snapshot) or one
+         hydra_c.metrics_delta/1 line (obs_stream), verbatim *)
+  | No_body
 
 type response = {
   p_id : int;
@@ -138,6 +146,8 @@ let op_name = function
   | Stats -> "stats"
   | Remove -> "remove"
   | Shutdown -> "shutdown"
+  | Obs_snapshot -> "obs_snapshot"
+  | Obs_stream -> "obs_stream"
 
 let encode_request (q : request) =
   let b = Buffer.create 128 in
@@ -169,7 +179,8 @@ let encode_request (q : request) =
   | Set_cores cores ->
       Buffer.add_char b ',';
       buf_kv_int b "cores" cores
-  | Reselect | Query | Stats | Remove | Shutdown -> ());
+  | Reselect | Query | Stats | Remove | Shutdown | Obs_snapshot
+  | Obs_stream -> ());
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -231,7 +242,10 @@ let encode_response (p : response) =
       buf_kv_int b "cache_evictions" s.st_cache_evictions;
       Buffer.add_char b ',';
       buf_kv_int b "cache_refreshes" s.st_cache_refreshes;
-      Buffer.add_char b '}');
+      Buffer.add_char b '}'
+  | Metrics payload ->
+      Buffer.add_char b ',';
+      buf_kv_str b "metrics" payload);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -305,6 +319,8 @@ let decode_request s =
     | "stats" -> Stats
     | "remove" -> Remove
     | "shutdown" -> Shutdown
+    | "obs_snapshot" -> Obs_snapshot
+    | "obs_stream" -> Obs_stream
     | op -> fail "unknown op %S" op
   in
   { q_id; q_tenant; q_op }
@@ -350,7 +366,13 @@ let decode_response s =
                 st_cache_misses = get_int s "cache_misses";
                 st_cache_evictions = get_int s "cache_evictions";
                 st_cache_refreshes = get_int s "cache_refreshes" }
-        | None -> No_body)
+        | None -> (
+            match J.member "metrics" j with
+            | Some v -> (
+                match J.to_string v with
+                | Some s -> Metrics s
+                | None -> fail "member %S is not a string" "metrics")
+            | None -> No_body))
   in
   { p_id; p_tenant; p_status; p_reason; p_body }
 
@@ -358,10 +380,15 @@ let decode_response s =
 (* Framing: 4-byte big-endian length prefix, then that many bytes of
    JSON. *)
 
+(* EINTR is retried here so a signal (the daemon's SIGUSR1 flight-dump
+   trigger) never tears a frame: the offset tracks exactly how much was
+   transferred, so resuming is always safe. *)
 let rec write_all fd bytes off len =
   if len > 0 then begin
-    let n = Unix.write fd bytes off len in
-    write_all fd bytes (off + n) (len - n)
+    match Unix.write fd bytes off len with
+    | n -> write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        write_all fd bytes off len
   end
 
 let write_frame fd payload =
@@ -384,6 +411,7 @@ let read_exact fd len ~eof_ok =
           if off = 0 && eof_ok then None
           else fail "unexpected EOF inside a frame (%d/%d bytes)" off len
       | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 

@@ -37,8 +37,21 @@ type op =
   | Stats  (** return tenant/cache hygiene counters *)
   | Remove  (** drop the tenant *)
   | Shutdown  (** stop the daemon (handled by {!Daemon}, not the engine) *)
+  | Obs_snapshot
+      (** return a [hydra_c.metrics/1] snapshot of the daemon's live
+          registry (handled by {!Daemon}; ["tenant"] is ignored).
+          Leaves no footprint in the registry it reads, so a scrape
+          does not perturb the metrics it returns. *)
+  | Obs_stream
+      (** return one [hydra_c.metrics_delta/1] line relative to this
+          connection's previous [Obs_stream] request (handled by
+          {!Daemon}); the first request carries the full state. *)
 
 type request = { q_id : int; q_tenant : string; q_op : op }
+
+val op_name : op -> string
+(** The wire name of an op (["init"], ["query"], ["obs_snapshot"]...),
+    as carried in the request's ["op"] member. *)
 
 type assignment = { a_name : string; a_period : int; a_resp : int }
 (** One row of a period selection: task name, selected period [T_s^*],
@@ -69,7 +82,15 @@ type status =
       (** admission control refused the edit; tenant state unchanged *)
   | Failed  (** wire status ["error"]: bad request, unknown tenant... *)
 
-type body = Periods of assignment list | Tenant_stats of stats | No_body
+type body =
+  | Periods of assignment list
+  | Tenant_stats of stats
+  | Metrics of string
+      (** verbatim metrics document (wire member ["metrics"], a JSON
+          string): a full [hydra_c.metrics/1] snapshot for
+          [Obs_snapshot], one [hydra_c.metrics_delta/1] line for
+          [Obs_stream] *)
+  | No_body
 
 type response = {
   p_id : int;

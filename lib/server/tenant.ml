@@ -257,7 +257,7 @@ let touch t = t.dirty <- true
 (* ------------------------------------------------------------------ *)
 (* Materialization *)
 
-let materialize ?obs ~incremental t =
+let materialize ?obs ?ctx ~incremental t =
   (match t.last with
   | Some r when (not t.dirty) && incremental -> r
   | _ ->
@@ -301,9 +301,14 @@ let materialize ?obs ~incremental t =
             Some (Period_selection.period_vector assignments ~n_sec:m)
         | _ -> None
       in
+      (* On a traced request, the selection gets its own child span —
+         the dominant cost of the pipeline, attributed to the worker
+         domain that ran it. *)
+      let sel_ctx = Option.map Hydra_obs.Trace_ctx.child ctx in
       let result =
-        Period_selection.select ~fast:true ?warm0 ?hints ~bounds_out:bounds
-          ?obs sys secs
+        Hydra_obs.trace_span obs sel_ctx "server.select" (fun () ->
+            Period_selection.select ~fast:true ?warm0 ?hints
+              ~bounds_out:bounds ?obs sys secs)
       in
       t.selects <- t.selects + 1;
       Hydra_obs.incr obs "server.select";

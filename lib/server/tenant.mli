@@ -66,7 +66,7 @@ val touch : t -> unit
     ([Reselect]). *)
 
 val materialize :
-  ?obs:Hydra_obs.t -> incremental:bool -> t ->
+  ?obs:Hydra_obs.t -> ?ctx:Hydra_obs.Trace_ctx.t -> incremental:bool -> t ->
   Hydra.Period_selection.result
 (** The tenant's current period selection. [incremental:true] serves
     clean tenants from the cached last result and otherwise analyzes
@@ -77,7 +77,9 @@ val materialize :
     with an empty cache, no floors and no hints — what a daemon
     without resident tenants would pay per request. Both produce
     {b bit-identical} results (QCheck-gated in [test/test_server.ml]).
-    Counts [server.select] and [server.select.warm] on [obs]. *)
+    Counts [server.select] and [server.select.warm] on [obs]. A traced
+    request's [ctx] wraps the selection in a ["server.select"] child
+    span ({!Hydra_obs.trace_span}). *)
 
 val stats : t -> Protocol.stats
 val selects : t -> int

@@ -1,0 +1,13 @@
+(* Fixture for rule D2's server tightening: raw stderr writes inside
+   daemon code. Linted by test_lint under the pretend path
+   lib/server/d2_stderr.ml (stderr is only rejected there).
+   Expected findings: D2 at lines 5, 7 and 9. *)
+let warn m = Printf.eprintf "[serve] %s\n%!" m
+
+let moan () = prerr_endline "overload"
+
+let channel () = output_string stderr "raw\n"
+
+(* The sanctioned form — three-segment idents never match the stderr
+   matchers, so no finding expected here. *)
+let ok log = Hydra_obs.Log.log log "overload" [ ("tenant", "a") ]

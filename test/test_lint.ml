@@ -52,6 +52,19 @@ let test_d2 () =
   check_findings "d2" [ ("D2", 4); ("D2", 6) ]
     (fixture_findings "d2_stdout.ml")
 
+(* The same fixture is stderr-clean outside lib/server and dirty
+   inside it: D2's stderr tightening is server-scoped. *)
+let test_d2_stderr () =
+  let lines file =
+    List.map
+      (fun (f : Lint.Finding.t) -> (f.rule, f.line))
+      (lint_str ~file (fixture_source "d2_stderr.ml"))
+  in
+  check_findings "in lib/server" [ ("D2", 5); ("D2", 7); ("D2", 9) ]
+    (lines "lib/server/d2_stderr.ml");
+  check_findings "outside lib/server" [] (lines "lib/hydra/d2_stderr.ml");
+  check_findings "in bin" [] (lines "bin/d2_stderr.ml")
+
 let test_d3 () =
   check_findings "d3" [ ("D3", 4); ("D3", 6) ]
     (fixture_findings "d3_hash_order.ml")
@@ -443,6 +456,7 @@ let () =
     [ ( "rules",
         [ Alcotest.test_case "D1 wall clock" `Quick test_d1;
           Alcotest.test_case "D2 stdout" `Quick test_d2;
+          Alcotest.test_case "D2 stderr in server" `Quick test_d2_stderr;
           Alcotest.test_case "D3 hash order" `Quick test_d3;
           Alcotest.test_case "D4 global state" `Quick test_d4;
           Alcotest.test_case "D5 float compare" `Quick test_d5;

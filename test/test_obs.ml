@@ -535,6 +535,364 @@ let test_runtime_profiler_smoke () =
              && as_str (member "ph" e) = "X")
            evs)
 
+(* ------------------------------------------------------------------ *)
+(* Ticker period alignment *)
+
+let test_ticker_rejects_bad_period () =
+  check_bool "period 0 raises" true
+    (try
+       ignore (Hydra_obs.Ticker.start ~period_ms:0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_ticker_aligned_to_boundaries () =
+  (* Deadline-aligned ticks fire at start + k*period, so N ticks can
+     never complete in less than (N-1) periods — the regression this
+     guards against is the old drift-free-running ticker that scheduled
+     each tick [period] after the previous callback returned. Only a
+     lower bound is asserted: an upper bound would race the CI
+     scheduler. *)
+  let ticks = Atomic.make 0 in
+  let t0 = Hydra_obs.now_ns () in
+  let tk =
+    Hydra_obs.Ticker.start ~period_ms:5 (fun () ->
+        (* a callback that eats a fair fraction of the period must not
+           stretch the spacing *)
+        Unix.sleepf 0.002;
+        Atomic.incr ticks)
+  in
+  while Atomic.get ticks < 6 do
+    Domain.cpu_relax ()
+  done;
+  let elapsed = Hydra_obs.now_ns () - t0 in
+  Hydra_obs.Ticker.stop tk;
+  check_bool "6 ticks span at least 5 periods" true
+    (elapsed >= 5 * 5_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped tracing *)
+
+let test_trace_ctx_ids () =
+  let r = Hydra_obs.Trace_ctx.root () in
+  check_int "root span = trace" r.Hydra_obs.Trace_ctx.trace_id
+    r.Hydra_obs.Trace_ctx.span_id;
+  check_int "root parent 0" 0 r.Hydra_obs.Trace_ctx.parent_id;
+  let c = Hydra_obs.Trace_ctx.child r in
+  check_int "child keeps trace" r.Hydra_obs.Trace_ctx.trace_id
+    c.Hydra_obs.Trace_ctx.trace_id;
+  check_int "child parent = root span" r.Hydra_obs.Trace_ctx.span_id
+    c.Hydra_obs.Trace_ctx.parent_id;
+  check_bool "child span fresh" true
+    (c.Hydra_obs.Trace_ctx.span_id <> r.Hydra_obs.Trace_ctx.span_id);
+  let g = Hydra_obs.Trace_ctx.child c in
+  check_int "grandchild parent = child span" c.Hydra_obs.Trace_ctx.span_id
+    g.Hydra_obs.Trace_ctx.parent_id;
+  check_int "grandchild keeps trace" r.Hydra_obs.Trace_ctx.trace_id
+    g.Hydra_obs.Trace_ctx.trace_id
+
+let test_trace_sampler_deterministic () =
+  let count rate n =
+    let s = Hydra_obs.Trace_ctx.sampler ~rate in
+    List.length
+      (List.filter_map
+         (fun _ -> Hydra_obs.Trace_ctx.sample s)
+         (List.init n Fun.id))
+  in
+  check_int "rate 0 samples nothing" 0 (count 0.0 100);
+  check_int "negative rate samples nothing" 0 (count (-1.0) 100);
+  check_int "rate 1 samples everything" 100 (count 1.0 100);
+  check_int "rate 2 clamps to everything" 100 (count 2.0 100);
+  check_int "rate 0.25 samples every 4th" 25 (count 0.25 100);
+  (* head sampling: the very first request of a fractional-rate stream
+     is sampled, so short workloads still produce a trace *)
+  let s = Hydra_obs.Trace_ctx.sampler ~rate:0.1 in
+  check_bool "first request sampled" true
+    (Hydra_obs.Trace_ctx.sample s <> None);
+  check_bool "second not" true (Hydra_obs.Trace_ctx.sample s = None)
+
+let test_trace_span_chrome_content () =
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  let root = Hydra_obs.Trace_ctx.root () in
+  let ctx = Some root in
+  let child = Hydra_obs.Trace_ctx.child root in
+  let v =
+    Hydra_obs.trace_span obs ctx "server.request" (fun () ->
+        Hydra_obs.flow_begin obs ctx "server.dispatch";
+        Hydra_obs.flow_end obs ctx "server.dispatch";
+        Hydra_obs.trace_span obs (Some child) "server.select" (fun () -> 17))
+  in
+  check_int "trace_span returns the value" 17 v;
+  check_int "4 trace events" 4 (Hydra_obs.trace_count obs_t);
+  let json = parse_json (Hydra_obs.chrome_trace obs_t) in
+  let events = member "traceEvents" json |> as_list in
+  let requests =
+    List.filter
+      (fun e ->
+        (try as_str (member "cat" e) = "request" with _ -> false)
+        && as_str (member "ph" e) = "X")
+      events
+  in
+  check_int "two request spans" 2 (List.length requests);
+  let find name =
+    List.find (fun e -> as_str (member "name" e) = name) requests
+  in
+  let arg e k = int_of_float (as_num (member k (member "args" e))) in
+  let rq = find "server.request" and sel = find "server.select" in
+  check_int "shared trace id" (arg rq "trace") (arg sel "trace");
+  check_int "root trace id" root.Hydra_obs.Trace_ctx.trace_id (arg rq "trace");
+  check_int "child parented under root" (arg rq "span") (arg sel "parent");
+  let flows ph =
+    List.filter
+      (fun e ->
+        as_str (member "ph" e) = ph
+        && (try as_str (member "cat" e) = "request" with _ -> false))
+      events
+  in
+  (match (flows "s", flows "f") with
+  | [ s ], [ f ] ->
+      check_int "flow id = trace id" root.Hydra_obs.Trace_ctx.trace_id
+        (int_of_float (as_num (member "id" s)));
+      check_int "paired under one id"
+        (int_of_float (as_num (member "id" s)))
+        (int_of_float (as_num (member "id" f)))
+  | s, f ->
+      Alcotest.failf "expected one s/f flow pair, got %d/%d" (List.length s)
+        (List.length f));
+  (* trace_emit with explicit timing lands with the given interval *)
+  Hydra_obs.trace_emit obs ctx "server.whole" ~start_ns:1_000 ~dur_ns:2_000;
+  check_int "emit recorded" 5 (Hydra_obs.trace_count obs_t)
+
+let test_trace_noops_without_ctx_or_obs () =
+  let obs_t = Hydra_obs.create () in
+  let ctx = Some (Hydra_obs.Trace_ctx.root ()) in
+  check_int "no ctx: f still runs" 3
+    (Hydra_obs.trace_span (Some obs_t) None "x" (fun () -> 3));
+  check_int "no obs: f still runs" 4
+    (Hydra_obs.trace_span None ctx "x" (fun () -> 4));
+  Hydra_obs.flow_begin (Some obs_t) None "x";
+  Hydra_obs.flow_end None ctx "x";
+  check_int "nothing recorded" 0 (Hydra_obs.trace_count obs_t)
+
+let test_tracing_never_touches_snapshots () =
+  (* The acceptance gate in miniature: the same metric workload, with
+     and without request tracing, serializes to the same snapshot bytes
+     — trace events live only in the Chrome exporter. *)
+  let workload obs =
+    Hydra_obs.incr obs "test.runs";
+    Hydra_obs.sample obs "test.lat" 42
+  in
+  let plain = Hydra_obs.create () in
+  workload (Some plain);
+  let traced = Hydra_obs.create () in
+  let ctx = Some (Hydra_obs.Trace_ctx.root ()) in
+  Hydra_obs.trace_span (Some traced) ctx "server.request" (fun () ->
+      workload (Some traced));
+  Hydra_obs.flow_begin (Some traced) ctx "server.dispatch";
+  Hydra_obs.flow_end (Some traced) ctx "server.dispatch";
+  check_bool "traces recorded" true (Hydra_obs.trace_count traced > 0);
+  Alcotest.(check string) "snapshot bytes identical"
+    (Hydra_obs.Snapshot.to_json plain)
+    (Hydra_obs.Snapshot.to_json traced);
+  check_bool "no span aggregates either" true (Hydra_obs.span_stats traced = [])
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+module F = Hydra_obs.Flight
+
+let test_flight_wraparound () =
+  let f = F.create ~capacity:8 () in
+  check_int "capacity rounded" 8 (F.capacity f);
+  let tid = F.intern f "t0" in
+  check_int "intern is stable" tid (F.intern f "t0");
+  for i = 0 to 19 do
+    F.record f ~ts:(i * 10) ~kind:F.Reply ~tenant:tid ~a:i ~b:0
+  done;
+  check_int "recorded counts everything" 20 (F.recorded f);
+  let lines =
+    String.split_on_char '\n' (F.dump f)
+    |> List.filter (fun l -> l <> "")
+  in
+  (match lines with
+  | header :: events ->
+      let h = parse_json header in
+      Alcotest.(check string) "schema" F.schema (as_str (member "schema" h));
+      check_int "capacity" 8 (int_of_float (as_num (member "capacity" h)));
+      check_int "recorded" 20 (int_of_float (as_num (member "recorded" h)));
+      check_int "dumped" 8 (int_of_float (as_num (member "dumped" h)));
+      check_int "8 surviving events" 8 (List.length events);
+      List.iteri
+        (fun i line ->
+          let e = parse_json line in
+          let seq = 12 + i in
+          check_int "oldest-first seq" seq
+            (int_of_float (as_num (member "seq" e)));
+          check_int "ts survived the wrap" (seq * 10)
+            (int_of_float (as_num (member "ts_ns" e)));
+          Alcotest.(check string) "kind" "reply" (as_str (member "kind" e));
+          Alcotest.(check string) "tenant name resolved" "t0"
+            (as_str (member "tenant" e)))
+        events
+  | [] -> Alcotest.fail "empty dump")
+
+let test_flight_dump_deterministic () =
+  (* Explicit timestamps make the dump a pure function of the recorded
+     sequence: two dumps (and a fresh identically-fed ring) agree
+     byte-for-byte. *)
+  let feed () =
+    let f = F.create ~capacity:16 () in
+    let a = F.intern f "alpha" and b = F.intern f "be \"ta\"" in
+    List.iteri
+      (fun i (k, t) -> F.record f ~ts:(1000 + i) ~kind:k ~tenant:t ~a:i ~b:(-i))
+      [ (F.Accept, -1); (F.Decode, a); (F.Coalesce, a); (F.Shard, b);
+        (F.Select, b); (F.Reply, a); (F.Slow, -1); (F.Error, -1) ];
+    f
+  in
+  let f = feed () in
+  Alcotest.(check string) "dump is stable" (F.dump f) (F.dump f);
+  Alcotest.(check string) "dump is a function of the sequence" (F.dump f)
+    (F.dump (feed ()));
+  List.iter
+    (fun l -> if l <> "" then ignore (parse_json l))
+    (String.split_on_char '\n' (F.dump f))
+
+let prop_flight_concurrent_writers =
+  qtest ~count:20 "concurrent writers never lose or tear events"
+    QCheck.(pair (int_range 2 4) (int_range 1 200))
+    (fun (jobs, per_domain) ->
+      let f = F.create ~capacity:64 () in
+      let tid = F.intern f "t" in
+      let (_ : unit array) =
+        Parallel.Pool.map ~jobs
+          (fun i -> F.record f ~ts:i ~kind:F.Accept ~tenant:tid ~a:i ~b:0)
+          (jobs * per_domain)
+      in
+      let total = jobs * per_domain in
+      let lines =
+        String.split_on_char '\n' (F.dump f)
+        |> List.filter (fun l -> l <> "")
+      in
+      F.recorded f = total
+      && List.length lines = 1 + min total 64
+      && List.for_all
+           (fun l ->
+             let e = parse_json l in
+             try as_str (member "kind" e) = "accept" with _ -> true)
+           (List.tl lines))
+
+(* ------------------------------------------------------------------ *)
+(* Rate-limited logging *)
+
+let log_to_buffer ?rate_per_s ?burst () =
+  let b = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer b in
+  (b, fmt, Hydra_obs.Log.create ?rate_per_s ?burst ~out:fmt ())
+
+let test_log_line_format () =
+  let b, fmt, log = log_to_buffer ~rate_per_s:0 () in
+  Hydra_obs.Log.log log "listening"
+    [ ("socket", "/tmp/x.sock"); ("mode", "warm start"); ("q", {|say "hi"|}) ];
+  Format.pp_print_flush fmt ();
+  Alcotest.(check string) "structured line, values quoted as needed"
+    "[hydra] event=listening socket=/tmp/x.sock mode=\"warm start\" \
+     q=\"say \\\"hi\\\"\"\n"
+    (Buffer.contents b);
+  check_int "emitted" 1 (Hydra_obs.Log.emitted log)
+
+let test_log_rate_limit () =
+  let b, fmt, log = log_to_buffer ~rate_per_s:1 ~burst:2 () in
+  for i = 1 to 10 do
+    Hydra_obs.Log.log log "tick" [ ("i", string_of_int i) ]
+  done;
+  Format.pp_print_flush fmt ();
+  check_int "burst emitted" 2 (Hydra_obs.Log.emitted log);
+  check_int "rest suppressed" 8 (Hydra_obs.Log.suppressed log);
+  (* after the bucket refills, the next line reports what was dropped *)
+  Unix.sleepf 1.2;
+  Buffer.clear b;
+  Hydra_obs.Log.log log "tick" [ ("i", "11") ];
+  Format.pp_print_flush fmt ();
+  check_int "refilled token emitted" 3 (Hydra_obs.Log.emitted log);
+  check_int "suppression reported and reset" 0 (Hydra_obs.Log.suppressed log);
+  Alcotest.(check string) "line carries suppressed count"
+    "[hydra] event=tick suppressed=8 i=11\n" (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Sliding windows *)
+
+let test_window_ages_out () =
+  let w = Hydra_obs.Window.create ~epochs:2 () in
+  check_int "epochs floored" 2 (Hydra_obs.Window.epochs w);
+  check_bool "empty quantile" true (Hydra_obs.Window.quantile w 0.99 = None);
+  Hydra_obs.Window.record w 1_000_000;
+  check_bool "spike dominates p99" true
+    (match Hydra_obs.Window.quantile w 0.99 with
+    | Some q -> q >= 1_000_000
+    | None -> false);
+  Hydra_obs.Window.rotate w;
+  for _ = 1 to 20 do Hydra_obs.Window.record w 10 done;
+  (* one epoch later the spike still sits inside the window *)
+  check_int "window spans both epochs" 21 (Hydra_obs.Window.count w);
+  check_bool "p99 still sees the spike" true
+    (match Hydra_obs.Window.quantile w 0.99 with
+    | Some q -> q >= 1_000_000
+    | None -> false);
+  Hydra_obs.Window.rotate w;
+  for _ = 1 to 20 do Hydra_obs.Window.record w 10 done;
+  (* two rotations: the spike's epoch has been discarded *)
+  check_int "spike aged out" 40 (Hydra_obs.Window.count w);
+  check_bool "p99 recovered" true
+    (match Hydra_obs.Window.quantile w 0.99 with
+    | Some q -> q < 1_000_000
+    | None -> false);
+  check_int "rotations counted" 2 (Hydra_obs.Window.rotations w);
+  check_int "merged matches count" 40
+    (H.count (Hydra_obs.Window.merged w))
+
+(* ------------------------------------------------------------------ *)
+(* Delta trackers (the obs_stream scrape core) *)
+
+let test_delta_tracker_round_trip () =
+  let obs_t = Hydra_obs.create () in
+  let obs = Some obs_t in
+  Hydra_obs.incr obs "test.a";
+  Hydra_obs.sample obs "test.lat" 100;
+  let tr = Hydra_obs.Snapshot.Delta.create obs_t in
+  let l0 = Hydra_obs.Snapshot.Delta.line tr in
+  check_int "seq starts at 0" 0
+    (int_of_float (as_num (member "seq" (parse_json l0))));
+  Alcotest.(check string) "delta schema" Hydra_obs.Snapshot.Delta.schema
+    (as_str (member "schema" (parse_json l0)));
+  Hydra_obs.incr obs "test.a";
+  Hydra_obs.incr obs "test.b";
+  Hydra_obs.sample obs "test.lat" 900;
+  let l1 = Hydra_obs.Snapshot.Delta.line tr ~label:"after" in
+  check_int "seq advances" 1
+    (int_of_float (as_num (member "seq" (parse_json l1))));
+  Alcotest.(check string) "label carried" "after"
+    (as_str (member "label" (parse_json l1)));
+  (* folding the tracker's lines reproduces the full snapshot *)
+  let folded = Hydra_obs.Report.of_string (l0 ^ "\n" ^ l1 ^ "\n") in
+  let full = Hydra_obs.Report.of_string (Hydra_obs.Snapshot.to_json obs_t) in
+  check_bool "fold(deltas) = snapshot" true
+    (Hydra_obs.Report.flatten folded = Hydra_obs.Report.flatten full);
+  (* a consumer that missed nothing gets an empty delta *)
+  let l2 = Hydra_obs.Snapshot.Delta.line tr in
+  let folded' =
+    Hydra_obs.Report.of_string (l0 ^ "\n" ^ l1 ^ "\n" ^ l2 ^ "\n")
+  in
+  check_bool "idle delta changes nothing" true
+    (Hydra_obs.Report.flatten folded' = Hydra_obs.Report.flatten full);
+  (* two trackers are independent consumers of one registry *)
+  let tr2 = Hydra_obs.Snapshot.Delta.create obs_t in
+  let m0 = Hydra_obs.Snapshot.Delta.line tr2 in
+  check_int "fresh tracker restarts seq" 0
+    (int_of_float (as_num (member "seq" (parse_json m0))));
+  check_bool "first line carries full state" true
+    (Hydra_obs.Report.flatten (Hydra_obs.Report.of_string (m0 ^ "\n"))
+    = Hydra_obs.Report.flatten full)
+
 let test_snapshot_byte_identical_across_jobs () =
   (* The CI gate in miniature: the same workload instrumented at
      jobs=1 and jobs=4 must serialize to the very same bytes. *)
@@ -601,6 +959,39 @@ let () =
       ( "runtime",
         [ Alcotest.test_case "profiler smoke (GC slices + trace)" `Quick
             test_runtime_profiler_smoke ] );
+      ( "ticker",
+        [ Alcotest.test_case "rejects period < 1" `Quick
+            test_ticker_rejects_bad_period;
+          Alcotest.test_case "ticks align to period boundaries" `Quick
+            test_ticker_aligned_to_boundaries ] );
+      ( "tracing",
+        [ Alcotest.test_case "context ids parent-link" `Quick
+            test_trace_ctx_ids;
+          Alcotest.test_case "sampler deterministic" `Quick
+            test_trace_sampler_deterministic;
+          Alcotest.test_case "spans + flows in Chrome JSON" `Quick
+            test_trace_span_chrome_content;
+          Alcotest.test_case "no-ops without ctx or obs" `Quick
+            test_trace_noops_without_ctx_or_obs;
+          Alcotest.test_case "never touches snapshots" `Quick
+            test_tracing_never_touches_snapshots ] );
+      ( "flight",
+        [ Alcotest.test_case "ring wraparound keeps the tail" `Quick
+            test_flight_wraparound;
+          Alcotest.test_case "dump deterministic" `Quick
+            test_flight_dump_deterministic;
+          prop_flight_concurrent_writers ] );
+      ( "log",
+        [ Alcotest.test_case "line format + quoting" `Quick
+            test_log_line_format;
+          Alcotest.test_case "token bucket limits and reports" `Slow
+            test_log_rate_limit ] );
+      ( "window",
+        [ Alcotest.test_case "old epochs age out" `Quick
+            test_window_ages_out ] );
+      ( "delta",
+        [ Alcotest.test_case "tracker folds back to the snapshot" `Quick
+            test_delta_tracker_round_trip ] );
       ( "snapshot",
         [ Alcotest.test_case "json_float maps non-finite to null" `Quick
             test_json_float_non_finite;

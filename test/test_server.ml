@@ -55,7 +55,9 @@ let roundtrip_requests =
     req 7 Protocol.Query;
     req 8 Protocol.Stats;
     req 9 Protocol.Remove;
-    req 10 Protocol.Shutdown ]
+    req 10 Protocol.Shutdown;
+    req 11 Protocol.Obs_snapshot;
+    req 12 Protocol.Obs_stream ]
 
 let test_request_roundtrip () =
   List.iter
@@ -74,6 +76,9 @@ let roundtrip_responses =
     Protocol.unschedulable ~id:4 ~tenant:"t1";
     Protocol.rejected ~id:5 ~tenant:"t2" "no feasible core";
     Protocol.error ~id:(-1) ~tenant:"" "malformed JSON: oops";
+    Protocol.ok ~id:7 ~tenant:""
+      (Protocol.Metrics
+         "{\"schema\":\"hydra_c.metrics/1\",\"counters\":{\"x\":1}}");
     Protocol.ok ~id:6 ~tenant:"t0"
       (Protocol.Tenant_stats
          { Protocol.st_cores = 2; st_rt = 3; st_sec = 2; st_selects = 4;
@@ -453,6 +458,78 @@ let test_differential =
          true))
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing: obs ops, trace contexts, flight breadcrumbs *)
+
+let test_engine_rejects_obs_ops () =
+  (* scrape requests answer from daemon state; one that leaks into an
+     engine batch must fail loudly, not perturb a tenant *)
+  with_engine (fun e ->
+      ignore (Engine.exec_batch e [ req 0 small_init ]);
+      match
+        Engine.exec_batch e
+          [ req 1 Protocol.Obs_snapshot; req 2 Protocol.Obs_stream;
+            req 3 Protocol.Query ]
+      with
+      | [ r1; r2; r3 ] ->
+          check_bool "snapshot refused" true (status r1 = Protocol.Failed);
+          check_bool "stream refused" true (status r2 = Protocol.Failed);
+          check_bool "rest of the batch unharmed" true
+            (status r3 = Protocol.Ok)
+      | _ -> Alcotest.fail "expected three responses")
+
+let ctx_batch =
+  [ req 0 small_init; req 1 Protocol.Query;
+    req ~tenant:"t1" 2 small_init;
+    req 3 (Protocol.Rt_arrive (rt "r9" 1 40)); req 4 Protocol.Query ]
+
+let test_exec_batch_with_ctxs () =
+  let plain = with_engine ~jobs:2 (fun e -> Engine.exec_batch e ctx_batch) in
+  let obs_t = Hydra_obs.create () in
+  let flight = Hydra_obs.Flight.create () in
+  let root = Hydra_obs.Trace_ctx.root () in
+  let ctxs =
+    [| Some root; None; Some (Hydra_obs.Trace_ctx.root ());
+       Some (Hydra_obs.Trace_ctx.child root); None |]
+  in
+  let traced =
+    with_engine ~obs:obs_t ~jobs:2 (fun e ->
+        Engine.exec_batch ~ctxs ~flight e ctx_batch)
+  in
+  check_bool "responses identical under tracing" true (plain = traced);
+  check_bool "trace spans recorded" true (Hydra_obs.trace_count obs_t > 0);
+  check_bool "flight breadcrumbs recorded" true
+    (Hydra_obs.Flight.recorded flight > 0);
+  (* each sampled request got a dispatch flow pair across the
+     dispatcher/worker domains *)
+  let json = Test_util.parse_json (Hydra_obs.chrome_trace obs_t) in
+  let events = Test_util.(member "traceEvents" json |> as_list) in
+  let count ph =
+    List.length
+      (List.filter
+         (fun e ->
+           Test_util.(as_str (member "ph" e)) = ph
+           && (try Test_util.(as_str (member "cat" e)) = "request"
+               with _ -> false))
+         events)
+  in
+  check_int "one flow start per sampled request" 3 (count "s");
+  check_int "every start paired" 3 (count "f");
+  (* the metrics side never sees the tracing side *)
+  let obs_plain = Hydra_obs.create () in
+  ignore
+    (with_engine ~obs:obs_plain ~jobs:2 (fun e ->
+         Engine.exec_batch e ctx_batch));
+  Alcotest.(check string) "snapshot unchanged by tracing"
+    (Hydra_obs.Snapshot.to_json obs_plain)
+    (Hydra_obs.Snapshot.to_json obs_t);
+  with_engine (fun e ->
+      check_bool "ctxs length mismatch raises" true
+        (try
+           ignore (Engine.exec_batch ~ctxs:[| None |] e ctx_batch);
+           false
+         with Invalid_argument _ -> true))
+
+(* ------------------------------------------------------------------ *)
 (* Daemon smoke: serve over a real socket from a second domain *)
 
 let test_daemon_socket () =
@@ -500,6 +577,158 @@ let test_daemon_socket () =
   Domain.join server;
   check_bool "socket cleaned up" false (Sys.file_exists path)
 
+(* ------------------------------------------------------------------ *)
+(* Live telemetry scrape and the flight recorder, against a real
+   daemon *)
+
+let with_daemon ?obs ~name ?(tweak = Fun.id) f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hydra_c_%s_%d.sock" name (Unix.getpid ()))
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Daemon.serve ?obs
+          ~config:(tweak (Daemon.default_config ~socket_path:path))
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ())
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  (* the daemon serves connections serially, so [f] must finish with
+     (or close) one connection before opening the next *)
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  let rpc fd q =
+    Protocol.write_frame fd (Protocol.encode_request q);
+    match Protocol.read_frame fd with
+    | Some s -> Protocol.decode_response s
+    | None -> Alcotest.fail "daemon closed the connection"
+  in
+  let result = f path connect rpc in
+  Domain.join server;
+  result
+
+let the_metrics r =
+  match r.Protocol.p_body with
+  | Protocol.Metrics doc -> doc
+  | _ -> Alcotest.fail "expected a metrics body"
+
+let flatten_doc doc =
+  Hydra_obs.Report.flatten (Hydra_obs.Report.of_string doc)
+
+let test_daemon_live_scrape () =
+  let obs_t = Hydra_obs.create () in
+  let last_doc =
+    with_daemon ~obs:obs_t ~name:"scrape"
+      ~tweak:(fun c -> { c with jobs = 2 })
+      (fun _path connect rpc ->
+        let fd = connect () in
+        let doc2 =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              ignore (rpc fd (req 0 small_init));
+              ignore (rpc fd (req 1 Protocol.Query));
+              ignore (rpc fd (req 2 (Protocol.Rt_arrive (rt "r9" 1 40))));
+              let m1 = rpc fd (req 3 Protocol.Obs_snapshot) in
+              check_bool "scrape ok" true (status m1 = Protocol.Ok);
+              let doc1 = the_metrics m1 in
+              let snap1 = Hydra_obs.Report.of_string doc1 in
+              check_int "engine work visible in the scrape" 3
+                (List.assoc "server.requests" snap1.Hydra_obs.Report.counters);
+              check_int "connection counted once" 1
+                (List.assoc "server.connections"
+                   snap1.Hydra_obs.Report.counters);
+              (* a scrape must not perturb the metrics it returns: a
+                 second snapshot is byte-identical *)
+              let doc2 = the_metrics (rpc fd (req 4 Protocol.Obs_snapshot)) in
+              Alcotest.(check string) "scrape leaves no footprint" doc1 doc2;
+              (* obs_stream: first line carries the full state, an idle
+                 follow-up changes nothing when folded *)
+              let l1 = the_metrics (rpc fd (req 5 Protocol.Obs_stream)) in
+              check_bool "first delta line = full snapshot" true
+                (flatten_doc (l1 ^ "\n") = flatten_doc doc1);
+              let l2 = the_metrics (rpc fd (req 6 Protocol.Obs_stream)) in
+              check_bool "idle delta folds to the same state" true
+                (flatten_doc (l1 ^ "\n" ^ l2 ^ "\n") = flatten_doc doc1);
+              doc2)
+        in
+        (* a later connection is an independent stream consumer: its
+           first line carries the full state again — and neither the
+           reconnect nor its scrape moves a metric *)
+        let fd2 = connect () in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+          (fun () ->
+            let r = rpc fd2 (req 7 Protocol.Obs_stream) in
+            check_bool "fresh consumer gets the full state" true
+              (flatten_doc (the_metrics r ^ "\n") = flatten_doc doc2);
+            ignore (rpc fd2 (req 8 Protocol.Shutdown)));
+        doc2)
+  in
+  (* the acceptance gate: a live scrape equals the shutdown snapshot —
+     nothing after the last engine request (scrapes, streams, shutdown,
+     the idle second connection) moved a metric *)
+  Alcotest.(check string) "live scrape = shutdown snapshot" last_doc
+    (Hydra_obs.Snapshot.to_json obs_t)
+
+let test_daemon_sigusr1_flight_dump () =
+  if not Sys.unix then ()
+  else
+    with_daemon ~name:"usr1" (fun path connect rpc ->
+        let fd = connect () in
+        let rpc q = rpc fd q in
+        let flight_file = path ^ ".flight.jsonl" in
+        (try Sys.remove flight_file with Sys_error _ -> ());
+        (* no registry attached: scrapes fail cleanly... *)
+        let m = rpc (req 0 Protocol.Obs_snapshot) in
+        check_bool "scrape without registry fails" true
+          (status m = Protocol.Failed);
+        (* ...but the flight recorder is always on *)
+        ignore (rpc (req 1 small_init));
+        Unix.kill (Unix.getpid ()) Sys.sigusr1;
+        ignore (rpc (req 2 Protocol.Query));
+        let rec await n =
+          if Sys.file_exists flight_file then ()
+          else if n = 0 then Alcotest.fail "flight dump never appeared"
+          else begin
+            Unix.sleepf 0.05;
+            await (n - 1)
+          end
+        in
+        await 100;
+        ignore (rpc (req 3 Protocol.Shutdown));
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        let lines =
+          In_channel.with_open_text flight_file In_channel.input_lines
+          |> List.filter (fun l -> l <> "")
+        in
+        (match lines with
+        | header :: events ->
+            Alcotest.(check string) "flight schema"
+              Hydra_obs.Flight.schema
+              Test_util.(as_str (member "schema" (parse_json header)));
+            check_bool "events captured" true (events <> []);
+            let kinds =
+              List.map
+                (fun l ->
+                  Test_util.(as_str (member "kind" (parse_json l))))
+                events
+            in
+            check_bool "accept breadcrumbs present" true
+              (List.mem "accept" kinds);
+            check_bool "reply breadcrumbs present" true
+              (List.mem "reply" kinds)
+        | [] -> Alcotest.fail "empty flight dump");
+        try Sys.remove flight_file with Sys_error _ -> ())
+
 let () =
   Alcotest.run "server"
     [ ( "protocol",
@@ -526,5 +755,15 @@ let () =
           Alcotest.test_case "warm selects counted" `Quick
             test_warm_select_counted ] );
       ("differential", [ test_differential ]);
-      ("daemon", [ Alcotest.test_case "socket smoke" `Quick test_daemon_socket ])
+      ( "observability",
+        [ Alcotest.test_case "engine rejects obs ops" `Quick
+            test_engine_rejects_obs_ops;
+          Alcotest.test_case "exec_batch with trace contexts" `Quick
+            test_exec_batch_with_ctxs ] );
+      ( "daemon",
+        [ Alcotest.test_case "socket smoke" `Quick test_daemon_socket;
+          Alcotest.test_case "live scrape + stream" `Quick
+            test_daemon_live_scrape;
+          Alcotest.test_case "SIGUSR1 flight dump" `Quick
+            test_daemon_sigusr1_flight_dump ] )
     ]
